@@ -1,0 +1,135 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace sievestore {
+namespace bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                util::fatal("%s requires a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--scale-denominator") {
+            opts.inv_scale = std::atof(value("--scale-denominator"));
+            if (opts.inv_scale < 1.0)
+                util::fatal("--scale-denominator must be >= 1");
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(value("--seed"), nullptr, 0);
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options:\n"
+                "  --scale-denominator N  run at 1/N of the paper's "
+                "traffic (default 4096)\n"
+                "  --seed S               generator seed\n"
+                "  --csv                  CSV output\n");
+            std::exit(0);
+        } else {
+            util::fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+    return opts;
+}
+
+trace::SyntheticConfig
+BenchOptions::traceConfig() const
+{
+    trace::SyntheticConfig cfg;
+    cfg.scale = 1.0 / inv_scale;
+    cfg.seed = seed;
+    return cfg;
+}
+
+ssd::SsdModel
+BenchOptions::scaledSsd(uint64_t capacity_bytes) const
+{
+    return ssd::SsdModel::intelX25E(capacity_bytes)
+        .scaled(1.0 / inv_scale);
+}
+
+uint64_t
+BenchOptions::scaledCacheBlocks(uint64_t full_bytes) const
+{
+    const auto blocks = static_cast<uint64_t>(
+        static_cast<double>(full_bytes) / inv_scale /
+        static_cast<double>(trace::kBlockBytes));
+    return std::max<uint64_t>(64, blocks);
+}
+
+size_t
+BenchOptions::scaledImctSlots() const
+{
+    // ~450M slots at full scale (order of the paper's 8 GB metastate
+    // budget); clamped so tiny scales still have a meaningful table.
+    const auto slots = static_cast<size_t>(4.5e8 / inv_scale);
+    return std::max<size_t>(4096, slots);
+}
+
+std::vector<PolicyRun>
+figure5Roster()
+{
+    using sim::PolicyKind;
+    return {
+        {"Ideal", PolicyKind::Ideal, 16ULL << 30},
+        {"RandSieve-BlkD", PolicyKind::RandSieveBlkD, 16ULL << 30},
+        {"SieveStore-D", PolicyKind::SieveStoreD, 16ULL << 30},
+        {"SieveStore-C", PolicyKind::SieveStoreC, 16ULL << 30},
+        {"RandSieve-C", PolicyKind::RandSieveC, 16ULL << 30},
+        {"AOD-16GB", PolicyKind::AOD, 16ULL << 30},
+        {"WMNA-16GB", PolicyKind::WMNA, 16ULL << 30},
+        {"AOD-32GB", PolicyKind::AOD, 32ULL << 30},
+        {"WMNA-32GB", PolicyKind::WMNA, 32ULL << 30},
+    };
+}
+
+std::unique_ptr<core::Appliance>
+runPolicy(const PolicyRun &run, const BenchOptions &opts,
+          trace::SyntheticEnsembleGenerator &gen)
+{
+    sim::PolicyConfig pc;
+    pc.kind = run.kind;
+    pc.sieve_c.imct_slots = opts.scaledImctSlots();
+
+    core::ApplianceConfig ac;
+    ac.cache_blocks = opts.scaledCacheBlocks(run.cache_bytes);
+    ac.ssd = opts.scaledSsd(run.cache_bytes);
+
+    std::unique_ptr<core::Appliance> app;
+    if (run.kind == sim::PolicyKind::Ideal) {
+        app = sim::makeIdealAppliance(gen, pc, ac);
+    } else {
+        gen.reset();
+        app = sim::makeAppliance(pc, ac);
+    }
+    sim::runTrace(gen, *app);
+    gen.reset();
+    return app;
+}
+
+void
+printBanner(const std::string &title, const std::string &paper_ref,
+            const BenchOptions &opts)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("workload:   synthetic 13-server ensemble at 1/%.0f of "
+                "the paper's traffic (seed 0x%llx)\n\n",
+                opts.inv_scale,
+                static_cast<unsigned long long>(opts.seed));
+}
+
+} // namespace bench
+} // namespace sievestore

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's artifacts on the
+ * synthetic ensemble workload. Common concerns handled here: scale
+ * selection (--scale-denominator N runs at 1/N of the paper's traffic;
+ * cache capacities and SSD ratings are scaled identically so relative
+ * results keep their shape), seeding, CSV output, and the standard
+ * policy roster of Figure 5.
+ */
+
+#ifndef SIEVESTORE_BENCH_BENCH_COMMON_HPP
+#define SIEVESTORE_BENCH_BENCH_COMMON_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "trace/synthetic.hpp"
+
+namespace sievestore {
+namespace bench {
+
+/** Command-line options shared by all benches. */
+struct BenchOptions
+{
+    /** Trace volume = paper volume / inv_scale. */
+    double inv_scale = 4096.0;
+    /** Generator master seed. */
+    uint64_t seed = 0x51e5e5704eULL;
+    /** Emit CSV instead of aligned tables. */
+    bool csv = false;
+
+    /** Parse --scale-denominator/--seed/--csv; exits on --help. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** Synthetic generator configuration at this scale. */
+    trace::SyntheticConfig traceConfig() const;
+
+    /** Scaled SSD model (IOPS shrink with the trace). */
+    ssd::SsdModel scaledSsd(uint64_t capacity_bytes) const;
+
+    /** Scaled cache capacity in 512-byte blocks. */
+    uint64_t scaledCacheBlocks(uint64_t full_bytes) const;
+
+    /** IMCT sized for this scale (matches the paper's ~8 GB state). */
+    size_t scaledImctSlots() const;
+};
+
+/** One evaluated configuration of Figure 5/6/7. */
+struct PolicyRun
+{
+    std::string label;
+    sim::PolicyKind kind;
+    /** Full-scale cache bytes (16 or 32 GB in the paper). */
+    uint64_t cache_bytes;
+};
+
+/** The Figure 5 roster: Ideal, sieves, random sieves, unsieved 16/32 GB. */
+std::vector<PolicyRun> figure5Roster();
+
+/**
+ * Build the appliance for a roster entry and replay the whole trace
+ * through it. Handles the Ideal profiling pass. The generator is reset
+ * before and after.
+ */
+std::unique_ptr<core::Appliance>
+runPolicy(const PolicyRun &run, const BenchOptions &opts,
+          trace::SyntheticEnsembleGenerator &gen);
+
+/** Print the standard bench banner (scale, seed, paper pointer). */
+void printBanner(const std::string &title, const std::string &paper_ref,
+                 const BenchOptions &opts);
+
+} // namespace bench
+} // namespace sievestore
+
+#endif // SIEVESTORE_BENCH_BENCH_COMMON_HPP

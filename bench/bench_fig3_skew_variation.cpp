@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure 3 — popularity-skew variation (observation O2).
+ *
+ * (a) server-to-server: Prxy (extreme skew) vs Src1 (near-linear CDF);
+ * (b) volume-to-volume: Web volume 0 vs volume 1;
+ * (c) time: the web-staging server's skew on different days;
+ * (d) per-server composition of the ensemble's top-1 % blocks per day.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/popularity.hpp"
+#include "analysis/skew.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace sievestore;
+using namespace sievestore::bench;
+using analysis::BlockCounts;
+using analysis::PopularityProfile;
+
+namespace {
+
+void
+printCdfRow(stats::Table &t, const std::string &label,
+            const PopularityProfile &p)
+{
+    auto &row = t.row().cell(label);
+    for (double r : {0.01, 0.05, 0.10, 0.25, 0.50})
+        row.cellPercent(p.topShare(r));
+    row.cell(analysis::giniOfCounts(p), 3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    printBanner("Figure 3: skew variation", "Fig. 3(a)-(d), Section 2",
+                opts);
+
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    auto gen = trace::SyntheticEnsembleGenerator::paper(
+        ensemble, opts.traceConfig());
+
+    const int day = 3;
+
+    // (a) Prxy vs Src1.
+    std::printf("(a) server-to-server (day %d): cumulative access share "
+                "captured by top-X%% of the server's blocks\n",
+                day + 1);
+    stats::Table ta({"Server", "top 1%", "top 5%", "top 10%", "top 25%",
+                     "top 50%", "Gini"});
+    for (const char *key : {"Prxy", "Src1"}) {
+        const auto reqs = gen.generateServerDay(
+            ensemble.serverByKey(key).id, day);
+        printCdfRow(ta, key,
+                    PopularityProfile(
+                        analysis::countBlockAccesses(reqs)));
+    }
+    if (opts.csv)
+        ta.printCsv(std::cout);
+    else
+        ta.print(std::cout);
+    std::printf("[paper: Prxy — a small fraction of blocks accounts for "
+                "nearly all accesses; Src1 — near-linear]\n\n");
+
+    // (b) Web volume 0 vs volume 1.
+    std::printf("(b) volume-to-volume within Web (day %d):\n", day + 1);
+    const auto &web = ensemble.serverByKey("Web");
+    const auto web_reqs = gen.generateServerDay(web.id, day);
+    BlockCounts v0, v1;
+    for (const auto &r : web_reqs) {
+        for (uint32_t i = 0; i < r.length_blocks; ++i) {
+            if (r.volume == web.volume_ids[0])
+                ++v0[r.blockAt(i)];
+            else if (r.volume == web.volume_ids[1])
+                ++v1[r.blockAt(i)];
+        }
+    }
+    stats::Table tb({"Volume", "top 1%", "top 5%", "top 10%", "top 25%",
+                     "top 50%", "Gini"});
+    printCdfRow(tb, "Web vol-0", PopularityProfile(v0));
+    printCdfRow(tb, "Web vol-1", PopularityProfile(v1));
+    if (opts.csv)
+        tb.printCsv(std::cout);
+    else
+        tb.print(std::cout);
+    std::printf("[paper: volume-0 exhibits significantly more skew than "
+                "volume-1]\n\n");
+
+    // (c) Stg across days.
+    std::printf("(c) day-to-day for the web-staging server (Stg):\n");
+    stats::Table tc({"Day", "top 1%", "top 5%", "top 10%", "top 25%",
+                     "top 50%", "Gini"});
+    const auto stg = ensemble.serverByKey("Stg").id;
+    for (int d = 1; d < gen.days(); ++d) {
+        const auto reqs = gen.generateServerDay(stg, d);
+        printCdfRow(tc, "day " + std::to_string(d + 1),
+                    PopularityProfile(
+                        analysis::countBlockAccesses(reqs)));
+    }
+    if (opts.csv)
+        tc.printCsv(std::cout);
+    else
+        tc.print(std::cout);
+    std::printf("[paper: Stg day 5 exhibits significant skew, day 3 "
+                "does not — skew varies in time]\n\n");
+
+    // (d) composition of the ensemble top 1 % by server per day.
+    std::printf("(d) server composition of the ensemble's top-1%% "
+                "blocks per day:\n");
+    std::vector<std::string> headers = {"Server"};
+    for (int d = 0; d < gen.days(); ++d)
+        headers.push_back("day " + std::to_string(d + 1));
+    stats::Table td(headers);
+    std::vector<std::vector<double>> comps;
+    for (int d = 0; d < gen.days(); ++d) {
+        PopularityProfile p(
+            analysis::countBlockAccesses(gen.generateDay(d)));
+        comps.push_back(
+            analysis::serverCompositionOfTop(p, ensemble, 0.01));
+    }
+    for (const auto &srv : ensemble.servers()) {
+        auto &row = td.row().cell(srv.key);
+        for (int d = 0; d < gen.days(); ++d)
+            row.cellPercent(comps[d][srv.id]);
+    }
+    if (opts.csv)
+        td.printCsv(std::cout);
+    else
+        td.print(std::cout);
+    std::printf("[paper: the contribution of each server varies across "
+                "days — no static partition can capture it]\n");
+    return 0;
+}

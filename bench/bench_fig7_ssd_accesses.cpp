@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 7 — total SSD accesses, decomposed.
+ *
+ * Per day and technique: SSD operations at 512-byte granularity split
+ * into read hits, write hits, and allocation-writes. Paper landmarks:
+ * without sieving, allocation-writes dominate all SSD traffic (and SSD
+ * writes are slow); for the SieveStore variants the allocation-write
+ * component is a nearly-invisible sliver. Includes the Section 5.1
+ * wearout analysis: SieveStore's total writes stay under the endurance
+ * budget for a >10-year lifetime.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace sievestore;
+using namespace sievestore::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    printBanner("Figure 7: total SSD accesses",
+                "Fig. 7 + the Section 5.1 wearout analysis", opts);
+
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    auto gen = trace::SyntheticEnsembleGenerator::paper(
+        ensemble, opts.traceConfig());
+
+    const std::vector<PolicyRun> roster = {
+        {"SieveStore-D", sim::PolicyKind::SieveStoreD, 16ULL << 30},
+        {"SieveStore-C", sim::PolicyKind::SieveStoreC, 16ULL << 30},
+        {"RandSieve-C", sim::PolicyKind::RandSieveC, 16ULL << 30},
+        {"AOD-32GB", sim::PolicyKind::AOD, 32ULL << 30},
+        {"WMNA-32GB", sim::PolicyKind::WMNA, 32ULL << 30},
+    };
+
+    stats::Table t({"Technique", "Day", "Read hits", "Write hits",
+                    "Alloc-writes", "Total SSD ops", "Alloc share"});
+    for (const PolicyRun &run : roster) {
+        std::fprintf(stderr, "  running %s...\n", run.label.c_str());
+        const auto app = runPolicy(run, opts, gen);
+        for (size_t d = 0; d < app->daily().size(); ++d) {
+            const auto &day = app->daily()[d];
+            if (day.accesses == 0 && day.totalAllocationBlocks() == 0)
+                continue;
+            const uint64_t total = day.totalSsdBlockOps();
+            t.row()
+                .cell(run.label)
+                .cell("day " + std::to_string(d + 1))
+                .cell(day.read_hits)
+                .cell(day.write_hits)
+                .cell(day.totalAllocationBlocks())
+                .cell(total)
+                .cellPercent(total
+                                 ? static_cast<double>(
+                                       day.totalAllocationBlocks()) /
+                                       static_cast<double>(total)
+                                 : 0.0);
+        }
+        // Wearout: total SSD writes (write hits + allocation-writes).
+        const auto totals = app->totals();
+        const uint64_t write_blocks =
+            totals.write_hits + totals.totalAllocationBlocks();
+        const double write_blocks_full =
+            static_cast<double>(write_blocks) * opts.inv_scale;
+        const double years = ssd::enduranceYears(
+            ssd::SsdModel::intelX25E(),
+            static_cast<uint64_t>(write_blocks_full * 512.0), 7.0);
+        std::printf("%s: %.0fM 512B writes/day at full scale -> "
+                    "endurance %.1f years%s\n",
+                    run.label.c_str(), write_blocks_full / 7.0 / 1e6,
+                    years,
+                    run.label.rfind("SieveStore", 0) == 0
+                        ? "  [paper: <500M/day -> >10 years]"
+                        : "");
+    }
+    std::printf("\n");
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::printf("\n[paper: without sieving, allocation-writes are the "
+                "dominant fraction of all SSD accesses; for SieveStore "
+                "they are a nearly-invisible sliver]\n");
+    return 0;
+}

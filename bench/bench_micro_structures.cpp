@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the data structures on the
+ * appliance's critical path: IMCT/MCT updates, the two-tier sieve's
+ * per-miss cost, block-cache operations, and workload generation.
+ *
+ * The paper's feasibility argument is that "request processing is
+ * entirely in memory" and cheap; these benchmarks quantify it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "analysis/access_log.hpp"
+#include "cache/block_cache.hpp"
+#include "core/imct.hpp"
+#include "core/mct.hpp"
+#include "core/sievestore_c.hpp"
+#include "trace/synthetic.hpp"
+#include "util/random.hpp"
+
+using namespace sievestore;
+
+namespace {
+
+void
+BM_ImctRecordMiss(benchmark::State &state)
+{
+    core::Imct imct(static_cast<size_t>(state.range(0)),
+                    core::WindowSpec::paperDefault());
+    util::Rng rng(1);
+    uint64_t t = 0;
+    for (auto _ : state) {
+        t += 1000;
+        benchmark::DoNotOptimize(imct.recordMiss(rng.next(), t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImctRecordMiss)->Arg(1 << 16)->Arg(1 << 22);
+
+void
+BM_MctAdmitRecordRemove(benchmark::State &state)
+{
+    core::Mct mct(core::WindowSpec::paperDefault());
+    util::Rng rng(2);
+    for (auto _ : state) {
+        const trace::BlockId b = rng.nextBelow(1 << 20);
+        if (!mct.contains(b))
+            mct.admit(b, 0);
+        if (mct.recordMiss(b, 0) >= 4)
+            mct.remove(b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MctAdmitRecordRemove);
+
+void
+BM_SieveStoreCOnMiss(benchmark::State &state)
+{
+    core::SieveStoreCConfig cfg;
+    cfg.imct_slots = 1 << 20;
+    core::SieveStoreCPolicy sieve(cfg);
+    util::Rng rng(3);
+    trace::BlockAccess a;
+    a.op = trace::Op::Read;
+    uint64_t t = 0;
+    for (auto _ : state) {
+        // Zipf-ish mix: a small hot set plus a cold tail.
+        a.block = rng.nextBool(0.3) ? rng.nextBelow(1000)
+                                    : rng.next();
+        t += 500;
+        a.time = t;
+        benchmark::DoNotOptimize(sieve.onMiss(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SieveStoreCOnMiss);
+
+void
+BM_BlockCacheAccessHit(benchmark::State &state)
+{
+    cache::BlockCache cache(1 << 16);
+    for (trace::BlockId b = 0; b < (1 << 16); ++b)
+        cache.insert(b);
+    util::Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.nextBelow(1 << 16)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheAccessHit);
+
+void
+BM_BlockCacheInsertEvict(benchmark::State &state)
+{
+    cache::BlockCache cache(1 << 14);
+    util::Rng rng(5);
+    trace::BlockId next = 0;
+    for (auto _ : state) {
+        if (!cache.access(next))
+            cache.insert(next);
+        ++next;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheInsertEvict);
+
+void
+BM_AccessLogAppendAndReduce(benchmark::State &state)
+{
+    // The SieveStore-D substrate: disk-backed <addr,1> logging with
+    // periodic compaction, then the epoch-end threshold reduction.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("ss_bench_log_" + std::to_string(::getpid()));
+    analysis::AccessLogConfig cfg;
+    cfg.partitions = 8;
+    analysis::AccessLog log(dir.string(), cfg);
+    util::Rng rng(9);
+    int64_t logged = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 100000; ++i)
+            log.log(rng.nextBool(0.3) ? rng.nextBelow(1000)
+                                      : rng.next());
+        benchmark::DoNotOptimize(log.reduce(10));
+        log.beginEpoch();
+        logged += 100000;
+    }
+    state.SetItemsProcessed(logged);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_AccessLogAppendAndReduce)->Unit(benchmark::kMillisecond);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    util::ZipfSampler zipf(1000000, 1.0);
+    util::Rng rng(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_SyntheticDayGeneration(benchmark::State &state)
+{
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    trace::SyntheticConfig cfg;
+    cfg.scale = 1.0 / 65536.0;
+    auto gen = trace::SyntheticEnsembleGenerator::paper(ensemble, cfg);
+    uint64_t requests = 0;
+    for (auto _ : state) {
+        const auto reqs = gen.generateDay(3);
+        requests += reqs.size();
+        benchmark::DoNotOptimize(reqs.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_SyntheticDayGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

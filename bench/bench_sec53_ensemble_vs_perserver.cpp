@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Section 5.3 — ensemble-level vs per-server caching (quadrants I/II vs
+ * III/IV of Figure 1; the figures on the truncated pages 11-12 are
+ * reconstructed from the section's prose).
+ *
+ * Two idealized per-server configurations are compared against the
+ * shared ensemble cache:
+ *   (1) iso-capacity "elastic SSD": each server's private cache sized
+ *       to exactly hold the top 1 % of its own accessed blocks (the
+ *       paper's conservative capacity-elasticity assumption), running
+ *       the per-day ideal selection per server;
+ *   (2) fixed per-server drives: the ensemble capacity split evenly,
+ *       one private slice per server (capacity strands on servers with
+ *       few hot blocks — observation O2's cost).
+ * The ensemble-level cache captures more accesses at the same total
+ * capacity, or the same accesses at lower capacity.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/per_server.hpp"
+#include "stats/table.hpp"
+#include "util/string_util.hpp"
+
+using namespace sievestore;
+using namespace sievestore::bench;
+
+namespace {
+
+/** Per-server ideal: private appliances with oracle day selection. */
+sim::PerServerResult
+runPerServerIdeal(trace::SyntheticEnsembleGenerator &gen,
+                  const std::vector<uint64_t> &capacities,
+                  const BenchOptions &opts)
+{
+    // Build one ideal appliance per server by splitting the trace.
+    const size_t n = capacities.size();
+    sim::PerServerResult result;
+    result.per_server.resize(n);
+    for (size_t s = 0; s < n; ++s)
+        result.total_capacity_blocks += capacities[s];
+
+    for (size_t s = 0; s < n; ++s) {
+        // Per-server trace view.
+        std::vector<trace::Request> reqs;
+        for (int d = 0; d < gen.days(); ++d)
+            for (const auto &r :
+                 gen.generateServerDay(static_cast<trace::ServerId>(s),
+                                       d))
+                reqs.push_back(r);
+        trace::VectorTrace view(std::move(reqs));
+
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::Ideal;
+        core::ApplianceConfig ac;
+        ac.cache_blocks = std::max<uint64_t>(8, capacities[s]);
+        ac.track_occupancy = false;
+        auto app = sim::makeIdealAppliance(view, pc, ac);
+        sim::runTrace(view, *app);
+        result.per_server[s] = app->daily();
+        if (app->daily().size() > result.combined.size())
+            result.combined.resize(app->daily().size());
+    }
+    for (size_t s = 0; s < n; ++s)
+        for (size_t d = 0; d < result.per_server[s].size(); ++d) {
+            result.combined[d].accesses +=
+                result.per_server[s][d].accesses;
+            result.combined[d].hits += result.per_server[s][d].hits;
+        }
+    (void)opts;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    printBanner("Section 5.3: ensemble vs per-server caching",
+                "Section 5.3 (figures reconstructed from prose)", opts);
+
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    auto gen = trace::SyntheticEnsembleGenerator::paper(
+        ensemble, opts.traceConfig());
+
+    // (1) elastic iso-capacity per-server ideal.
+    std::fprintf(stderr, "  profiling elastic capacities...\n");
+    gen.reset();
+    const auto elastic =
+        sim::elasticTopPercentCapacities(gen, ensemble.serverCount());
+    gen.reset();
+    std::fprintf(stderr, "  running per-server ideal (elastic)...\n");
+    const auto ps_ideal = runPerServerIdeal(gen, elastic, opts);
+
+    // (2) fixed even split of the 16 GB ensemble capacity.
+    const uint64_t total_blocks =
+        opts.scaledCacheBlocks(16ULL << 30);
+    std::vector<uint64_t> even(
+        ensemble.serverCount(),
+        std::max<uint64_t>(8, total_blocks / ensemble.serverCount()));
+    sim::PerServerConfig psc;
+    psc.capacities_blocks = even;
+    psc.policy.kind = sim::PolicyKind::SieveStoreC;
+    psc.policy.sieve_c.imct_slots =
+        std::max<size_t>(1024, opts.scaledImctSlots() / 13);
+    psc.base.track_occupancy = false;
+    std::fprintf(stderr, "  running per-server SieveStore-C (even "
+                         "split)...\n");
+    gen.reset();
+    const auto ps_even = runPerServer(gen, psc);
+    gen.reset();
+
+    // (3) one minimum-size (16 GB) SSD per server: SSDs are not
+    // capacity-elastic in practice, so per-server deployment buys a
+    // whole drive per server — 13x the capacity and cost.
+    sim::PerServerConfig psd = psc;
+    psd.capacities_blocks.assign(ensemble.serverCount(),
+                                 opts.scaledCacheBlocks(16ULL << 30));
+    std::fprintf(stderr, "  running per-server SieveStore-C (one 16GB "
+                         "SSD each)...\n");
+    gen.reset();
+    const auto ps_drive = runPerServer(gen, psd);
+    gen.reset();
+
+    // Ensemble-level SieveStore-C and -D at 16 GB shared.
+    std::fprintf(stderr, "  running ensemble SieveStore-C/-D...\n");
+    const auto ens_c = runPolicy(
+        {"SieveStore-C", sim::PolicyKind::SieveStoreC, 16ULL << 30},
+        opts, gen);
+    const auto ens_d = runPolicy(
+        {"SieveStore-D", sim::PolicyKind::SieveStoreD, 16ULL << 30},
+        opts, gen);
+
+    auto hitsOf = [](const std::vector<core::DailyReport> &days) {
+        return core::sumReports(days);
+    };
+    const auto t_ideal = hitsOf(ps_ideal.combined);
+    const auto t_even = hitsOf(ps_even.combined);
+    const auto t_drive = hitsOf(ps_drive.combined);
+    const auto t_c = ens_c->totals();
+    const auto t_d = ens_d->totals();
+
+    stats::Table t({"Configuration", "Quadrant", "Capacity",
+                    "Hits captured", "Hit ratio"});
+    auto add = [&](const char *name, const char *quadrant,
+                   uint64_t blocks, const core::DailyReport &rep) {
+        t.row()
+            .cell(name)
+            .cell(quadrant)
+            .cell(util::formatBytes(blocks * 512 *
+                                    static_cast<uint64_t>(
+                                        opts.inv_scale)))
+            .cell(rep.hits)
+            .cellPercent(rep.hitRatio());
+    };
+    add("Per-server ideal (elastic top-1% each)", "III/IV",
+        ps_ideal.total_capacity_blocks, t_ideal);
+    add("Per-server SieveStore-C (even 16GB split)", "III/IV",
+        ps_even.total_capacity_blocks, t_even);
+    add("Per-server SieveStore-C (one 16GB SSD each)", "III/IV",
+        ps_drive.total_capacity_blocks, t_drive);
+    add("Ensemble SieveStore-D (16GB shared)", "I",
+        opts.scaledCacheBlocks(16ULL << 30), t_d);
+    add("Ensemble SieveStore-C (16GB shared)", "I",
+        opts.scaledCacheBlocks(16ULL << 30), t_c);
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    std::printf("\ncomparisons:\n");
+    std::printf("  ensemble-C / per-server-ideal hits: %.2fx at %.2fx "
+                "the capacity\n",
+                static_cast<double>(t_c.hits) /
+                    std::max<uint64_t>(1, t_ideal.hits),
+                static_cast<double>(
+                    opts.scaledCacheBlocks(16ULL << 30)) /
+                    std::max<uint64_t>(1,
+                                       ps_ideal.total_capacity_blocks));
+    std::printf("  ensemble-C / per-server-even-split hits: %.2fx at "
+                "equal capacity\n",
+                static_cast<double>(t_c.hits) /
+                    std::max<uint64_t>(1, t_even.hits));
+    std::printf("  one-SSD-per-server captures %.2fx the ensemble's "
+                "hits at 13x the drives (iso-performance costs 13x)\n",
+                static_cast<double>(t_drive.hits) /
+                    std::max<uint64_t>(1, t_c.hits));
+    std::printf("[paper: ensemble-level caching captures more accesses "
+                "at the same cost, and the same accesses at lower cost, "
+                "than ideal per-server caching — the dynamic hot set "
+                "(O2) cannot be statically partitioned]\n");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Section 5.1 sensitivity analysis + design-choice ablations.
+ *
+ * (1) SieveStore-D threshold sweep: the paper reports degradation only
+ *     when the threshold drops below ~8 (inadequate sieving); the 8-20
+ *     range is flat.
+ * (2) SieveStore-C window-length sweep: lengths below 8 h degrade;
+ *     longer windows are flat.
+ * (3) Two-tier ablation: IMCT-only (aliasing admits low-reuse blocks:
+ *     more allocation-writes) and MCT-only (exact but unbounded
+ *     metastate) versus the two-tier sieve.
+ * (4) Batch-move occupancy ablation: charging SieveStore-D's epoch
+ *     moves to the drive instead of staggering them.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+#include "util/string_util.hpp"
+
+using namespace sievestore;
+using namespace sievestore::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    printBanner("Sensitivity + ablations",
+                "Section 5.1 sensitivity; DESIGN.md ablations", opts);
+
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    auto gen = trace::SyntheticEnsembleGenerator::paper(
+        ensemble, opts.traceConfig());
+
+    core::ApplianceConfig ac;
+    ac.cache_blocks = opts.scaledCacheBlocks(16ULL << 30);
+    ac.ssd = opts.scaledSsd(16ULL << 30);
+
+    // (1) ADBA threshold sweep.
+    std::printf("(1) SieveStore-D access-count threshold sweep:\n");
+    stats::Table t1({"threshold", "hit ratio", "batch-moved blocks"});
+    for (uint64_t threshold : {2, 4, 6, 8, 10, 12, 16, 20}) {
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::SieveStoreD;
+        pc.adba_threshold = threshold;
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+        const auto t = app->totals();
+        t1.row()
+            .cell(threshold)
+            .cellPercent(t.hitRatio())
+            .cell(t.batch_moved_blocks);
+    }
+    if (opts.csv)
+        t1.printCsv(std::cout);
+    else
+        t1.print(std::cout);
+    std::printf("[paper: below ~8 the sieve is inadequate (pollution, "
+                "extra moves); 8-20 is flat]\n\n");
+
+    // (2) SieveStore-C window sweep.
+    std::printf("(2) SieveStore-C window-length sweep (k = 4):\n");
+    stats::Table t2({"window (h)", "hit ratio", "alloc-write blocks",
+                     "metastate"});
+    for (uint64_t hours : {2, 4, 8, 16, 24}) {
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::SieveStoreC;
+        pc.sieve_c.imct_slots = opts.scaledImctSlots();
+        pc.sieve_c.window = core::WindowSpec::ofWindow(
+            hours * util::kUsPerHour, 4);
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+        const auto t = app->totals();
+        t2.row()
+            .cell(hours)
+            .cellPercent(t.hitRatio())
+            .cell(t.allocation_write_blocks)
+            .cell(util::formatBytes(app->metastateBytes()));
+    }
+    if (opts.csv)
+        t2.printCsv(std::cout);
+    else
+        t2.print(std::cout);
+    std::printf("[paper: lengths shorter than 8 h caused some "
+                "degradation; otherwise insensitive]\n\n");
+
+    // (3) Tier ablation.
+    std::printf("(3) two-tier sieve ablation:\n");
+    stats::Table t3({"sieve", "hit ratio", "alloc-write blocks",
+                     "MCT entries peak-ish", "metastate"});
+    struct Variant
+    {
+        const char *name;
+        bool imct_only, mct_only;
+    };
+    for (const Variant v : {Variant{"two-tier (IMCT+MCT)", false, false},
+                            Variant{"IMCT-only (aliased)", true, false},
+                            Variant{"MCT-only (unbounded)", false,
+                                    true}}) {
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::SieveStoreC;
+        pc.sieve_c.imct_slots = opts.scaledImctSlots();
+        pc.sieve_c.imct_only = v.imct_only;
+        pc.sieve_c.mct_only = v.mct_only;
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+        const auto t = app->totals();
+        t3.row()
+            .cell(v.name)
+            .cellPercent(t.hitRatio())
+            .cell(t.allocation_write_blocks)
+            .cell("-")
+            .cell(util::formatBytes(app->metastateBytes()));
+    }
+    if (opts.csv)
+        t3.printCsv(std::cout);
+    else
+        t3.print(std::cout);
+    std::printf("[expected: IMCT-only admits aliased low-reuse blocks "
+                "(pollution + allocation-writes); MCT-only matches "
+                "two-tier hits at a much larger exact-state cost]\n\n");
+
+    // (4) Batch moves charged to occupancy.
+    std::printf("(4) SieveStore-D batch moves: staggered (paper) vs "
+                "charged to the drive:\n");
+    stats::Table t4({"batch handling", "max drives", "drives @99.9%"});
+    for (bool charge : {false, true}) {
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::SieveStoreD;
+        core::ApplianceConfig ac2 = ac;
+        ac2.charge_batch_to_occupancy = charge;
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac2);
+        sim::runTrace(gen, *app);
+        const auto *occ = app->occupancy();
+        t4.row()
+            .cell(charge ? "charged (6h morning window)"
+                         : "staggered into idle (paper)")
+            .cell(uint64_t(occ->maxDrives()))
+            .cell(uint64_t(occ->drivesForCoverage(0.999)));
+    }
+    if (opts.csv)
+        t4.printCsv(std::cout);
+    else
+        t4.print(std::cout);
+    std::printf("[paper: the moves are <=0.5%% of accesses and there is "
+                "significant slack bandwidth, so staggering avoids any "
+                "burst]\n");
+    return 0;
+}

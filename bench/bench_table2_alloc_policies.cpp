@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 2 — the impact of allocation policies under an oracle
+ * replacement policy, plus a simulated cross-check.
+ *
+ * The analytical half reproduces the paper's arithmetic exactly (35 %
+ * hit rate, 3:1 reads:writes). The simulated half replays the synthetic
+ * week through real AOD/WMNA/SieveStore-C appliances and reports the
+ * same columns as measured fractions, confirming the model's shape:
+ * unsieved policies turn most accesses into SSD writes, sieving keeps
+ * allocation-writes at epsilon.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/analytic.hpp"
+#include "stats/table.hpp"
+
+using namespace sievestore;
+using namespace sievestore::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    printBanner("Table 2: allocation-policy impact",
+                "Table 2, Section 3.1", opts);
+
+    std::printf("analytical model (hit rate 35%%, 3:1 reads:writes, all "
+                "entries %% of accesses):\n");
+    stats::Table ta({"Allocation policy", "Hits", "Misses",
+                     "Alloc-writes", "Read hits",
+                     "Write hits + Alloc-writes", "SSD ops"});
+    struct Row
+    {
+        const char *name;
+        sim::Table2Policy policy;
+    };
+    for (const Row &r :
+         {Row{"Allocate-on-demand (AOD)", sim::Table2Policy::AOD},
+          Row{"Write-no-allocate (WMNA)", sim::Table2Policy::WMNA},
+          Row{"Ideal-selective-allocate (ISA)",
+              sim::Table2Policy::ISA}}) {
+        const auto row = sim::table2Row(r.policy);
+        ta.row()
+            .cell(r.name)
+            .cellPercent(row.hits, 2)
+            .cellPercent(row.misses, 2)
+            .cellPercent(row.alloc_writes, 2)
+            .cellPercent(row.read_hits, 2)
+            .cellPercent(row.write_ops, 2)
+            .cellPercent(row.ssd_ops, 2);
+    }
+    if (opts.csv)
+        ta.printCsv(std::cout);
+    else
+        ta.print(std::cout);
+    std::printf("[paper row AOD: 35 | 65 | 65 | 26.25 | 73.75; WMNA: "
+                "alloc 48.75, writes 57.5; ISA: eps, <9.75]\n\n");
+
+    std::printf("simulated cross-check on the synthetic week (measured "
+                "fractions of all accesses):\n");
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    auto gen = trace::SyntheticEnsembleGenerator::paper(
+        ensemble, opts.traceConfig());
+
+    stats::Table ts({"Policy (16GB cache)", "Hits", "Alloc-writes",
+                     "Read hits", "Write hits + Alloc-writes"});
+    for (const PolicyRun &run :
+         {PolicyRun{"AOD", sim::PolicyKind::AOD, 16ULL << 30},
+          PolicyRun{"WMNA", sim::PolicyKind::WMNA, 16ULL << 30},
+          PolicyRun{"SieveStore-C (~ISA)", sim::PolicyKind::SieveStoreC,
+                    16ULL << 30}}) {
+        const auto app = runPolicy(run, opts, gen);
+        const auto t = app->totals();
+        const double n = static_cast<double>(t.accesses);
+        ts.row()
+            .cell(run.label)
+            .cellPercent(t.hitRatio(), 2)
+            .cellPercent(
+                static_cast<double>(t.allocation_write_blocks) / n, 2)
+            .cellPercent(static_cast<double>(t.read_hits) / n, 2)
+            .cellPercent(
+                static_cast<double>(t.write_hits +
+                                    t.allocation_write_blocks) /
+                    n,
+                2);
+    }
+    if (opts.csv)
+        ts.printCsv(std::cout);
+    else
+        ts.print(std::cout);
+    std::printf("[shape check: AOD/WMNA turn the majority of accesses "
+                "into slow SSD writes; the sieve's allocation-writes "
+                "are epsilon]\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Datacenter scenario: evaluate SieveStore as the caching appliance for
+ * the paper's 13-server ensemble, against the unsieved alternative an
+ * operator would otherwise deploy.
+ *
+ * Runs SieveStore-C, SieveStore-D, and WMNA over the synthetic week and
+ * prints the day-by-day service report an operator would care about:
+ * captured traffic, SSD writes, drive provisioning, and wearout.
+ *
+ *   $ ./datacenter_ensemble [scale-denominator]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "ssd/network.hpp"
+#include "stats/table.hpp"
+#include "trace/synthetic.hpp"
+#include "util/string_util.hpp"
+
+using namespace sievestore;
+
+int
+main(int argc, char **argv)
+{
+    const double inv_scale = argc > 1 ? std::atof(argv[1]) : 8192.0;
+    std::printf("SieveStore datacenter evaluation: 13 servers, one "
+                "week, 1/%.0f of the paper's traffic\n\n",
+                inv_scale);
+
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    trace::SyntheticConfig workload;
+    workload.scale = 1.0 / inv_scale;
+    auto gen =
+        trace::SyntheticEnsembleGenerator::paper(ensemble, workload);
+
+    struct Candidate
+    {
+        const char *label;
+        sim::PolicyKind kind;
+    };
+    const Candidate candidates[] = {
+        {"SieveStore-C", sim::PolicyKind::SieveStoreC},
+        {"SieveStore-D", sim::PolicyKind::SieveStoreD},
+        {"WMNA (unsieved)", sim::PolicyKind::WMNA},
+    };
+
+    stats::Table t({"Appliance", "Captured", "SSD writes/day",
+                    "Drives @99.9%", "1-drive coverage",
+                    "SSD lifetime", "NIC peak (4x GbE)"});
+    for (const Candidate &c : candidates) {
+        sim::PolicyConfig pc;
+        pc.kind = c.kind;
+        pc.sieve_c.imct_slots = std::max<size_t>(
+            4096, static_cast<size_t>(4.5e8 * workload.scale));
+        core::ApplianceConfig ac;
+        ac.cache_blocks =
+            workload.scaledBytes(16ULL << 30) / trace::kBlockBytes;
+        ac.ssd = ssd::SsdModel::intelX25E(16ULL << 30)
+                     .scaled(workload.scale);
+
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+
+        const auto totals = app->totals();
+        const auto cost = sim::summarizeCost(*app, 7.0);
+        const double writes_day_full =
+            static_cast<double>(totals.write_hits +
+                                totals.totalAllocationBlocks()) *
+            inv_scale * 512.0 / 7.0;
+        char lifetime[32];
+        std::snprintf(lifetime, sizeof(lifetime), "%.1f years",
+                      cost.endurance_years);
+        // Section 3.3's network concern, against measured traffic. The
+        // NIC budget does not shrink with the workload scale, so scale
+        // the utilization back up for an apples-to-apples check.
+        const auto nic = ssd::checkNetworkFeasibility(
+            *app->occupancy(), ssd::NetworkModel::fourGigabitLinks());
+        t.row()
+            .cell(c.label)
+            .cellPercent(totals.hitRatio())
+            .cell(util::formatBytes(
+                static_cast<uint64_t>(writes_day_full)))
+            .cell(uint64_t(cost.drives_999))
+            .cellPercent(cost.coverage_one_drive, 2)
+            .cell(lifetime)
+            .cellPercent(nic.peak_utilization * inv_scale, 1);
+    }
+    t.print(std::cout);
+
+    std::printf("\nDay-by-day capture with SieveStore-C:\n");
+    {
+        sim::PolicyConfig pc;
+        pc.kind = sim::PolicyKind::SieveStoreC;
+        pc.sieve_c.imct_slots = std::max<size_t>(
+            4096, static_cast<size_t>(4.5e8 * workload.scale));
+        core::ApplianceConfig ac;
+        ac.cache_blocks =
+            workload.scaledBytes(16ULL << 30) / trace::kBlockBytes;
+        ac.ssd = ssd::SsdModel::intelX25E(16ULL << 30)
+                     .scaled(workload.scale);
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+
+        stats::Table td({"Day", "Accesses", "Captured", "Alloc-writes",
+                         "Sieve metastate"});
+        for (size_t d = 0; d < app->daily().size(); ++d) {
+            const auto &day = app->daily()[d];
+            if (day.accesses == 0)
+                continue;
+            td.row()
+                .cell("day " + std::to_string(d + 1))
+                .cell(day.accesses)
+                .cellPercent(day.hitRatio())
+                .cell(day.allocation_write_blocks)
+                .cell(util::formatBytes(app->metastateBytes()));
+        }
+        td.print(std::cout);
+    }
+    std::printf("\nThe sieve turns the SSD from a write-bound liability "
+                "(unsieved caches spend most of their IOPS absorbing "
+                "allocation-writes for blocks that are never reused) "
+                "into a read-serving asset provisioned with a single "
+                "drive.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, test, and run every
+# table/figure harness. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+#
+# Usage: scripts/run_all.sh [scale-denominator]
+#   scale-denominator: 1/N of the paper's traffic (default 4096;
+#   1024 gets closer to full volume and takes ~4x longer).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-4096}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "### $b" | tee -a bench_output.txt
+    if [[ "$b" == *bench_micro_structures ]]; then
+        "$b" 2>&1 | tee -a bench_output.txt
+    else
+        "$b" --scale-denominator "$SCALE" 2>&1 | tee -a bench_output.txt
+    fi
+    echo | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,44 @@
+#include "analysis/access_counter.hpp"
+
+#include <algorithm>
+
+namespace sievestore {
+namespace analysis {
+
+BlockCounts
+countBlockAccesses(const std::vector<trace::Request> &requests)
+{
+    BlockCounts counts;
+    for (const auto &req : requests)
+        for (uint32_t i = 0; i < req.length_blocks; ++i)
+            ++counts[req.blockAt(i)];
+    return counts;
+}
+
+uint64_t
+totalAccesses(const BlockCounts &counts)
+{
+    uint64_t total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+
+std::vector<BlockCount>
+sortedByCount(const BlockCounts &counts)
+{
+    std::vector<BlockCount> out;
+    out.reserve(counts.size());
+    for (const auto &kv : counts)
+        out.push_back(BlockCount{kv.first, kv.second});
+    std::sort(out.begin(), out.end(),
+              [](const BlockCount &a, const BlockCount &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.block < b.block;
+              });
+    return out;
+}
+
+} // namespace analysis
+} // namespace sievestore

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * In-memory per-block access counting.
+ *
+ * The trace characterization of Section 2 and the ideal/discrete sieves
+ * of Section 3 all reduce a day of accesses to per-block counts. This is
+ * the in-memory counter; the file-backed, map-reduce-like counter that
+ * SieveStore-D's appliance would really run is in access_log.hpp.
+ */
+
+#ifndef SIEVESTORE_ANALYSIS_ACCESS_COUNTER_HPP
+#define SIEVESTORE_ANALYSIS_ACCESS_COUNTER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace sievestore {
+namespace analysis {
+
+/** Per-block access counts, keyed by BlockId. */
+using BlockCounts = std::unordered_map<trace::BlockId, uint64_t>;
+
+/** A (block, count) pair, the unit the sieving reductions emit. */
+struct BlockCount
+{
+    trace::BlockId block;
+    uint64_t count;
+};
+
+/** Count the per-block accesses of a batch of requests. */
+BlockCounts countBlockAccesses(const std::vector<trace::Request> &requests);
+
+/** Total accesses recorded in a count map. */
+uint64_t totalAccesses(const BlockCounts &counts);
+
+/**
+ * Flatten a count map, sorted by descending count (ties broken by
+ * BlockId for determinism).
+ */
+std::vector<BlockCount> sortedByCount(const BlockCounts &counts);
+
+} // namespace analysis
+} // namespace sievestore
+
+#endif // SIEVESTORE_ANALYSIS_ACCESS_COUNTER_HPP

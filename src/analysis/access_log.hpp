@@ -1,0 +1,130 @@
+/**
+ * @file
+ * File-backed, map-reduce-like access counting (Section 3.2).
+ *
+ * SieveStore-D "logs all accesses for offline analysis. The analysis
+ * requires simple, per-key reductions ... (1) each access is logged as a
+ * <address, 1> tuple to one of R files where the file is selected by a
+ * hash-function on the address, (2) each of the R files are sorted, and
+ * (3) contiguous n-long runs of the same address are counted and emitted
+ * as an <address, n> tuple. Further, such per-key reductions may be
+ * periodically performed in an incremental way to reduce the size of the
+ * logs."
+ *
+ * AccessLog implements exactly that: raw 8-byte address appends into R
+ * hash-selected partition files, incremental compaction that sorts the
+ * raw tail and merges it with the partition's sorted (address, count)
+ * run file, and an epoch-end reduction that emits all blocks whose count
+ * meets the allocation threshold. Memory use is bounded by one
+ * partition's working set, never by the epoch's total unique blocks —
+ * the property that lets SieveStore-D keep its metastate off the access
+ * critical path.
+ */
+
+#ifndef SIEVESTORE_ANALYSIS_ACCESS_LOG_HPP
+#define SIEVESTORE_ANALYSIS_ACCESS_LOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/access_counter.hpp"
+#include "trace/block.hpp"
+
+namespace sievestore {
+namespace analysis {
+
+/** Tunables for the on-disk access log. */
+struct AccessLogConfig
+{
+    /** Number of hash partitions (the paper's R files). */
+    size_t partitions = 16;
+    /**
+     * Raw addresses buffered in memory per partition before being
+     * flushed to the partition's raw file.
+     */
+    size_t flush_threshold = 1 << 16;
+    /**
+     * Raw bytes on disk in one partition that trigger incremental
+     * compaction into the sorted run file.
+     */
+    uint64_t compact_threshold_bytes = 16ULL << 20;
+};
+
+/**
+ * Epoch-scoped disk-backed access counter.
+ *
+ * Usage: log() every access during the epoch; at the epoch boundary call
+ * reduce(threshold) to obtain the blocks to batch-allocate, then
+ * beginEpoch() to reset for the next epoch.
+ */
+class AccessLog
+{
+  public:
+    /**
+     * @param directory scratch directory for partition files (created
+     *                  if absent)
+     * @param config    partitioning and compaction tunables
+     */
+    AccessLog(const std::string &directory, AccessLogConfig config = {});
+
+    ~AccessLog();
+
+    AccessLog(const AccessLog &) = delete;
+    AccessLog &operator=(const AccessLog &) = delete;
+
+    /** Record one access (the paper's <address, 1> tuple). */
+    void log(trace::BlockId block);
+
+    /**
+     * Incrementally compact any partition whose raw log exceeds the
+     * threshold. Called internally by log(); exposed so tests and the
+     * appliance can force compaction at idle periods.
+     */
+    void compactIfNeeded();
+
+    /** Force compaction of every partition. */
+    void compactAll();
+
+    /**
+     * Epoch-end reduction: all blocks whose epoch access count is
+     * >= threshold, in descending count order.
+     */
+    std::vector<BlockCount> reduce(uint64_t threshold);
+
+    /** Discard all state and start a new epoch. */
+    void beginEpoch();
+
+    /** Accesses logged this epoch. */
+    uint64_t logged() const { return logged_count; }
+
+    /** Total bytes currently on disk across partitions. */
+    uint64_t diskBytes() const;
+
+  private:
+    struct Partition
+    {
+        std::string raw_path;
+        std::string run_path;
+        std::vector<trace::BlockId> buffer;
+        uint64_t raw_bytes = 0;
+        bool has_run = false;
+    };
+
+    size_t partitionOf(trace::BlockId block) const;
+    void flushBuffer(Partition &p);
+    void compactPartition(Partition &p);
+
+    /** Sorted (block, count) content of a partition (merged view). */
+    std::vector<BlockCount> partitionCounts(Partition &p);
+
+    std::string dir;
+    AccessLogConfig config;
+    std::vector<Partition> parts;
+    uint64_t logged_count = 0;
+};
+
+} // namespace analysis
+} // namespace sievestore
+
+#endif // SIEVESTORE_ANALYSIS_ACCESS_LOG_HPP

@@ -1,0 +1,69 @@
+#include "analysis/skew.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sievestore {
+namespace analysis {
+
+std::vector<double>
+serverCompositionOfTop(const PopularityProfile &profile,
+                       const trace::EnsembleConfig &ensemble,
+                       double fraction)
+{
+    std::vector<double> shares(ensemble.serverCount(), 0.0);
+    const auto top = profile.topBlocks(fraction);
+    if (top.empty())
+        return shares;
+    for (trace::BlockId b : top) {
+        const auto &vol = ensemble.volume(trace::volumeOf(b));
+        shares[vol.server] += 1.0;
+    }
+    for (double &s : shares)
+        s /= static_cast<double>(top.size());
+    return shares;
+}
+
+double
+giniOfCounts(const PopularityProfile &profile)
+{
+    const auto &ranked = profile.ranked();
+    const size_t n = ranked.size();
+    if (n == 0)
+        return 0.0;
+    // ranked is descending; Gini over the ascending sequence:
+    // G = (2 * sum(i * x_i) / (n * sum(x)) ) - (n + 1) / n, i in 1..n.
+    double weighted = 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        // ascending index of ranked[n-1-i] is i+1
+        const double x = static_cast<double>(ranked[n - 1 - i].count);
+        weighted += static_cast<double>(i + 1) * x;
+        total += x;
+    }
+    if (total == 0.0)
+        return 0.0;
+    const double dn = static_cast<double>(n);
+    return 2.0 * weighted / (dn * total) - (dn + 1.0) / dn;
+}
+
+double
+jaccard(const std::vector<trace::BlockId> &a,
+        const std::vector<trace::BlockId> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    std::unordered_set<trace::BlockId> sa(a.begin(), a.end());
+    size_t inter = 0;
+    std::unordered_set<trace::BlockId> sb;
+    sb.reserve(b.size());
+    for (trace::BlockId x : b) {
+        if (sb.insert(x).second && sa.count(x))
+            ++inter;
+    }
+    const size_t uni = sa.size() + sb.size() - inter;
+    return uni ? static_cast<double>(inter) / static_cast<double>(uni) : 1.0;
+}
+
+} // namespace analysis
+} // namespace sievestore

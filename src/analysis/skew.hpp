@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Popularity-skew variation metrics (Section 2, Figure 3).
+ *
+ * Figure 3(d) decomposes the ensemble's most popular 1 % of blocks by
+ * contributing server, per day; Figures 3(a)-(c) compare cumulative
+ * access distributions across servers, volumes, and days. The CDF
+ * machinery lives in PopularityProfile; this header adds the
+ * decomposition and a scalar skew metric used in tests.
+ */
+
+#ifndef SIEVESTORE_ANALYSIS_SKEW_HPP
+#define SIEVESTORE_ANALYSIS_SKEW_HPP
+
+#include <vector>
+
+#include "analysis/popularity.hpp"
+#include "trace/ensemble.hpp"
+
+namespace sievestore {
+namespace analysis {
+
+/**
+ * Fraction of the ensemble's most popular `fraction` of blocks
+ * contributed by each server (indexed by ServerId; sums to 1 when any
+ * blocks qualify).
+ */
+std::vector<double>
+serverCompositionOfTop(const PopularityProfile &profile,
+                       const trace::EnsembleConfig &ensemble,
+                       double fraction = 0.01);
+
+/**
+ * Gini coefficient of the access-count distribution: 0 = every accessed
+ * block equally popular, ->1 = all accesses on a vanishing fraction of
+ * blocks. A compact scalar for "how skewed is this server/volume/day",
+ * used by the O2 property tests (Prxy must be far more skewed than
+ * Src1, etc.).
+ */
+double giniOfCounts(const PopularityProfile &profile);
+
+/**
+ * Jaccard similarity of two block sets (|A intersect B| / |A union B|).
+ * Measures day-to-day hot-set drift: the paper notes "significant
+ * overlap in successive days" but drift "with increasing time
+ * separation".
+ */
+double jaccard(const std::vector<trace::BlockId> &a,
+               const std::vector<trace::BlockId> &b);
+
+} // namespace analysis
+} // namespace sievestore
+
+#endif // SIEVESTORE_ANALYSIS_SKEW_HPP

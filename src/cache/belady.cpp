@@ -1,0 +1,157 @@
+#include "cache/belady.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace cache {
+
+using trace::BlockId;
+
+FutureIndex::FutureIndex(const std::vector<BlockId> &stream)
+{
+    for (size_t i = 0; i < stream.size(); ++i)
+        positions[stream[i]].push_back(i);
+}
+
+size_t
+FutureIndex::nextUse(BlockId block, size_t after) const
+{
+    const auto it = positions.find(block);
+    if (it == positions.end())
+        return kNever;
+    const auto &vec = it->second;
+    const auto pos = std::upper_bound(vec.begin(), vec.end(), after);
+    return pos == vec.end() ? kNever : *pos;
+}
+
+namespace {
+
+/**
+ * Shared engine for the two Belady variants. Maintains, for each cached
+ * block, its next-use position (exact, refreshed on every touch) and a
+ * lazily-validated max-heap for victim selection.
+ */
+class BeladyEngine
+{
+  public:
+    BeladyEngine(const std::vector<BlockId> &stream_, uint64_t capacity_)
+        : stream(stream_), future(stream_), capacity(capacity_)
+    {
+        if (capacity == 0)
+            util::fatal("Belady simulation requires capacity >= 1");
+    }
+
+    OfflineSimResult
+    run(bool selective)
+    {
+        OfflineSimResult result;
+        result.accesses = stream.size();
+        for (size_t i = 0; i < stream.size(); ++i) {
+            const BlockId b = stream[i];
+            const auto it = next_use.find(b);
+            if (it != next_use.end()) {
+                ++result.hits;
+                touch(b, i);
+                continue;
+            }
+            const size_t nb = future.nextUse(b, i);
+            if (next_use.size() < capacity) {
+                allocate(b, nb, result);
+                continue;
+            }
+            const BlockId v = victim();
+            if (!selective) {
+                evict(v);
+                allocate(b, nb, result);
+                continue;
+            }
+            // Selective allocation: allocate only if b's next use is
+            // earlier than the next use of some cached block.
+            if (nb < next_use[v]) {
+                evict(v);
+                allocate(b, nb, result);
+            }
+            // Otherwise bypass: serve from backing store, no allocation.
+        }
+        return result;
+    }
+
+  private:
+    void
+    touch(BlockId b, size_t i)
+    {
+        const size_t n = future.nextUse(b, i);
+        next_use[b] = n;
+        heap.push({n, b});
+    }
+
+    void
+    allocate(BlockId b, size_t nb, OfflineSimResult &result)
+    {
+        next_use.emplace(b, nb);
+        heap.push({nb, b});
+        ++result.allocation_writes;
+    }
+
+    void
+    evict(BlockId v)
+    {
+        next_use.erase(v);
+    }
+
+    BlockId
+    victim()
+    {
+        while (!heap.empty()) {
+            const auto [n, b] = heap.top();
+            const auto it = next_use.find(b);
+            if (it == next_use.end() || it->second != n) {
+                heap.pop(); // stale entry
+                continue;
+            }
+            return b;
+        }
+        util::panic("Belady: victim() with empty heap");
+    }
+
+    const std::vector<BlockId> &stream;
+    FutureIndex future;
+    uint64_t capacity;
+    std::unordered_map<BlockId, size_t> next_use;
+    /** (next_use, block); farthest next use on top. */
+    std::priority_queue<std::pair<size_t, BlockId>> heap;
+};
+
+} // namespace
+
+OfflineSimResult
+simulateBeladyMin(const std::vector<BlockId> &stream, uint64_t capacity)
+{
+    return BeladyEngine(stream, capacity).run(false);
+}
+
+OfflineSimResult
+simulateBeladySelective(const std::vector<BlockId> &stream,
+                        uint64_t capacity)
+{
+    return BeladyEngine(stream, capacity).run(true);
+}
+
+OfflineSimResult
+simulateFixedSet(const std::vector<BlockId> &stream,
+                 const std::unordered_set<BlockId> &pinned)
+{
+    OfflineSimResult result;
+    result.accesses = stream.size();
+    result.allocation_writes = pinned.size();
+    for (BlockId b : stream)
+        if (pinned.count(b))
+            ++result.hits;
+    return result;
+}
+
+} // namespace cache
+} // namespace sievestore

@@ -1,0 +1,108 @@
+#include "cache/block_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace cache {
+
+using trace::BlockId;
+
+BlockCache::BlockCache(uint64_t capacity,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_blocks(capacity), repl(std::move(policy))
+{
+    if (capacity_blocks == 0)
+        util::fatal("cache capacity must be at least one block");
+    if (!repl)
+        repl = std::make_unique<LruPolicy>();
+}
+
+bool
+BlockCache::contains(BlockId block) const
+{
+    return resident.count(block) != 0;
+}
+
+bool
+BlockCache::access(BlockId block)
+{
+    if (!resident.count(block))
+        return false;
+    repl->onAccess(block);
+    return true;
+}
+
+std::optional<BlockId>
+BlockCache::insert(BlockId block)
+{
+    if (resident.count(block))
+        util::panic("BlockCache: insert of resident block %llx",
+                    static_cast<unsigned long long>(block));
+    std::optional<BlockId> evicted;
+    if (resident.size() >= capacity_blocks) {
+        const BlockId victim = repl->victim();
+        repl->onErase(victim);
+        resident.erase(victim);
+        evicted = victim;
+    }
+    resident.insert(block);
+    repl->onInsert(block);
+    return evicted;
+}
+
+bool
+BlockCache::erase(BlockId block)
+{
+    if (!resident.erase(block))
+        return false;
+    repl->onErase(block);
+    return true;
+}
+
+BatchReplaceResult
+BlockCache::batchReplace(const std::vector<BlockId> &new_set)
+{
+    BatchReplaceResult result;
+
+    std::unordered_set<BlockId> incoming;
+    incoming.reserve(new_set.size());
+    for (BlockId b : new_set) {
+        if (incoming.size() >= capacity_blocks)
+            break;
+        incoming.insert(b);
+    }
+
+    // Evict residents that are not retained; retained blocks cancel
+    // their replacement+allocation pair.
+    std::vector<BlockId> to_evict;
+    to_evict.reserve(resident.size());
+    for (BlockId b : resident) {
+        if (incoming.count(b))
+            ++result.retained;
+        else
+            to_evict.push_back(b);
+    }
+    for (BlockId b : to_evict) {
+        resident.erase(b);
+        repl->onErase(b);
+    }
+    result.evicted = to_evict.size();
+
+    for (BlockId b : incoming) {
+        if (resident.count(b))
+            continue;
+        resident.insert(b);
+        repl->onInsert(b);
+        ++result.allocated;
+    }
+    return result;
+}
+
+std::vector<BlockId>
+BlockCache::contents() const
+{
+    return std::vector<BlockId>(resident.begin(), resident.end());
+}
+
+} // namespace cache
+} // namespace sievestore

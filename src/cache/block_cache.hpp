@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fully-associative block cache (Section 4).
+ *
+ * Tracks residency at 512-byte block granularity with a pluggable
+ * replacement policy. Capacity is expressed in blocks (a 16 GB SSD cache
+ * holds 31.25 M blocks). Supports both the continuous model (insert with
+ * eviction) and SieveStore-D's discrete model (batchReplace with
+ * allocation/replacement cancellation at epoch boundaries).
+ */
+
+#ifndef SIEVESTORE_CACHE_BLOCK_CACHE_HPP
+#define SIEVESTORE_CACHE_BLOCK_CACHE_HPP
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "trace/block.hpp"
+
+namespace sievestore {
+namespace cache {
+
+/** Result of a discrete batch replacement (epoch boundary). */
+struct BatchReplaceResult
+{
+    /** Blocks newly written into the cache (allocation-writes). */
+    uint64_t allocated = 0;
+    /**
+     * Blocks present in both the outgoing and incoming sets; their
+     * "replacement and allocation cancel each other to eliminate
+     * unnecessary block moves" (Section 3.2).
+     */
+    uint64_t retained = 0;
+    /** Blocks dropped from the cache. */
+    uint64_t evicted = 0;
+};
+
+/** Fully-associative set of resident blocks with bounded capacity. */
+class BlockCache
+{
+  public:
+    /**
+     * @param capacity_blocks capacity in 512-byte blocks (>= 1)
+     * @param policy          replacement policy (defaults to LRU)
+     */
+    explicit BlockCache(uint64_t capacity_blocks,
+                        std::unique_ptr<ReplacementPolicy> policy = nullptr);
+
+    /** Residency test with no side effects. */
+    bool contains(trace::BlockId block) const;
+
+    /**
+     * Access a block: if resident, notifies the replacement policy (LRU
+     * promotion) and returns true; otherwise returns false.
+     */
+    bool access(trace::BlockId block);
+
+    /**
+     * Make a block resident, evicting a victim if at capacity.
+     * @return the evicted block, if any
+     * @pre the block is not already resident
+     */
+    std::optional<trace::BlockId> insert(trace::BlockId block);
+
+    /** Remove a block. @retval true if it was resident. */
+    bool erase(trace::BlockId block);
+
+    /**
+     * Discrete-epoch replacement: make the cache hold exactly
+     * `new_set` (truncated to capacity if larger). Returns the move
+     * accounting used by SieveStore-D's allocation-write counts.
+     */
+    BatchReplaceResult
+    batchReplace(const std::vector<trace::BlockId> &new_set);
+
+    uint64_t size() const { return resident.size(); }
+    uint64_t capacity() const { return capacity_blocks; }
+    bool full() const { return resident.size() >= capacity_blocks; }
+
+    ReplacementPolicy &policy() { return *repl; }
+
+    /** Snapshot of resident blocks (unordered). */
+    std::vector<trace::BlockId> contents() const;
+
+  private:
+    uint64_t capacity_blocks;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::unordered_set<trace::BlockId> resident;
+};
+
+} // namespace cache
+} // namespace sievestore
+
+#endif // SIEVESTORE_CACHE_BLOCK_CACHE_HPP

@@ -1,0 +1,213 @@
+#include "cache/replacement.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace cache {
+
+using trace::BlockId;
+
+void
+LruPolicy::onInsert(BlockId block)
+{
+    order.push_front(block);
+    if (!where.emplace(block, order.begin()).second)
+        util::panic("LRU: duplicate insert of block %llx",
+                    static_cast<unsigned long long>(block));
+}
+
+void
+LruPolicy::onAccess(BlockId block)
+{
+    const auto it = where.find(block);
+    if (it == where.end())
+        util::panic("LRU: access to non-resident block");
+    order.splice(order.begin(), order, it->second);
+}
+
+void
+LruPolicy::onErase(BlockId block)
+{
+    const auto it = where.find(block);
+    if (it == where.end())
+        util::panic("LRU: erase of non-resident block");
+    order.erase(it->second);
+    where.erase(it);
+}
+
+BlockId
+LruPolicy::victim()
+{
+    if (order.empty())
+        util::panic("LRU: victim() on empty cache");
+    return order.back();
+}
+
+void
+FifoPolicy::onAccess(BlockId block)
+{
+    if (!where.count(block))
+        util::panic("FIFO: access to non-resident block");
+    // Insertion order is preserved: hits do not promote.
+}
+
+RandomPolicy::RandomPolicy(uint64_t seed)
+    : rng(seed)
+{
+}
+
+void
+RandomPolicy::onInsert(BlockId block)
+{
+    if (!index.emplace(block, pool.size()).second)
+        util::panic("Random: duplicate insert");
+    pool.push_back(block);
+}
+
+void
+RandomPolicy::onAccess(BlockId block)
+{
+    if (!index.count(block))
+        util::panic("Random: access to non-resident block");
+}
+
+void
+RandomPolicy::onErase(BlockId block)
+{
+    const auto it = index.find(block);
+    if (it == index.end())
+        util::panic("Random: erase of non-resident block");
+    const size_t pos = it->second;
+    const BlockId last = pool.back();
+    pool[pos] = last;
+    index[last] = pos;
+    pool.pop_back();
+    index.erase(it);
+}
+
+BlockId
+RandomPolicy::victim()
+{
+    if (pool.empty())
+        util::panic("Random: victim() on empty cache");
+    return pool[rng.nextBelow(pool.size())];
+}
+
+void
+LfuPolicy::onInsert(BlockId block)
+{
+    if (!entries.emplace(block, Entry{1, next_sequence++}).second)
+        util::panic("LFU: duplicate insert");
+}
+
+void
+LfuPolicy::onAccess(BlockId block)
+{
+    const auto it = entries.find(block);
+    if (it == entries.end())
+        util::panic("LFU: access to non-resident block");
+    ++it->second.count;
+}
+
+void
+LfuPolicy::onErase(BlockId block)
+{
+    if (!entries.erase(block))
+        util::panic("LFU: erase of non-resident block");
+}
+
+BlockId
+LfuPolicy::victim()
+{
+    if (entries.empty())
+        util::panic("LFU: victim() on empty cache");
+    // Linear scan; LFU is a reference policy, not a hot path.
+    const std::pair<const BlockId, Entry> *best = nullptr;
+    for (const auto &kv : entries) {
+        if (!best || kv.second.count < best->second.count ||
+            (kv.second.count == best->second.count &&
+             kv.second.sequence < best->second.sequence)) {
+            best = &kv;
+        }
+    }
+    return best->first;
+}
+
+void
+ClockPolicy::onInsert(BlockId block)
+{
+    // Insert behind the hand so the new entry is inspected last.
+    const auto pos = hand == ring.end() ? ring.end() : hand;
+    const auto it = ring.insert(pos, Entry{block, true});
+    if (!where.emplace(block, it).second)
+        util::panic("CLOCK: duplicate insert");
+}
+
+void
+ClockPolicy::onAccess(BlockId block)
+{
+    const auto it = where.find(block);
+    if (it == where.end())
+        util::panic("CLOCK: access to non-resident block");
+    it->second->referenced = true;
+}
+
+void
+ClockPolicy::onErase(BlockId block)
+{
+    const auto it = where.find(block);
+    if (it == where.end())
+        util::panic("CLOCK: erase of non-resident block");
+    if (hand == it->second)
+        ++hand;
+    ring.erase(it->second);
+    where.erase(it);
+}
+
+BlockId
+ClockPolicy::victim()
+{
+    if (ring.empty())
+        util::panic("CLOCK: victim() on empty cache");
+    while (true) {
+        if (hand == ring.end())
+            hand = ring.begin();
+        if (hand->referenced) {
+            hand->referenced = false;
+            ++hand;
+        } else {
+            return hand->block;
+        }
+    }
+}
+
+void
+OracleRetainPolicy::setProtected(
+        std::unordered_set<BlockId> protected_set)
+{
+    protected_blocks = std::move(protected_set);
+}
+
+BlockId
+OracleRetainPolicy::victim()
+{
+    if (order.empty())
+        util::panic("OracleRetain: victim() on empty cache");
+    // Scan from the cold end; protected blocks encountered there are
+    // rotated to the hot end so repeated evictions do not rescan them
+    // (amortized O(1) per eviction). They are protected anyway, so the
+    // promotion cannot change which blocks survive.
+    size_t scanned = 0;
+    const size_t limit = order.size();
+    while (scanned++ < limit) {
+        const auto cold = std::prev(order.end());
+        if (!protected_blocks.count(*cold))
+            return *cold;
+        order.splice(order.begin(), order, cold);
+    }
+    // Everything is protected: fall back to plain LRU.
+    return order.back();
+}
+
+} // namespace cache
+} // namespace sievestore

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Replacement policies for the block cache.
+ *
+ * The paper's continuous configurations (SieveStore-C, AOD, WMNA) all
+ * use a fully-associative LRU cache (Section 4); SieveStore-D performs
+ * no within-epoch replacement. The extra policies here support the
+ * Section 3.1 analysis: OracleRetain models the "ideal (oracle)
+ * replacement policy [that] evicts only those blocks that are not in the
+ * top 1% frequently accessed blocks" (the LTR-like policy of [15]), and
+ * Belady MIN lives in belady.hpp.
+ */
+
+#ifndef SIEVESTORE_CACHE_REPLACEMENT_HPP
+#define SIEVESTORE_CACHE_REPLACEMENT_HPP
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/block.hpp"
+#include "util/random.hpp"
+
+namespace sievestore {
+namespace cache {
+
+/**
+ * Victim-selection strategy. The policy tracks exactly the set of
+ * resident blocks, mirrored by BlockCache: onInsert/onErase bracket
+ * residency and onAccess observes hits.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A block became resident. */
+    virtual void onInsert(trace::BlockId block) = 0;
+    /** A resident block was accessed (hit). */
+    virtual void onAccess(trace::BlockId block) = 0;
+    /** A resident block was removed (eviction or batch replace). */
+    virtual void onErase(trace::BlockId block) = 0;
+    /** Choose the next victim. @pre at least one resident block. */
+    virtual trace::BlockId victim() = 0;
+    /** Human-readable policy name. */
+    virtual const char *name() const = 0;
+};
+
+/** Least-recently-used (the paper's common policy). */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "LRU"; }
+
+  protected:
+    /** Recency list, most-recent at front. */
+    std::list<trace::BlockId> order;
+    std::unordered_map<trace::BlockId, std::list<trace::BlockId>::iterator>
+        where;
+};
+
+/** First-in-first-out: insertion order, hits do not promote. */
+class FifoPolicy : public LruPolicy
+{
+  public:
+    void onAccess(trace::BlockId block) override;
+    const char *name() const override { return "FIFO"; }
+};
+
+/** Uniform-random victim. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed = 1);
+
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "Random"; }
+
+  private:
+    std::vector<trace::BlockId> pool;
+    std::unordered_map<trace::BlockId, size_t> index;
+    util::Rng rng;
+};
+
+/** Least-frequently-used with FIFO tie-break (reference counting). */
+class LfuPolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "LFU"; }
+
+  private:
+    struct Entry
+    {
+        uint64_t count;
+        uint64_t sequence;
+    };
+    std::unordered_map<trace::BlockId, Entry> entries;
+    uint64_t next_sequence = 0;
+};
+
+/**
+ * CLOCK (second-chance): the classic approximation of LRU used by
+ * production buffer caches. Blocks sit on a circular list with a
+ * reference bit; the hand clears bits until it finds an unreferenced
+ * victim. Included as a realistic deployment alternative to the
+ * simulator's exact LRU.
+ */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "CLOCK"; }
+
+  private:
+    struct Entry
+    {
+        trace::BlockId block;
+        bool referenced;
+    };
+    /** Circular buffer of entries; erased slots are tombstoned. */
+    std::list<Entry> ring;
+    std::unordered_map<trace::BlockId, std::list<Entry>::iterator>
+        where;
+    std::list<Entry>::iterator hand = ring.end();
+};
+
+/**
+ * Oracle retain-set policy (Section 3.1): never evicts a block in the
+ * protected set while an unprotected block exists; falls back to LRU
+ * among unprotected blocks, then among protected ones. The protected
+ * set (e.g. the day's top-1 % blocks) is installed by the experiment
+ * before replaying the day.
+ */
+class OracleRetainPolicy : public LruPolicy
+{
+  public:
+    /** Replace the protected set. */
+    void setProtected(std::unordered_set<trace::BlockId> protected_set);
+
+    trace::BlockId victim() override;
+    const char *name() const override { return "OracleRetain"; }
+
+  private:
+    std::unordered_set<trace::BlockId> protected_blocks;
+};
+
+} // namespace cache
+} // namespace sievestore
+
+#endif // SIEVESTORE_CACHE_REPLACEMENT_HPP

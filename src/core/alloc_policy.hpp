@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Allocation-policy interface: the sieving abstraction.
+ *
+ * The paper's central claim is that the *allocation* policy — who gets
+ * into the cache — is the lever that matters for ensemble-level SSD
+ * caching, independent of the replacement policy. A continuous
+ * AllocationPolicy is consulted on every miss; sieved policies
+ * (SieveStore-C) answer Allocate only for blocks whose recent miss
+ * history proves popularity, unsieved policies (AOD, WMNA) answer from
+ * the request type alone.
+ */
+
+#ifndef SIEVESTORE_CORE_ALLOC_POLICY_HPP
+#define SIEVESTORE_CORE_ALLOC_POLICY_HPP
+
+#include "trace/request.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Outcome of a sieve consultation on a miss. */
+enum class AllocDecision : uint8_t {
+    /** Serve from the backing ensemble; do not cache. */
+    Bypass,
+    /** Allocate a frame: incurs one allocation-write per block. */
+    Allocate,
+};
+
+/**
+ * Continuous (per-access) allocation policy. Stateful implementations
+ * (SieveStore-C) also observe hits to keep their windows honest.
+ */
+class AllocationPolicy
+{
+  public:
+    virtual ~AllocationPolicy() = default;
+
+    /**
+     * Consulted on every miss.
+     * @param access the missed block access
+     * @return whether to allocate the block
+     */
+    virtual AllocDecision onMiss(const trace::BlockAccess &access) = 0;
+
+    /** Observe a hit (default: ignore). */
+    virtual void onHit(const trace::BlockAccess &access) { (void)access; }
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Approximate metastate footprint in bytes (for cost reporting). */
+    virtual uint64_t metastateBytes() const { return 0; }
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_ALLOC_POLICY_HPP

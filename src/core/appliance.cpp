@@ -1,0 +1,230 @@
+#include "core/appliance.hpp"
+
+#include "trace/expand.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace core {
+
+using trace::BlockId;
+
+DailyReport
+sumReports(const std::vector<DailyReport> &days)
+{
+    DailyReport sum;
+    for (const auto &d : days) {
+        sum.accesses += d.accesses;
+        sum.read_accesses += d.read_accesses;
+        sum.hits += d.hits;
+        sum.read_hits += d.read_hits;
+        sum.write_hits += d.write_hits;
+        sum.allocation_write_blocks += d.allocation_write_blocks;
+        sum.batch_moved_blocks += d.batch_moved_blocks;
+        sum.ssd_read_ios += d.ssd_read_ios;
+        sum.ssd_write_ios += d.ssd_write_ios;
+        sum.ssd_alloc_ios += d.ssd_alloc_ios;
+    }
+    return sum;
+}
+
+Appliance::Appliance(ApplianceConfig config,
+                     std::unique_ptr<AllocationPolicy> policy)
+    : cfg(config), policy_(std::move(policy)),
+      cache_(config.cache_blocks,
+             config.replacement ? config.replacement() : nullptr)
+{
+    if (!policy_)
+        util::fatal("appliance requires an allocation policy");
+    if (cfg.track_occupancy)
+        occupancy_ =
+            std::make_unique<ssd::DriveOccupancyTracker>(cfg.ssd);
+}
+
+Appliance::Appliance(ApplianceConfig config,
+                     std::unique_ptr<DiscreteSelector> selector)
+    : cfg(config), selector_(std::move(selector)),
+      cache_(config.cache_blocks,
+             config.replacement ? config.replacement() : nullptr)
+{
+    if (!selector_)
+        util::fatal("appliance requires a discrete selector");
+    if (cfg.track_occupancy)
+        occupancy_ =
+            std::make_unique<ssd::DriveOccupancyTracker>(cfg.ssd);
+}
+
+DailyReport &
+Appliance::reportFor(util::TimeUs t)
+{
+    const size_t day = util::dayOf(t);
+    if (day >= reports.size())
+        reports.resize(day + 1);
+    return reports[day];
+}
+
+void
+Appliance::drainAllocations(util::TimeUs up_to)
+{
+    while (!alloc_queue.empty() &&
+           alloc_queue.top().completion <= up_to) {
+        const PendingAlloc ev = alloc_queue.top();
+        alloc_queue.pop();
+        pending.erase(ev.block);
+        if (cache_.contains(ev.block))
+            continue; // raced with a batch install
+        cache_.insert(ev.block);
+        DailyReport &rep = reportFor(ev.completion);
+        ++rep.allocation_write_blocks;
+        if (ev.new_io_unit) {
+            ++rep.ssd_alloc_ios;
+            if (occupancy_)
+                occupancy_->recordWrites(ev.completion, 1);
+        }
+    }
+}
+
+void
+Appliance::preload(const std::vector<BlockId> &blocks, int serve_day)
+{
+    const cache::BatchReplaceResult moved = cache_.batchReplace(blocks);
+    const size_t day = serve_day < 0 ? 0 : static_cast<size_t>(serve_day);
+    if (day >= reports.size())
+        reports.resize(day + 1);
+    reports[day].batch_moved_blocks += moved.allocated;
+}
+
+void
+Appliance::processRequest(const trace::Request &req)
+{
+    drainAllocations(req.time);
+
+    DailyReport &rep = reportFor(req.time);
+    const bool is_read = req.op == trace::Op::Read;
+
+    // Page-coalescing state: contiguous blocks of the same request that
+    // share a 4 KB unit cost one SSD I/O (sub-4 KB charged as full).
+    uint64_t last_hit_page = UINT64_MAX;
+    uint64_t last_alloc_page = UINT64_MAX;
+
+    trace::BlockAccess access;
+    access.time = req.time;
+    access.server = req.server;
+    access.op = req.op;
+
+    for (uint32_t i = 0; i < req.length_blocks; ++i) {
+        const BlockId block = req.blockAt(i);
+        const uint64_t page = trace::blockNrOf(block) /
+                              trace::kBlocksPerPage;
+        access.block = block;
+        access.completion = trace::interpolatedCompletion(req, i);
+
+        ++rep.accesses;
+        if (is_read)
+            ++rep.read_accesses;
+
+        if (cache_.access(block)) {
+            ++rep.hits;
+            if (is_read)
+                ++rep.read_hits;
+            else
+                ++rep.write_hits;
+            if (page != last_hit_page) {
+                last_hit_page = page;
+                if (is_read) {
+                    ++rep.ssd_read_ios;
+                    if (occupancy_)
+                        occupancy_->recordReads(req.time, 1);
+                } else {
+                    ++rep.ssd_write_ios;
+                    if (occupancy_)
+                        occupancy_->recordWrites(req.time, 1);
+                }
+            }
+            if (policy_)
+                policy_->onHit(access);
+            if (selector_)
+                selector_->observe(access);
+            continue;
+        }
+
+        // Miss. Discrete selectors observe the access (SieveStore-D
+        // logs *accesses*, not misses); continuous policies sieve it.
+        if (selector_) {
+            selector_->observe(access);
+            continue;
+        }
+        if (pending.count(block))
+            continue; // allocation already in flight
+        if (policy_->onMiss(access) == AllocDecision::Allocate) {
+            pending.insert(block);
+            const bool new_unit = page != last_alloc_page;
+            last_alloc_page = page;
+            alloc_queue.push(
+                PendingAlloc{access.completion, block, new_unit});
+        }
+    }
+}
+
+void
+Appliance::finishDay(int day)
+{
+    const util::TimeUs day_end =
+        (static_cast<util::TimeUs>(day) + 1) * util::kUsPerDay;
+    drainAllocations(day_end - 1);
+
+    if (!selector_)
+        return;
+
+    // Epoch boundary: select, batch-install with cancellation, and
+    // attribute the moves to the day they serve.
+    const std::vector<BlockId> next_set = selector_->endOfEpoch();
+    const cache::BatchReplaceResult moved = cache_.batchReplace(next_set);
+
+    const size_t serve_day = static_cast<size_t>(day) + 1;
+    if (serve_day >= reports.size())
+        reports.resize(serve_day + 1);
+    reports[serve_day].batch_moved_blocks += moved.allocated;
+
+    if (cfg.charge_batch_to_occupancy && occupancy_) {
+        // Ablation: charge the batch as 4 KB writes spread uniformly
+        // over the first 6 hours of the serving day.
+        const uint64_t ios =
+            (moved.allocated + trace::kBlocksPerPage - 1) /
+            trace::kBlocksPerPage;
+        const util::TimeUs start = serve_day * util::kUsPerDay;
+        const util::TimeUs span = 6 * util::kUsPerHour;
+        for (uint64_t k = 0; k < ios; ++k) {
+            const util::TimeUs t =
+                start + (span * k) / (ios ? ios : 1);
+            occupancy_->recordWrites(t, 1);
+        }
+    }
+}
+
+void
+Appliance::finishTrace()
+{
+    drainAllocations(UINT64_MAX);
+}
+
+const ssd::DriveOccupancyTracker *
+Appliance::occupancy() const
+{
+    return occupancy_.get();
+}
+
+const char *
+Appliance::policyName() const
+{
+    return policy_ ? policy_->name() : selector_->name();
+}
+
+uint64_t
+Appliance::metastateBytes() const
+{
+    return policy_ ? policy_->metastateBytes() : 0;
+}
+
+} // namespace core
+} // namespace sievestore

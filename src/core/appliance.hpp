@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The SieveStore appliance: cache + sieve + SSD accounting.
+ *
+ * Models the transparent caching appliance of Figure 4: every block
+ * request of the ensemble flows through it; hits are served from the
+ * SSD cache, misses are served by the backing ensemble and may trigger
+ * allocation. Faithful to the paper's methodology (Section 4):
+ *
+ *  - accounting is at 512-byte block granularity; SSD costing is in
+ *    4 KB I/O units with sub-4 KB I/Os charged as full units;
+ *  - an allocation "was assumed to start at the time that the
+ *    corresponding request in the original trace completed", with
+ *    linear interpolation for individual blocks of multi-block requests
+ *    (the allocation queue below);
+ *  - continuous configurations use LRU replacement; discrete
+ *    configurations batch-allocate at epoch boundaries with
+ *    cancellation of retained blocks, and their staggered batch moves
+ *    are excluded from drive-occupancy by default ("SieveStore-D
+ *    assumes that batch allocation can be done during periods of low
+ *    disk activity").
+ */
+
+#ifndef SIEVESTORE_CORE_APPLIANCE_HPP
+#define SIEVESTORE_CORE_APPLIANCE_HPP
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "core/alloc_policy.hpp"
+#include "core/discrete.hpp"
+#include "ssd/occupancy.hpp"
+#include "trace/request.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Appliance configuration. */
+struct ApplianceConfig
+{
+    /** Cache capacity in 512-byte blocks (16 GB => 31.25 M blocks). */
+    uint64_t cache_blocks = (16ULL << 30) / trace::kBlockBytes;
+    /** SSD device model for occupancy/endurance accounting. */
+    ssd::SsdModel ssd = ssd::SsdModel::intelX25E();
+    /** Track per-minute drive occupancy (Figures 8/9). */
+    bool track_occupancy = true;
+    /** Charge discrete batch moves to drive occupancy (ablation). */
+    bool charge_batch_to_occupancy = false;
+    /**
+     * Replacement-policy factory; null selects the paper's LRU. Used by
+     * the Section 3.1 oracle-replacement experiments and the CLOCK
+     * deployment ablation.
+     */
+    std::function<std::unique_ptr<cache::ReplacementPolicy>()>
+        replacement;
+};
+
+/** Per-calendar-day accounting (Figures 5, 6, 7). */
+struct DailyReport
+{
+    uint64_t accesses = 0;
+    uint64_t read_accesses = 0;
+    uint64_t hits = 0;
+    uint64_t read_hits = 0;
+    uint64_t write_hits = 0;
+    /** Allocation-writes in 512-byte blocks (continuous policies). */
+    uint64_t allocation_write_blocks = 0;
+    /** Blocks moved by a discrete epoch batch, attributed to the day
+     * the blocks serve (staggered during that day). */
+    uint64_t batch_moved_blocks = 0;
+    /** 4 KB SSD I/Os for hit service. */
+    uint64_t ssd_read_ios = 0;
+    uint64_t ssd_write_ios = 0;
+    /** 4 KB SSD I/Os for allocation-writes. */
+    uint64_t ssd_alloc_ios = 0;
+
+    uint64_t misses() const { return accesses - hits; }
+    double
+    hitRatio() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+    /** All allocation-write blocks including batch moves. */
+    uint64_t
+    totalAllocationBlocks() const
+    {
+        return allocation_write_blocks + batch_moved_blocks;
+    }
+    /** Total 512-byte SSD block operations (Figure 7's Y axis). */
+    uint64_t
+    totalSsdBlockOps() const
+    {
+        return hits + totalAllocationBlocks();
+    }
+};
+
+/** Sum of daily reports. */
+DailyReport sumReports(const std::vector<DailyReport> &days);
+
+/**
+ * The appliance simulator. Construct with either a continuous
+ * AllocationPolicy (SieveStore-C, AOD, WMNA, RandSieve-C) or a
+ * DiscreteSelector (SieveStore-D, RandSieve-BlkD, Ideal); drive it with
+ * time-ordered requests and day-boundary callbacks (the sim::
+ * drivers do this).
+ */
+class Appliance
+{
+  public:
+    /** Continuous-allocation appliance. */
+    Appliance(ApplianceConfig config,
+              std::unique_ptr<AllocationPolicy> policy);
+
+    /** Discrete-allocation appliance. */
+    Appliance(ApplianceConfig config,
+              std::unique_ptr<DiscreteSelector> selector);
+
+    /**
+     * Preload the cache before replay (the oracle's first-day set).
+     * Moves are attributed to `serve_day`'s batch count.
+     */
+    void preload(const std::vector<trace::BlockId> &blocks, int serve_day);
+
+    /** Process one multi-block request (time-ordered). */
+    void processRequest(const trace::Request &req);
+
+    /**
+     * Close calendar day `day`: drain allocations due within it and,
+     * for discrete appliances, run the epoch boundary — the new block
+     * set is installed and its moves attributed to day + 1.
+     */
+    void finishDay(int day);
+
+    /** Drain every pending allocation (end of trace). */
+    void finishTrace();
+
+    /** Per-day accounting; index = calendar day. */
+    const std::vector<DailyReport> &daily() const { return reports; }
+
+    /** Whole-trace totals. */
+    DailyReport totals() const { return sumReports(reports); }
+
+    /** Occupancy tracker (null when track_occupancy is false). */
+    const ssd::DriveOccupancyTracker *occupancy() const;
+
+    /** Policy / selector name. */
+    const char *policyName() const;
+
+    const cache::BlockCache &blockCache() const { return cache_; }
+    /** Mutable cache access (oracle experiments install protected
+     * sets on the replacement policy between days). */
+    cache::BlockCache &blockCache() { return cache_; }
+
+    /** Metastate footprint of the sieve structures, in bytes. */
+    uint64_t metastateBytes() const;
+
+  private:
+    DailyReport &reportFor(util::TimeUs t);
+    void drainAllocations(util::TimeUs up_to);
+
+    ApplianceConfig cfg;
+    std::unique_ptr<AllocationPolicy> policy_;
+    std::unique_ptr<DiscreteSelector> selector_;
+    cache::BlockCache cache_;
+    std::unique_ptr<ssd::DriveOccupancyTracker> occupancy_;
+
+    /** Pending allocation, applied at block completion time. */
+    struct PendingAlloc
+    {
+        util::TimeUs completion;
+        trace::BlockId block;
+        bool new_io_unit; ///< first block of its 4 KB unit in the request
+
+        bool
+        operator>(const PendingAlloc &o) const
+        {
+            return completion > o.completion;
+        }
+    };
+    std::priority_queue<PendingAlloc, std::vector<PendingAlloc>,
+                        std::greater<PendingAlloc>>
+        alloc_queue;
+    std::unordered_set<trace::BlockId> pending;
+
+    std::vector<DailyReport> reports;
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_APPLIANCE_HPP

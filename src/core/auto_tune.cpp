@@ -1,0 +1,75 @@
+#include "core/auto_tune.hpp"
+
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace core {
+
+AutoTunedSievePolicy::AutoTunedSievePolicy(SieveStoreCConfig sieve_cfg_,
+                                           AutoTuneConfig tune_)
+    : sieve_cfg(sieve_cfg_), tune(tune_), t2(sieve_cfg_.t2)
+{
+    if (tune.min_t2 == 0 || tune.min_t2 > tune.max_t2)
+        util::fatal("auto-tune t2 bounds must satisfy 1 <= min <= max");
+    if (tune.churn_budget <= 0.0)
+        util::fatal("auto-tune churn budget must be positive");
+    if (t2 < tune.min_t2)
+        t2 = tune.min_t2;
+    if (t2 > tune.max_t2)
+        t2 = tune.max_t2;
+    sieve_cfg.t2 = t2;
+    sieve = std::make_unique<SieveStoreCPolicy>(sieve_cfg);
+}
+
+void
+AutoTunedSievePolicy::rollDay(uint64_t day)
+{
+    if (day_known && day == current_day)
+        return;
+    if (day_known) {
+        // Close the finished day: compare its allocation volume to the
+        // churn budget and nudge t2 by one step with hysteresis.
+        const double budget_blocks =
+            tune.churn_budget * static_cast<double>(tune.cache_blocks);
+        const double allocs = static_cast<double>(allocs_today);
+        if (allocs > budget_blocks * (1.0 + tune.slack) &&
+            t2 < tune.max_t2) {
+            ++t2;
+        } else if (allocs < budget_blocks * (1.0 - tune.slack) &&
+                   t2 > tune.min_t2) {
+            --t2;
+        }
+        sieve->setT2(t2);
+        history.push_back(t2);
+    }
+    current_day = day;
+    day_known = true;
+    allocs_today = 0;
+}
+
+AllocDecision
+AutoTunedSievePolicy::onMiss(const trace::BlockAccess &access)
+{
+    rollDay(util::dayOf(access.time));
+    const AllocDecision decision = sieve->onMiss(access);
+    if (decision == AllocDecision::Allocate)
+        ++allocs_today;
+    return decision;
+}
+
+void
+AutoTunedSievePolicy::onHit(const trace::BlockAccess &access)
+{
+    rollDay(util::dayOf(access.time));
+    sieve->onHit(access);
+}
+
+uint64_t
+AutoTunedSievePolicy::metastateBytes() const
+{
+    return sieve->metastateBytes();
+}
+
+} // namespace core
+} // namespace sievestore

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Self-tuning sieve (the paper's Section 7 "tuning" direction).
+ *
+ * SieveStore-C's thresholds (t1, t2) were hand-tuned against one
+ * ensemble's traces. A deployment-quality appliance should hold its
+ * allocation rate to a churn budget on its own: if daily
+ * allocation-writes exceed the budget (as a fraction of cache
+ * capacity), the sieve is too loose — raise t2; if allocations run far
+ * below budget while misses abound, it is too tight — lower t2. The
+ * controller adjusts one step per day within configured bounds, which
+ * keeps the feedback loop stable against the day-scale workload drift
+ * of observation O2.
+ */
+
+#ifndef SIEVESTORE_CORE_AUTO_TUNE_HPP
+#define SIEVESTORE_CORE_AUTO_TUNE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/sievestore_c.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Controller parameters for the self-tuning sieve. */
+struct AutoTuneConfig
+{
+    /** Daily allocation budget as a fraction of cache capacity
+     * (1.0 = at most one full cache turnover per day). */
+    double churn_budget = 1.0;
+    /** Cache capacity in blocks (the budget's denominator). */
+    uint64_t cache_blocks = (16ULL << 30) / trace::kBlockBytes;
+    /** Hysteresis: only tighten above budget * (1 + slack), only
+     * loosen below budget * (1 - slack). */
+    double slack = 0.25;
+    /** Bounds for the adjusted MCT threshold t2. */
+    uint32_t min_t2 = 1;
+    uint32_t max_t2 = 16;
+};
+
+/**
+ * SieveStore-C with a per-day feedback controller on t2.
+ *
+ * Implemented as an allocation policy wrapping the standard two-tier
+ * sieve; day boundaries are detected from access timestamps so no
+ * driver support is needed.
+ */
+class AutoTunedSievePolicy : public AllocationPolicy
+{
+  public:
+    AutoTunedSievePolicy(SieveStoreCConfig sieve, AutoTuneConfig tune);
+
+    AllocDecision onMiss(const trace::BlockAccess &access) override;
+    void onHit(const trace::BlockAccess &access) override;
+    const char *name() const override { return "SieveStore-C/auto"; }
+    uint64_t metastateBytes() const override;
+
+    /** Current MCT threshold. */
+    uint32_t currentT2() const { return t2; }
+    /** t2 value in force on each day seen so far. */
+    const std::vector<uint32_t> &t2History() const { return history; }
+    /** Allocations granted on the current day so far. */
+    uint64_t allocationsToday() const { return allocs_today; }
+
+  private:
+    void rollDay(uint64_t day);
+
+    SieveStoreCConfig sieve_cfg;
+    AutoTuneConfig tune;
+    std::unique_ptr<SieveStoreCPolicy> sieve;
+    uint32_t t2;
+    uint64_t current_day = 0;
+    bool day_known = false;
+    uint64_t allocs_today = 0;
+    std::vector<uint32_t> history;
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_AUTO_TUNE_HPP

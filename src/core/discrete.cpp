@@ -1,0 +1,149 @@
+#include "core/discrete.hpp"
+
+#include <algorithm>
+
+#include "analysis/popularity.hpp"
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace core {
+
+using trace::BlockId;
+
+AdbaSelector::AdbaSelector(uint64_t threshold)
+    : threshold_(threshold)
+{
+    if (threshold_ == 0)
+        util::fatal("ADBA threshold must be >= 1");
+}
+
+AdbaSelector::AdbaSelector(uint64_t threshold,
+                           const std::string &log_directory,
+                           analysis::AccessLogConfig log_config)
+    : threshold_(threshold),
+      disk_log(std::make_unique<analysis::AccessLog>(log_directory,
+                                                     log_config))
+{
+    if (threshold_ == 0)
+        util::fatal("ADBA threshold must be >= 1");
+}
+
+void
+AdbaSelector::observe(const trace::BlockAccess &access)
+{
+    if (disk_log)
+        disk_log->log(access.block);
+    else
+        ++mem_counts[access.block];
+}
+
+std::vector<BlockId>
+AdbaSelector::endOfEpoch()
+{
+    std::vector<BlockId> selected;
+    if (disk_log) {
+        for (const auto &bc : disk_log->reduce(threshold_))
+            selected.push_back(bc.block);
+        disk_log->beginEpoch();
+    } else {
+        std::vector<analysis::BlockCount> qualifying;
+        for (const auto &kv : mem_counts)
+            if (kv.second >= threshold_)
+                qualifying.push_back({kv.first, kv.second});
+        std::sort(qualifying.begin(), qualifying.end(),
+                  [](const analysis::BlockCount &a,
+                     const analysis::BlockCount &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.block < b.block;
+                  });
+        selected.reserve(qualifying.size());
+        for (const auto &bc : qualifying)
+            selected.push_back(bc.block);
+        mem_counts.clear();
+    }
+    return selected;
+}
+
+RandomBlockSelector::RandomBlockSelector(double fraction_, uint64_t seed)
+    : fraction(fraction_), rng(seed)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        util::fatal("RandSieve-BlkD fraction must be in (0, 1]");
+}
+
+void
+RandomBlockSelector::observe(const trace::BlockAccess &access)
+{
+    seen.insert(access.block);
+}
+
+std::vector<BlockId>
+RandomBlockSelector::endOfEpoch()
+{
+    std::vector<BlockId> all(seen.begin(), seen.end());
+    seen.clear();
+    // Deterministic ordering before sampling so results do not depend
+    // on hash-table iteration order.
+    std::sort(all.begin(), all.end());
+    size_t k = static_cast<size_t>(fraction *
+                                   static_cast<double>(all.size()));
+    if (k == 0 && !all.empty())
+        k = 1;
+    // Partial Fisher-Yates: the first k entries become the sample.
+    for (size_t i = 0; i < k; ++i) {
+        const size_t j = i + static_cast<size_t>(
+                                 rng.nextBelow(all.size() - i));
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+TopPercentSelector::TopPercentSelector(double fraction_)
+    : fraction(fraction_)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        util::fatal("TopPercentSelector fraction must be in (0, 1]");
+}
+
+void
+TopPercentSelector::observe(const trace::BlockAccess &access)
+{
+    ++counts[access.block];
+}
+
+std::vector<BlockId>
+TopPercentSelector::endOfEpoch()
+{
+    analysis::PopularityProfile profile(counts, 1);
+    std::vector<BlockId> top = profile.topBlocks(fraction);
+    counts.clear();
+    return top;
+}
+
+OracleDaySelector::OracleDaySelector(
+        std::vector<std::vector<BlockId>> day_sets_, int first_day)
+    : day_sets(std::move(day_sets_)), next_day(first_day + 1)
+{
+}
+
+void
+OracleDaySelector::observe(const trace::BlockAccess &)
+{
+    // Nothing to learn: the oracle already knows the future.
+}
+
+std::vector<BlockId>
+OracleDaySelector::endOfEpoch()
+{
+    if (next_day < 0 ||
+        static_cast<size_t>(next_day) >= day_sets.size()) {
+        ++next_day;
+        return {};
+    }
+    return day_sets[static_cast<size_t>(next_day++)];
+}
+
+} // namespace core
+} // namespace sievestore

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Discrete (epoch-batched) sieve selectors (Section 3.2).
+ *
+ * SieveStore-D performs no online allocation: every access is observed
+ * (logged), and at each epoch boundary the selector returns the block
+ * set to batch-allocate for the next epoch. The paper's variant selects
+ * by access count (ADBA: access-count based discrete batch-allocation,
+ * threshold 10/day); the evaluation also uses a randomized selector
+ * (RandSieve-BlkD) and the per-day oracle (top 1 % of blocks).
+ */
+
+#ifndef SIEVESTORE_CORE_DISCRETE_HPP
+#define SIEVESTORE_CORE_DISCRETE_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/access_log.hpp"
+#include "trace/request.hpp"
+#include "util/random.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Epoch-batched allocation selector. */
+class DiscreteSelector
+{
+  public:
+    virtual ~DiscreteSelector() = default;
+
+    /** Observe one block access during the current epoch. */
+    virtual void observe(const trace::BlockAccess &access) = 0;
+
+    /**
+     * Close the epoch: return the blocks to batch-allocate for the next
+     * epoch (descending priority; the cache truncates to capacity) and
+     * reset the selector's epoch state.
+     */
+    virtual std::vector<trace::BlockId> endOfEpoch() = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * SieveStore-D's ADBA selector: blocks whose epoch access count meets
+ * the threshold (paper: 10). Counting backend is either the
+ * map-reduce-style on-disk AccessLog — the mechanism the paper
+ * describes, with metastate never on the access critical path — or an
+ * in-memory counter for fast simulation sweeps.
+ */
+class AdbaSelector : public DiscreteSelector
+{
+  public:
+    /** In-memory counting backend. */
+    explicit AdbaSelector(uint64_t threshold = 10);
+
+    /** Disk-backed counting backend (the paper's log + reduce). */
+    AdbaSelector(uint64_t threshold, const std::string &log_directory,
+                 analysis::AccessLogConfig log_config = {});
+
+    void observe(const trace::BlockAccess &access) override;
+    std::vector<trace::BlockId> endOfEpoch() override;
+    const char *name() const override { return "SieveStore-D"; }
+
+    uint64_t threshold() const { return threshold_; }
+
+  private:
+    uint64_t threshold_;
+    std::unique_ptr<analysis::AccessLog> disk_log;
+    analysis::BlockCounts mem_counts;
+};
+
+/** RandSieve-BlkD: a uniformly random 1 % of the epoch's blocks. */
+class RandomBlockSelector : public DiscreteSelector
+{
+  public:
+    explicit RandomBlockSelector(double fraction = 0.01,
+                                 uint64_t seed = 11);
+
+    void observe(const trace::BlockAccess &access) override;
+    std::vector<trace::BlockId> endOfEpoch() override;
+    const char *name() const override { return "RandSieve-BlkD"; }
+
+  private:
+    double fraction;
+    util::Rng rng;
+    std::unordered_set<trace::BlockId> seen;
+};
+
+/**
+ * Causal top-fraction selector: at each epoch boundary, the
+ * most-accessed `fraction` of the *finished* epoch's blocks is
+ * installed for the next epoch. This is what ADBA would be with a
+ * rank-based (rather than threshold-based) criterion; used in
+ * sensitivity ablations.
+ */
+class TopPercentSelector : public DiscreteSelector
+{
+  public:
+    explicit TopPercentSelector(double fraction = 0.01);
+
+    void observe(const trace::BlockAccess &access) override;
+    std::vector<trace::BlockId> endOfEpoch() override;
+    const char *name() const override { return "TopPercent-D"; }
+
+  private:
+    double fraction;
+    analysis::BlockCounts counts;
+};
+
+/**
+ * The per-day oracle (Section 5.1's "ideal"): holds each day's top 1 %
+ * of blocks *during that day*, which requires future knowledge. The
+ * per-day sets come from a profiling pass over the trace
+ * (sim::perDayTopBlocks); the first day's set must be preloaded into
+ * the appliance (Appliance::preload) before replay.
+ */
+class OracleDaySelector : public DiscreteSelector
+{
+  public:
+    /**
+     * @param day_sets  day_sets[d] = blocks to hold during calendar
+     *                  day d
+     * @param first_day calendar day of the first endOfEpoch() call
+     *                  (i.e. the first day with traffic)
+     */
+    OracleDaySelector(std::vector<std::vector<trace::BlockId>> day_sets,
+                      int first_day);
+
+    void observe(const trace::BlockAccess &access) override;
+    std::vector<trace::BlockId> endOfEpoch() override;
+    const char *name() const override { return "Ideal"; }
+
+  private:
+    std::vector<std::vector<trace::BlockId>> day_sets;
+    int next_day;
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_DISCRETE_HPP

@@ -1,0 +1,44 @@
+#include "core/imct.hpp"
+
+#include "util/hashing.hpp"
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace core {
+
+Imct::Imct(size_t slots, WindowSpec window, uint64_t seed_)
+    : spec(window), seed(seed_)
+{
+    if (slots == 0)
+        util::fatal("IMCT requires at least one slot");
+    table.resize(slots);
+}
+
+size_t
+Imct::slotOf(trace::BlockId block) const
+{
+    return static_cast<size_t>(
+        util::reduceRange(util::seededHash(block, seed), table.size()));
+}
+
+uint32_t
+Imct::recordMiss(trace::BlockId block, util::TimeUs t)
+{
+    return table[slotOf(block)].record(spec.subwindowOf(t), spec);
+}
+
+uint32_t
+Imct::count(trace::BlockId block, util::TimeUs t) const
+{
+    return table[slotOf(block)].total(spec.subwindowOf(t), spec);
+}
+
+void
+Imct::clear()
+{
+    for (auto &c : table)
+        c.clear();
+}
+
+} // namespace core
+} // namespace sievestore

@@ -1,0 +1,64 @@
+#include "core/mct.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace core {
+
+Mct::Mct(WindowSpec window)
+    : spec(window)
+{
+}
+
+bool
+Mct::contains(trace::BlockId block) const
+{
+    return entries.count(block) != 0;
+}
+
+void
+Mct::admit(trace::BlockId block, util::TimeUs t)
+{
+    const auto [it, inserted] = entries.try_emplace(block);
+    if (inserted)
+        it->second.touch(spec.subwindowOf(t), spec);
+}
+
+uint32_t
+Mct::recordMiss(trace::BlockId block, util::TimeUs t)
+{
+    const auto it = entries.find(block);
+    if (it == entries.end())
+        util::panic("MCT: recordMiss for untracked block");
+    return it->second.record(spec.subwindowOf(t), spec);
+}
+
+uint32_t
+Mct::count(trace::BlockId block, util::TimeUs t) const
+{
+    const auto it = entries.find(block);
+    if (it == entries.end())
+        return 0;
+    return it->second.total(spec.subwindowOf(t), spec);
+}
+
+void
+Mct::remove(trace::BlockId block)
+{
+    entries.erase(block);
+}
+
+void
+Mct::prune(util::TimeUs t)
+{
+    const uint64_t cur_sub = spec.subwindowOf(t);
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (it->second.stale(cur_sub, spec))
+            it = entries.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace core
+} // namespace sievestore

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Perfect Miss Count Table (MCT), the second sieve tier (Section 3.3).
+ *
+ * A hash table of per-block windowed miss counters, populated only for
+ * blocks that already passed the IMCT threshold — the population the
+ * IMCT keeps small enough for exact tracking to be affordable.
+ * "Periodically we prune the MCT to eliminate stale blocks": prune()
+ * drops every entry whose window has fully expired; the appliance calls
+ * it on subwindow boundaries.
+ */
+
+#ifndef SIEVESTORE_CORE_MCT_HPP
+#define SIEVESTORE_CORE_MCT_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/windowed_counter.hpp"
+#include "trace/block.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Exact per-block windowed miss counts for IMCT-qualified blocks. */
+class Mct
+{
+  public:
+    explicit Mct(WindowSpec window);
+
+    /** True if the block is currently tracked. */
+    bool contains(trace::BlockId block) const;
+
+    /**
+     * Begin tracking a block (first miss past the IMCT threshold) as
+     * of time t. The count starts at zero — the paper requires "an
+     * additional minimum number of misses" at the MCT tier — but the
+     * entry's window is live from t, so pruning cannot reap it before
+     * it has had a full window to accrue them. No-op if already
+     * tracked.
+     */
+    void admit(trace::BlockId block, util::TimeUs t);
+
+    /**
+     * Record a miss of a tracked block.
+     * @return the block's windowed miss count including this miss
+     * @pre contains(block)
+     */
+    uint32_t recordMiss(trace::BlockId block, util::TimeUs t);
+
+    /** Windowed count for a tracked block (0 if untracked). */
+    uint32_t count(trace::BlockId block, util::TimeUs t) const;
+
+    /** Stop tracking a block (after it is allocated). */
+    void remove(trace::BlockId block);
+
+    /** Drop all entries whose window has fully expired as of t. */
+    void prune(util::TimeUs t);
+
+    size_t size() const { return entries.size(); }
+
+    /** Approximate metastate footprint. */
+    uint64_t
+    memoryBytes() const
+    {
+        // Key + counter + bucket overhead estimate.
+        return entries.size() *
+               (sizeof(trace::BlockId) + sizeof(WindowedCounter) + 16);
+    }
+
+    void clear() { entries.clear(); }
+
+    const WindowSpec &window() const { return spec; }
+
+  private:
+    std::unordered_map<trace::BlockId, WindowedCounter> entries;
+    WindowSpec spec;
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_MCT_HPP

@@ -1,0 +1,97 @@
+#include "core/sievestore_c.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace core {
+
+SieveStoreCPolicy::SieveStoreCPolicy(SieveStoreCConfig config)
+    : cfg(config), imct_(config.imct_slots, config.window, config.seed),
+      mct_(config.window)
+{
+    if (cfg.imct_only && cfg.mct_only)
+        util::fatal("SieveStore-C: imct_only and mct_only are exclusive");
+    if (cfg.t1 == 0 && cfg.t2 == 0)
+        util::fatal("SieveStore-C: at least one threshold must be > 0");
+}
+
+AllocDecision
+SieveStoreCPolicy::onMiss(const trace::BlockAccess &access)
+{
+    const util::TimeUs t = access.time;
+
+    if (cfg.prune_on_subwindow) {
+        const uint64_t sub = cfg.window.subwindowOf(t);
+        if (sub != last_prune_sub) {
+            mct_.prune(t);
+            last_prune_sub = sub;
+        }
+    }
+
+    if (cfg.imct_only) {
+        // Ablation: single aliased tier with the combined threshold.
+        const uint32_t c = imct_.recordMiss(access.block, t);
+        if (c >= cfg.t1 + cfg.t2) {
+            ++allocated;
+            return AllocDecision::Allocate;
+        }
+        return AllocDecision::Bypass;
+    }
+
+    if (cfg.mct_only) {
+        // Ablation: exact counts for every missed block (state
+        // explosion the IMCT exists to avoid).
+        mct_.admit(access.block, t);
+        const uint32_t c = mct_.recordMiss(access.block, t);
+        if (c >= cfg.t1 + cfg.t2) {
+            mct_.remove(access.block);
+            ++allocated;
+            return AllocDecision::Allocate;
+        }
+        return AllocDecision::Bypass;
+    }
+
+    // Two-tier sieve. Blocks already in the MCT accrue their
+    // "additional" misses there; everyone else must first push their
+    // (possibly aliased) IMCT slot past t1.
+    if (mct_.contains(access.block)) {
+        const uint32_t c2 = mct_.recordMiss(access.block, t);
+        if (c2 >= cfg.t2) {
+            mct_.remove(access.block);
+            ++allocated;
+            return AllocDecision::Allocate;
+        }
+        return AllocDecision::Bypass;
+    }
+
+    const uint32_t c1 = imct_.recordMiss(access.block, t);
+    if (c1 >= cfg.t1) {
+        ++imct_qualified;
+        mct_.admit(access.block, t);
+        if (cfg.t2 == 0) {
+            mct_.remove(access.block);
+            ++allocated;
+            return AllocDecision::Allocate;
+        }
+    }
+    return AllocDecision::Bypass;
+}
+
+const char *
+SieveStoreCPolicy::name() const
+{
+    if (cfg.imct_only)
+        return "SieveStore-C/imct-only";
+    if (cfg.mct_only)
+        return "SieveStore-C/mct-only";
+    return "SieveStore-C";
+}
+
+uint64_t
+SieveStoreCPolicy::metastateBytes() const
+{
+    return imct_.memoryBytes() + mct_.memoryBytes();
+}
+
+} // namespace core
+} // namespace sievestore

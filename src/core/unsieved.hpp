@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unsieved baseline allocation policies (Section 3, Table 2).
+ *
+ * Allocate-on-demand (AOD) allocates on every miss; write-miss
+ * no-allocate (WMNA) allocates only on read misses. Both maintain
+ * metastate only for resident blocks — which is exactly why they cannot
+ * sieve: the allocation decision "depends only on the current state of
+ * the cache (hit/miss) and the type of the request (read/write)".
+ */
+
+#ifndef SIEVESTORE_CORE_UNSIEVED_HPP
+#define SIEVESTORE_CORE_UNSIEVED_HPP
+
+#include "core/alloc_policy.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Allocate-on-demand: every miss allocates. */
+class AodPolicy : public AllocationPolicy
+{
+  public:
+    AllocDecision
+    onMiss(const trace::BlockAccess &) override
+    {
+        return AllocDecision::Allocate;
+    }
+
+    const char *name() const override { return "AOD"; }
+};
+
+/** Write-miss no-allocate: only read misses allocate. */
+class WmnaPolicy : public AllocationPolicy
+{
+  public:
+    AllocDecision
+    onMiss(const trace::BlockAccess &access) override
+    {
+        return access.op == trace::Op::Read ? AllocDecision::Allocate
+                                            : AllocDecision::Bypass;
+    }
+
+    const char *name() const override { return "WMNA"; }
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_UNSIEVED_HPP

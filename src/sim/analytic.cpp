@@ -1,0 +1,43 @@
+#include "sim/analytic.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace sim {
+
+Table2Row
+table2Row(Table2Policy policy, double hit_rate, double read_frac,
+          double isa_eps)
+{
+    if (hit_rate < 0.0 || hit_rate > 1.0)
+        util::fatal("hit rate must be in [0, 1]");
+    if (read_frac < 0.0 || read_frac > 1.0)
+        util::fatal("read fraction must be in [0, 1]");
+
+    Table2Row row;
+    row.hits = hit_rate;
+    row.misses = 1.0 - hit_rate;
+    row.read_hits = hit_rate * read_frac;
+    const double write_hits = hit_rate * (1.0 - read_frac);
+
+    switch (policy) {
+      case Table2Policy::AOD:
+        // Every miss is an allocation-write.
+        row.alloc_writes = row.misses;
+        break;
+      case Table2Policy::WMNA:
+        // Only read misses allocate.
+        row.alloc_writes = row.misses * read_frac;
+        break;
+      case Table2Policy::ISA:
+        // Exactly the top blocks, once: epsilon of accesses.
+        row.alloc_writes = isa_eps;
+        break;
+    }
+    row.write_ops = write_hits + row.alloc_writes;
+    row.ssd_ops = row.read_hits + row.write_ops;
+    return row;
+}
+
+} // namespace sim
+} // namespace sievestore

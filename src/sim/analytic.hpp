@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Table 2 analytical model (Section 3.1).
+ *
+ * Under an oracle replacement policy that keeps the top 1 % of blocks
+ * resident, the paper compares allocation policies by what fraction of
+ * all accesses turn into SSD operations of each kind, assuming a 35 %
+ * hit rate and a 3:1 read:write ratio in both hits and misses.
+ */
+
+#ifndef SIEVESTORE_SIM_ANALYTIC_HPP
+#define SIEVESTORE_SIM_ANALYTIC_HPP
+
+namespace sievestore {
+namespace sim {
+
+/** Allocation policies covered by Table 2. */
+enum class Table2Policy {
+    AOD,  ///< allocate-on-demand
+    WMNA, ///< write-miss no-allocate
+    ISA,  ///< ideal-selective-allocate
+};
+
+/**
+ * One row of Table 2, every entry a fraction of total accesses.
+ */
+struct Table2Row
+{
+    double hits = 0.0;
+    double misses = 0.0;
+    double alloc_writes = 0.0;
+    double read_hits = 0.0;
+    /** Write hits + allocation-writes (the slow-SSD-op column). */
+    double write_ops = 0.0;
+    /** All SSD operations (read hits + write ops). */
+    double ssd_ops = 0.0;
+};
+
+/**
+ * Compute one Table 2 row.
+ * @param policy    allocation policy
+ * @param hit_rate  assumed hit rate (paper: 0.35)
+ * @param read_frac read fraction of hits and misses (paper: 0.75)
+ * @param isa_eps   ISA's allocation-writes as a fraction of accesses;
+ *                  "1% of the number of unique blocks accessed which is
+ *                  smaller than 1% of the accesses" — the paper writes
+ *                  it as epsilon < 1 %
+ */
+Table2Row table2Row(Table2Policy policy, double hit_rate = 0.35,
+                    double read_frac = 0.75, double isa_eps = 0.01);
+
+} // namespace sim
+} // namespace sievestore
+
+#endif // SIEVESTORE_SIM_ANALYTIC_HPP

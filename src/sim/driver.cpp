@@ -1,0 +1,34 @@
+#include "sim/driver.hpp"
+
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace sim {
+
+void
+runTrace(trace::TraceReader &reader, core::Appliance &appliance)
+{
+    trace::Request req;
+    bool any = false;
+    int current_day = 0;
+    while (reader.next(req)) {
+        const int day = static_cast<int>(util::dayOf(req.time));
+        if (!any) {
+            current_day = day;
+            any = true;
+        } else if (day < current_day) {
+            util::fatal("trace is not time-ordered (day %d after %d)",
+                        day, current_day);
+        }
+        while (current_day < day) {
+            appliance.finishDay(current_day);
+            ++current_day;
+        }
+        appliance.processRequest(req);
+    }
+    appliance.finishTrace();
+}
+
+} // namespace sim
+} // namespace sievestore

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Trace-to-appliance drivers.
+ *
+ * runTrace() streams a time-ordered request trace into one appliance,
+ * issuing calendar-day boundaries (epoch boundaries for discrete
+ * configurations) exactly as the paper's day-partitioned analysis does.
+ */
+
+#ifndef SIEVESTORE_SIM_DRIVER_HPP
+#define SIEVESTORE_SIM_DRIVER_HPP
+
+#include "core/appliance.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace sievestore {
+namespace sim {
+
+/**
+ * Replay an entire trace through an appliance. Day boundaries are
+ * detected from request timestamps; finishDay() is invoked for every
+ * crossed boundary (including empty days) and finishTrace() at the end.
+ * No epoch is run after the final day — there is no next day to serve.
+ */
+void runTrace(trace::TraceReader &reader, core::Appliance &appliance);
+
+} // namespace sim
+} // namespace sievestore
+
+#endif // SIEVESTORE_SIM_DRIVER_HPP

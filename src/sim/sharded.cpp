@@ -1,0 +1,137 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "util/hashing.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace sim {
+
+core::DailyReport
+ShardedResult::totals() const
+{
+    core::DailyReport sum;
+    for (const auto &node : nodes) {
+        const core::DailyReport t = node->totals();
+        sum.accesses += t.accesses;
+        sum.read_accesses += t.read_accesses;
+        sum.hits += t.hits;
+        sum.read_hits += t.read_hits;
+        sum.write_hits += t.write_hits;
+        sum.allocation_write_blocks += t.allocation_write_blocks;
+        sum.batch_moved_blocks += t.batch_moved_blocks;
+        sum.ssd_read_ios += t.ssd_read_ios;
+        sum.ssd_write_ios += t.ssd_write_ios;
+        sum.ssd_alloc_ios += t.ssd_alloc_ios;
+    }
+    return sum;
+}
+
+uint32_t
+ShardedResult::maxDrivesAtCoverage(double coverage) const
+{
+    uint32_t worst = 0;
+    for (const auto &node : nodes) {
+        const auto *occ = node->occupancy();
+        if (occ)
+            worst = std::max(worst, occ->drivesForCoverage(coverage));
+    }
+    return worst;
+}
+
+double
+ShardedResult::loadImbalance() const
+{
+    if (nodes.empty())
+        return 0.0;
+    uint64_t max_accesses = 0, total = 0;
+    for (const auto &node : nodes) {
+        const uint64_t a = node->totals().accesses;
+        max_accesses = std::max(max_accesses, a);
+        total += a;
+    }
+    if (total == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(nodes.size());
+    return static_cast<double>(max_accesses) / mean;
+}
+
+size_t
+shardOf(trace::BlockId block, size_t shards, uint64_t seed)
+{
+    // Page-granular so a 4 KB unit never straddles nodes.
+    const uint64_t key =
+        (static_cast<uint64_t>(trace::volumeOf(block)) << 48) |
+        trace::pageOf(block);
+    return static_cast<size_t>(
+        util::reduceRange(util::seededHash(key, seed), shards));
+}
+
+ShardedResult
+runSharded(trace::TraceReader &reader, const ShardedConfig &config)
+{
+    if (config.shards == 0)
+        util::fatal("sharded deployment requires at least one node");
+    if (config.policy.kind == PolicyKind::Ideal)
+        util::fatal("sharded runs do not support the oracle policy");
+
+    ShardedResult result;
+    for (size_t s = 0; s < config.shards; ++s) {
+        PolicyConfig pc = config.policy;
+        pc.seed += s;
+        pc.sieve_c.seed += s; // decorrelate the nodes' IMCTs
+        if (pc.adba_disk_log)
+            pc.adba_log_dir += "/shard" + std::to_string(s);
+        result.nodes.push_back(makeAppliance(pc, config.node));
+    }
+
+    trace::Request req;
+    bool any = false;
+    int current_day = 0;
+    while (reader.next(req)) {
+        const int day = static_cast<int>(util::dayOf(req.time));
+        if (!any) {
+            current_day = day;
+            any = true;
+        }
+        while (current_day < day) {
+            for (auto &node : result.nodes)
+                node->finishDay(current_day);
+            ++current_day;
+        }
+
+        if (req.length_blocks == 0)
+            continue;
+        // Split the request into per-shard subrequests: maximal runs of
+        // consecutive blocks mapping to the same shard. Latency is
+        // inherited; each subrequest keeps its own interpolation span,
+        // which approximates the original block completion times.
+        uint32_t run_start = 0;
+        size_t run_shard =
+            shardOf(req.blockAt(0), config.shards, config.seed);
+        for (uint32_t i = 1; i <= req.length_blocks; ++i) {
+            const size_t shard =
+                i < req.length_blocks
+                    ? shardOf(req.blockAt(i), config.shards,
+                              config.seed)
+                    : SIZE_MAX;
+            if (shard == run_shard)
+                continue;
+            trace::Request sub = req;
+            sub.offset_blocks = req.offset_blocks + run_start;
+            sub.length_blocks = i - run_start;
+            result.nodes[run_shard]->processRequest(sub);
+            run_start = i;
+            run_shard = shard;
+        }
+    }
+    for (auto &node : result.nodes)
+        node->finishTrace();
+    return result;
+}
+
+} // namespace sim
+} // namespace sievestore

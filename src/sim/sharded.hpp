@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sharded SieveStore (the paper's Section 7 "scaling" direction).
+ *
+ * One appliance node ultimately saturates: the paper shows a single
+ * enterprise SSD absorbs the 13-server ensemble, but a larger ensemble
+ * (or a faster one) needs more nodes. The natural scale-out keeps the
+ * ensemble-level sharing property by hash-partitioning the *block
+ * space* — not the servers — across N appliance nodes: every node
+ * still sees a uniform slice of every server's hot set, so capacity is
+ * never stranded the way a per-server split strands it (observation
+ * O2), while request traffic and metastate divide ~evenly.
+ *
+ * Requests are split at 4 KB page granularity (a page never straddles
+ * nodes, so page-coalesced SSD I/O accounting is preserved).
+ */
+
+#ifndef SIEVESTORE_SIM_SHARDED_HPP
+#define SIEVESTORE_SIM_SHARDED_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace sievestore {
+namespace sim {
+
+/** Configuration for a sharded deployment. */
+struct ShardedConfig
+{
+    /** Number of appliance nodes (>= 1). */
+    size_t shards = 2;
+    /** Per-node policy (instantiated independently per node). */
+    PolicyConfig policy;
+    /**
+     * Per-node appliance template. cache_blocks and the SSD model are
+     * per *node*: a 2-shard deployment with 8 GB nodes has 16 GB total.
+     */
+    core::ApplianceConfig node;
+    /** Hash seed for the page -> shard mapping. */
+    uint64_t seed = 0;
+};
+
+/** Outcome of a sharded run. */
+struct ShardedResult
+{
+    /** One appliance per node, in shard order. */
+    std::vector<std::unique_ptr<core::Appliance>> nodes;
+
+    /** Reports summed across nodes. */
+    core::DailyReport totals() const;
+    /** Largest per-node drives-needed at the given coverage. */
+    uint32_t maxDrivesAtCoverage(double coverage) const;
+    /** Worst-case spread: max node accesses / mean node accesses. */
+    double loadImbalance() const;
+};
+
+/** Shard index of a block (stable page-granular hash). */
+size_t shardOf(trace::BlockId block, size_t shards, uint64_t seed);
+
+/**
+ * Replay a trace through a sharded deployment. Requests are split into
+ * per-shard subrequests at page granularity; day boundaries fire on
+ * every node.
+ */
+ShardedResult runSharded(trace::TraceReader &reader,
+                         const ShardedConfig &config);
+
+} // namespace sim
+} // namespace sievestore
+
+#endif // SIEVESTORE_SIM_SHARDED_HPP

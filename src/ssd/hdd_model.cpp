@@ -1,0 +1,36 @@
+#include "ssd/hdd_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace ssd {
+
+HddModel
+HddModel::enterprise15k()
+{
+    HddModel m;
+    m.iops = 300.0;
+    m.seq_bw = 125.0e6;
+    return m;
+}
+
+double
+serviceTimeSpeedup(const HddModel &hdd, const SsdModel &ssd,
+                   double hit_ratio, double read_frac)
+{
+    if (hit_ratio < 0.0 || hit_ratio > 1.0)
+        util::fatal("hit ratio must be in [0, 1]");
+    if (read_frac < 0.0 || read_frac > 1.0)
+        util::fatal("read fraction must be in [0, 1]");
+
+    const double hdd_service = hdd.service();
+    const double ssd_service = read_frac * ssd.readService() +
+                               (1.0 - read_frac) * ssd.writeService();
+    const double without = hdd_service;
+    const double with = hit_ratio * ssd_service +
+                        (1.0 - hit_ratio) * hdd_service;
+    return without / with;
+}
+
+} // namespace ssd
+} // namespace sievestore

@@ -1,0 +1,45 @@
+#include "ssd/network.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace ssd {
+
+NetworkFeasibility
+checkNetworkFeasibility(const DriveOccupancyTracker &occupancy,
+                        const NetworkModel &nic)
+{
+    if (nic.links == 0 || nic.link_bps <= 0.0)
+        util::fatal("network model requires at least one live link");
+
+    NetworkFeasibility result;
+    const double budget_per_minute = nic.bytesPerSecond() * 60.0;
+    result.worst_case_bound =
+        occupancy.model().seq_read_bw / nic.bytesPerSecond();
+
+    const auto &minutes = occupancy.minutes();
+    if (minutes.empty())
+        return result;
+
+    double sum = 0.0;
+    uint64_t within = 0;
+    for (const MinuteLoad &m : minutes) {
+        const double bytes =
+            static_cast<double>(m.read_ios + m.write_ios) * 4096.0;
+        const double util = bytes / budget_per_minute;
+        sum += util;
+        result.peak_utilization =
+            std::max(result.peak_utilization, util);
+        if (util <= 1.0)
+            ++within;
+    }
+    result.mean_utilization = sum / static_cast<double>(minutes.size());
+    result.coverage = static_cast<double>(within) /
+                      static_cast<double>(minutes.size());
+    return result;
+}
+
+} // namespace ssd
+} // namespace sievestore

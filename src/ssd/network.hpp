@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Appliance network-feasibility analysis (Section 3.3,
+ * "Implementation").
+ *
+ * The paper's appliance concern: "there is concern that the SieveStore
+ * node could become a network bottleneck. There are two sources of
+ * network traffic; SSD hits wherein blocks are served from the
+ * SieveStore node and the allocated-misses wherein blocks are copied to
+ * the SieveStore node." Its worst-case arithmetic: a reasonably
+ * configured node has four Gigabit Ethernet links, and even the SSD's
+ * maximum sequential read rate (250 MB/s) is only ~50 % of that NIC
+ * budget. This model reruns the check against the *measured* per-minute
+ * I/O of a simulation instead of the worst case.
+ */
+
+#ifndef SIEVESTORE_SSD_NETWORK_HPP
+#define SIEVESTORE_SSD_NETWORK_HPP
+
+#include <cstdint>
+
+#include "ssd/occupancy.hpp"
+
+namespace sievestore {
+namespace ssd {
+
+/** Appliance NIC configuration. */
+struct NetworkModel
+{
+    /** Number of links. */
+    uint32_t links = 4;
+    /** Line rate per link, bits/s. */
+    double link_bps = 1.0e9;
+
+    /** Usable bytes/s across all links. */
+    double
+    bytesPerSecond() const
+    {
+        return static_cast<double>(links) * link_bps / 8.0;
+    }
+
+    /** The paper's "reasonably configured node": 4x GbE. */
+    static NetworkModel
+    fourGigabitLinks()
+    {
+        return NetworkModel{};
+    }
+};
+
+/** Result of the feasibility check. */
+struct NetworkFeasibility
+{
+    /** Mean network utilization over active minutes, in [0, ...). */
+    double mean_utilization = 0.0;
+    /** Peak per-minute utilization. */
+    double peak_utilization = 0.0;
+    /** Fraction of minutes within the NIC budget (utilization <= 1). */
+    double coverage = 1.0;
+    /** The paper's worst-case bound: SSD max sequential read rate as a
+     * fraction of the NIC budget (~0.5 for X25-E on 4x GbE). */
+    double worst_case_bound = 0.0;
+};
+
+/**
+ * Check an appliance's measured traffic against a NIC configuration.
+ * Every SSD I/O crosses the network once (hits served out,
+ * allocation data copied in), at 4 KB per I/O.
+ */
+NetworkFeasibility
+checkNetworkFeasibility(const DriveOccupancyTracker &occupancy,
+                        const NetworkModel &nic);
+
+} // namespace ssd
+} // namespace sievestore
+
+#endif // SIEVESTORE_SSD_NETWORK_HPP

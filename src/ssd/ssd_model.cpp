@@ -1,0 +1,34 @@
+#include "ssd/ssd_model.hpp"
+
+namespace sievestore {
+namespace ssd {
+
+SsdModel
+SsdModel::scaled(double factor) const
+{
+    SsdModel m = *this;
+    m.read_iops *= factor;
+    m.write_iops *= factor;
+    m.seq_read_bw *= factor;
+    m.seq_write_bw *= factor;
+    m.endurance_bytes *= factor;
+    m.capacity_bytes = static_cast<uint64_t>(
+        static_cast<double>(m.capacity_bytes) * factor);
+    return m;
+}
+
+SsdModel
+SsdModel::intelX25E(uint64_t capacity_bytes)
+{
+    SsdModel m;
+    m.read_iops = 35000.0;
+    m.write_iops = 3300.0;
+    m.seq_read_bw = 250.0e6;
+    m.seq_write_bw = 170.0e6;
+    m.capacity_bytes = capacity_bytes;
+    m.endurance_bytes = 1.0e15;
+    return m;
+}
+
+} // namespace ssd
+} // namespace sievestore

@@ -1,0 +1,139 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace sievestore {
+namespace stats {
+
+Table::Table(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    if (headers.empty())
+        util::fatal("Table requires at least one column");
+}
+
+Table &
+Table::row()
+{
+    if (!body.empty() && body.back().size() != headers.size())
+        util::panic("Table row finished with %zu cells, expected %zu",
+                    body.back().size(), headers.size());
+    body.emplace_back();
+    body.back().reserve(headers.size());
+    return *this;
+}
+
+Table &
+Table::cell(std::string value)
+{
+    if (body.empty())
+        util::panic("Table::cell called before Table::row");
+    if (body.back().size() >= headers.size())
+        util::panic("Table row overflow: more cells than columns");
+    body.back().push_back(std::move(value));
+    return *this;
+}
+
+Table &
+Table::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(util::formatCount(value));
+}
+
+Table &
+Table::cell(int64_t value)
+{
+    if (value < 0)
+        return cell("-" + util::formatCount(
+                              static_cast<uint64_t>(-value)));
+    return cell(util::formatCount(static_cast<uint64_t>(value)));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cellPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return cell(std::string(buf));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : body)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column (labels), right-align the rest
+            // (numbers).
+            if (c == 0) {
+                os << v << std::string(widths[c] - v.size(), ' ');
+            } else {
+                os << std::string(widths[c] - v.size(), ' ') << v;
+            }
+        }
+        os << '\n';
+    };
+
+    emitRow(headers);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &r : body)
+        emitRow(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &v) {
+        if (v.find_first_of(",\"\n") == std::string::npos)
+            return v;
+        std::string out = "\"";
+        for (char ch : v) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out.push_back(ch);
+        }
+        out.push_back('"');
+        return out;
+    };
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << (c == 0 ? "" : ",") << quote(cells[c]);
+        os << '\n';
+    };
+    emitRow(headers);
+    for (const auto &r : body)
+        emitRow(r);
+}
+
+} // namespace stats
+} // namespace sievestore

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Formatted table output.
+ *
+ * Every benchmark harness regenerates one of the paper's tables or
+ * figure-series as rows of text; Table centralizes alignment, numeric
+ * formatting, and CSV export so all benches print uniformly.
+ */
+
+#ifndef SIEVESTORE_STATS_TABLE_HPP
+#define SIEVESTORE_STATS_TABLE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sievestore {
+namespace stats {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * convenience overloads format consistently (fixed precision for
+ * doubles, thousands separators for counts).
+ */
+class Table
+{
+  public:
+    /** @param headers column titles, defining the column count. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(std::string value);
+    /** Append a C-string cell to the current row. */
+    Table &cell(const char *value);
+    /** Append an unsigned count with thousands separators. */
+    Table &cell(uint64_t value);
+    /** Append a signed integer. */
+    Table &cell(int64_t value);
+    /** Append a double with the given number of decimal places. */
+    Table &cell(double value, int precision = 3);
+    /** Append a percentage ("42.7%") from a fraction in [0,1]. */
+    Table &cellPercent(double fraction, int precision = 1);
+
+    size_t rows() const { return body.size(); }
+    size_t columns() const { return headers.size(); }
+
+    /** Render aligned text with a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-style quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace stats
+} // namespace sievestore
+
+#endif // SIEVESTORE_STATS_TABLE_HPP

@@ -1,0 +1,154 @@
+#include "trace/binary_trace.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace trace {
+
+namespace {
+
+// On-disk record layout (little-endian, 26 bytes).
+struct PackedRecord
+{
+    uint64_t time;
+    uint64_t offset_blocks;
+    uint32_t length_blocks;
+    uint32_t latency_us;
+    uint16_t volume;
+    uint8_t server;
+    uint8_t op;
+};
+
+constexpr size_t kRecordBytes = 8 + 8 + 4 + 4 + 2 + 1 + 1;
+
+void
+pack(const Request &req, char *buf)
+{
+    PackedRecord r;
+    r.time = req.time;
+    r.offset_blocks = req.offset_blocks;
+    r.length_blocks = req.length_blocks;
+    r.latency_us = req.latency_us;
+    r.volume = req.volume;
+    r.server = req.server;
+    r.op = static_cast<uint8_t>(req.op);
+    char *p = buf;
+    std::memcpy(p, &r.time, 8); p += 8;
+    std::memcpy(p, &r.offset_blocks, 8); p += 8;
+    std::memcpy(p, &r.length_blocks, 4); p += 4;
+    std::memcpy(p, &r.latency_us, 4); p += 4;
+    std::memcpy(p, &r.volume, 2); p += 2;
+    std::memcpy(p, &r.server, 1); p += 1;
+    std::memcpy(p, &r.op, 1);
+}
+
+void
+unpack(const char *buf, Request &req)
+{
+    const char *p = buf;
+    std::memcpy(&req.time, p, 8); p += 8;
+    std::memcpy(&req.offset_blocks, p, 8); p += 8;
+    std::memcpy(&req.length_blocks, p, 4); p += 4;
+    std::memcpy(&req.latency_us, p, 4); p += 4;
+    std::memcpy(&req.volume, p, 2); p += 2;
+    uint8_t server = 0, op = 0;
+    std::memcpy(&server, p, 1); p += 1;
+    std::memcpy(&op, p, 1);
+    req.server = server;
+    req.op = static_cast<Op>(op);
+}
+
+} // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string &path_)
+    : path(path_), out(path_, std::ios::binary)
+{
+    if (!out)
+        util::fatal("cannot create binary trace '%s'", path.c_str());
+    // Header: magic, version, record count (patched on close).
+    uint32_t magic = kBinaryTraceMagic;
+    uint32_t version = kBinaryTraceVersion;
+    uint64_t count_placeholder = 0;
+    out.write(reinterpret_cast<const char *>(&magic), 4);
+    out.write(reinterpret_cast<const char *>(&version), 4);
+    out.write(reinterpret_cast<const char *>(&count_placeholder), 8);
+}
+
+void
+BinaryTraceWriter::write(const Request &req)
+{
+    if (closed)
+        util::panic("BinaryTraceWriter::write after close");
+    if (req.time < last_time)
+        util::fatal("binary trace requires time-ordered requests");
+    last_time = req.time;
+    char buf[kRecordBytes];
+    pack(req, buf);
+    out.write(buf, kRecordBytes);
+    ++count;
+}
+
+void
+BinaryTraceWriter::close()
+{
+    if (closed)
+        return;
+    closed = true;
+    out.seekp(8);
+    out.write(reinterpret_cast<const char *>(&count), 8);
+    out.close();
+    if (!out)
+        util::fatal("error finalizing binary trace '%s'", path.c_str());
+}
+
+BinaryTraceWriter::~BinaryTraceWriter()
+{
+    if (!closed)
+        close();
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path_)
+    : path(path_), in(path_, std::ios::binary)
+{
+    if (!in)
+        util::fatal("cannot open binary trace '%s'", path.c_str());
+    uint32_t magic = 0, version = 0;
+    in.read(reinterpret_cast<char *>(&magic), 4);
+    in.read(reinterpret_cast<char *>(&version), 4);
+    in.read(reinterpret_cast<char *>(&total), 8);
+    if (!in || magic != kBinaryTraceMagic)
+        util::fatal("'%s' is not a SieveStore binary trace", path.c_str());
+    if (version != kBinaryTraceVersion)
+        util::fatal("'%s': unsupported trace version %u", path.c_str(),
+                    version);
+}
+
+bool
+BinaryTraceReader::next(Request &out)
+{
+    if (consumed >= total)
+        return false;
+    char buf[kRecordBytes];
+    in.read(buf, kRecordBytes);
+    if (!in)
+        util::fatal("'%s': truncated binary trace (%llu of %llu records)",
+                    path.c_str(),
+                    static_cast<unsigned long long>(consumed),
+                    static_cast<unsigned long long>(total));
+    unpack(buf, out);
+    ++consumed;
+    return true;
+}
+
+void
+BinaryTraceReader::reset()
+{
+    in.clear();
+    in.seekg(16);
+    consumed = 0;
+}
+
+} // namespace trace
+} // namespace sievestore

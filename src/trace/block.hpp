@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Block addressing model.
+ *
+ * All accounting in the paper is at 512-byte block granularity ("All
+ * other numbers count I/O blocks/accesses assuming 512-byte blocks for
+ * accuracy", Section 4), while SSD costing uses 4 KB I/O units. A block
+ * address is identified by (volume, block number) packed into a 64-bit
+ * BlockId so that ensemble-wide structures (caches, sieves, counters) can
+ * use flat hash tables keyed by a single integer.
+ */
+
+#ifndef SIEVESTORE_TRACE_BLOCK_HPP
+#define SIEVESTORE_TRACE_BLOCK_HPP
+
+#include <cstdint>
+
+namespace sievestore {
+namespace trace {
+
+/** Bytes per accounting block (the paper's unit). */
+constexpr uint64_t kBlockBytes = 512;
+
+/** Bytes per SSD I/O unit used for cost assessment (Section 4). */
+constexpr uint64_t kPageBytes = 4096;
+
+/** 512-byte blocks per 4 KB page. */
+constexpr uint64_t kBlocksPerPage = kPageBytes / kBlockBytes;
+
+/** Index of a storage volume, global across the ensemble. */
+using VolumeId = uint16_t;
+
+/** Index of a server within the ensemble. */
+using ServerId = uint8_t;
+
+/** Packed (volume, block-number) identity of one 512-byte block. */
+using BlockId = uint64_t;
+
+constexpr int kVolumeShift = 48;
+constexpr BlockId kBlockNrMask = (1ULL << kVolumeShift) - 1;
+
+/** Pack a volume and a block number into a BlockId. */
+constexpr BlockId
+makeBlockId(VolumeId volume, uint64_t block_nr)
+{
+    return (static_cast<BlockId>(volume) << kVolumeShift) |
+           (block_nr & kBlockNrMask);
+}
+
+/** Volume component of a BlockId. */
+constexpr VolumeId
+volumeOf(BlockId id)
+{
+    return static_cast<VolumeId>(id >> kVolumeShift);
+}
+
+/** Block-number component of a BlockId. */
+constexpr uint64_t
+blockNrOf(BlockId id)
+{
+    return id & kBlockNrMask;
+}
+
+/** 4 KB page index containing the block. */
+constexpr uint64_t
+pageOf(BlockId id)
+{
+    return blockNrOf(id) / kBlocksPerPage;
+}
+
+/** BlockId of the first block of the page containing `id`. */
+constexpr BlockId
+pageStart(BlockId id)
+{
+    return makeBlockId(volumeOf(id),
+                       pageOf(id) * kBlocksPerPage);
+}
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_BLOCK_HPP

@@ -1,0 +1,109 @@
+#include "trace/ensemble.hpp"
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace trace {
+
+ServerId
+EnsembleConfig::addServer(const std::string &key, const std::string &name,
+                          uint16_t volumes, uint16_t spindles,
+                          uint64_t size_gb)
+{
+    if (volumes == 0)
+        util::fatal("server '%s' must have at least one volume",
+                    key.c_str());
+    if (servers_.size() >= 255)
+        util::fatal("ensemble limited to 255 servers");
+
+    ServerInfo srv;
+    srv.id = static_cast<ServerId>(servers_.size());
+    srv.key = key;
+    srv.name = name;
+    srv.volumes = volumes;
+    srv.spindles = spindles;
+    srv.size_gb = size_gb;
+
+    // Partition capacity evenly across the server's volumes; Table 1
+    // reports only per-server totals.
+    const uint64_t total_blocks = size_gb * 1000000000ULL / kBlockBytes;
+    const uint64_t per_volume = total_blocks / volumes;
+    for (uint16_t v = 0; v < volumes; ++v) {
+        VolumeInfo vol;
+        vol.id = static_cast<VolumeId>(volumes_.size());
+        vol.server = srv.id;
+        vol.index_in_server = v;
+        vol.capacity_blocks = per_volume;
+        srv.volume_ids.push_back(vol.id);
+        volumes_.push_back(vol);
+    }
+    servers_.push_back(std::move(srv));
+    return servers_.back().id;
+}
+
+const ServerInfo &
+EnsembleConfig::server(ServerId id) const
+{
+    if (id >= servers_.size())
+        util::fatal("server id %u out of range", unsigned(id));
+    return servers_[id];
+}
+
+const VolumeInfo &
+EnsembleConfig::volume(VolumeId id) const
+{
+    if (id >= volumes_.size())
+        util::fatal("volume id %u out of range", unsigned(id));
+    return volumes_[id];
+}
+
+const ServerInfo &
+EnsembleConfig::serverByKey(const std::string &key) const
+{
+    for (const auto &s : servers_)
+        if (s.key == key)
+            return s;
+    util::fatal("no server with key '%s'", key.c_str());
+}
+
+uint64_t
+EnsembleConfig::totalSizeGb() const
+{
+    uint64_t total = 0;
+    for (const auto &s : servers_)
+        total += s.size_gb;
+    return total;
+}
+
+uint64_t
+EnsembleConfig::totalSpindles() const
+{
+    uint64_t total = 0;
+    for (const auto &s : servers_)
+        total += s.spindles;
+    return total;
+}
+
+EnsembleConfig
+EnsembleConfig::paperEnsemble()
+{
+    EnsembleConfig e;
+    // Table 1 of the paper, verbatim.
+    e.addServer("Usr", "User home dirs", 3, 16, 1367);
+    e.addServer("Proj", "Project dirs", 5, 44, 2094);
+    e.addServer("Prn", "Print server", 2, 6, 452);
+    e.addServer("Hm", "Hardware monitor", 2, 6, 39);
+    e.addServer("Rsrch", "Research projects", 3, 24, 277);
+    e.addServer("Prxy", "Web proxy", 2, 4, 89);
+    e.addServer("Src1", "Source control", 3, 12, 555);
+    e.addServer("Src2", "Source control", 3, 14, 355);
+    e.addServer("Stg", "Web staging", 2, 6, 113);
+    e.addServer("Ts", "Terminal server", 1, 2, 22);
+    e.addServer("Web", "Web/SQL server", 4, 17, 441);
+    e.addServer("Mds", "Media server", 2, 16, 509);
+    e.addServer("Wdev", "Test web server", 4, 12, 136);
+    return e;
+}
+
+} // namespace trace
+} // namespace sievestore

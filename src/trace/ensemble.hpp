@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Storage-ensemble metadata.
+ *
+ * Mirrors Table 1 of the paper: 13 servers, 36 volumes, 179 spindles,
+ * 6449 GB. The synthetic generator, the per-server simulators, and the
+ * Table 1 bench all consume this description; a custom ensemble can be
+ * described with the same structures.
+ */
+
+#ifndef SIEVESTORE_TRACE_ENSEMBLE_HPP
+#define SIEVESTORE_TRACE_ENSEMBLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/block.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/** One storage volume (a LUN exported by a server). */
+struct VolumeInfo
+{
+    /** Global volume index (key into BlockId). */
+    VolumeId id = 0;
+    /** Owning server. */
+    ServerId server = 0;
+    /** Index of the volume within its server (0-based). */
+    uint16_t index_in_server = 0;
+    /** Capacity in 512-byte blocks. */
+    uint64_t capacity_blocks = 0;
+
+    uint64_t capacityBytes() const { return capacity_blocks * kBlockBytes; }
+};
+
+/** One traced server. */
+struct ServerInfo
+{
+    ServerId id = 0;
+    /** Short key used in the paper ("Usr", "Prxy", ...). */
+    std::string key;
+    /** Descriptive name ("User home dirs", ...). */
+    std::string name;
+    /** Number of volumes. */
+    uint16_t volumes = 0;
+    /** Number of HDD spindles behind the server (Table 1). */
+    uint16_t spindles = 0;
+    /** Total capacity in GB (Table 1, decimal GB). */
+    uint64_t size_gb = 0;
+    /** Global ids of this server's volumes. */
+    std::vector<VolumeId> volume_ids;
+};
+
+/**
+ * A described storage ensemble: servers and their volumes with global
+ * volume numbering.
+ */
+class EnsembleConfig
+{
+  public:
+    /** Build an empty ensemble; add servers with addServer(). */
+    EnsembleConfig() = default;
+
+    /**
+     * Append a server with `volumes` equally-sized volumes totalling
+     * `size_gb` decimal gigabytes.
+     * @return the new server's id
+     */
+    ServerId addServer(const std::string &key, const std::string &name,
+                       uint16_t volumes, uint16_t spindles,
+                       uint64_t size_gb);
+
+    const std::vector<ServerInfo> &servers() const { return servers_; }
+    const std::vector<VolumeInfo> &volumes() const { return volumes_; }
+
+    const ServerInfo &server(ServerId id) const;
+    const VolumeInfo &volume(VolumeId id) const;
+
+    /** Find a server by its short key; fatal() if absent. */
+    const ServerInfo &serverByKey(const std::string &key) const;
+
+    size_t serverCount() const { return servers_.size(); }
+    size_t volumeCount() const { return volumes_.size(); }
+
+    /** Sum of server capacities in GB. */
+    uint64_t totalSizeGb() const;
+    /** Sum of server spindle counts. */
+    uint64_t totalSpindles() const;
+
+    /**
+     * The 13-server ensemble of Table 1 (Usr, Proj, Prn, Hm, Rsrch,
+     * Prxy, Src1, Src2, Stg, Ts, Web, Mds, Wdev).
+     */
+    static EnsembleConfig paperEnsemble();
+
+  private:
+    std::vector<ServerInfo> servers_;
+    std::vector<VolumeInfo> volumes_;
+};
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_ENSEMBLE_HPP

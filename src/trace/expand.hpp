@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Request-to-block expansion with completion-time interpolation.
+ *
+ * The cache simulator consumes individual 512-byte BlockAccesses. A
+ * multi-block request is expanded into one access per block; each block's
+ * completion time is linearly interpolated between the request's issue
+ * and completion times (Section 4 of the paper). Allocation of a missed
+ * block can only start once its data has been fetched, i.e. at the
+ * interpolated completion time.
+ */
+
+#ifndef SIEVESTORE_TRACE_EXPAND_HPP
+#define SIEVESTORE_TRACE_EXPAND_HPP
+
+#include <vector>
+
+#include "trace/request.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/**
+ * Interpolated completion time of block i (0-based) of a request
+ * covering n blocks: issue + (i+1)/n of the latency, so the last block
+ * completes exactly at the request's completion time.
+ */
+util::TimeUs interpolatedCompletion(const Request &req, uint32_t i);
+
+/** Expand a request, appending one BlockAccess per covered block. */
+void expandRequest(const Request &req, std::vector<BlockAccess> &out);
+
+/**
+ * Streaming expansion adapter: pulls requests from a reader and yields
+ * BlockAccesses one at a time without materializing the expansion.
+ */
+class BlockAccessStream
+{
+  public:
+    explicit BlockAccessStream(TraceReader &reader);
+
+    /** @retval true an access was produced; false at end of trace. */
+    bool next(BlockAccess &out);
+
+    /** Restart from the beginning of the underlying trace. */
+    void reset();
+
+    /** Requests consumed so far. */
+    uint64_t requests() const { return req_count; }
+    /** Block accesses produced so far. */
+    uint64_t accesses() const { return access_count; }
+
+  private:
+    TraceReader &reader;
+    Request current;
+    uint32_t index = 0;
+    bool have_request = false;
+    uint64_t req_count = 0;
+    uint64_t access_count = 0;
+};
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_EXPAND_HPP

@@ -1,0 +1,48 @@
+#include "trace/merge.hpp"
+
+namespace sievestore {
+namespace trace {
+
+MergedTrace::MergedTrace(std::vector<std::unique_ptr<TraceReader>> sources_)
+    : sources(std::move(sources_))
+{
+}
+
+void
+MergedTrace::prime()
+{
+    for (size_t i = 0; i < sources.size(); ++i) {
+        Request r;
+        if (sources[i]->next(r))
+            heap.push(HeapEntry{r, i});
+    }
+    primed = true;
+}
+
+bool
+MergedTrace::next(Request &out)
+{
+    if (!primed)
+        prime();
+    if (heap.empty())
+        return false;
+    const HeapEntry top = heap.top();
+    heap.pop();
+    out = top.req;
+    Request r;
+    if (sources[top.source]->next(r))
+        heap.push(HeapEntry{r, top.source});
+    return true;
+}
+
+void
+MergedTrace::reset()
+{
+    for (auto &s : sources)
+        s->reset();
+    heap = {};
+    primed = false;
+}
+
+} // namespace trace
+} // namespace sievestore

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * K-way time-ordered merge of trace sources.
+ *
+ * The MSR traces ship as one CSV per server; the ensemble-level
+ * experiments need a single globally time-ordered stream. MergedTrace
+ * performs a heap-based k-way merge over any set of TraceReaders.
+ */
+
+#ifndef SIEVESTORE_TRACE_MERGE_HPP
+#define SIEVESTORE_TRACE_MERGE_HPP
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "trace/trace_reader.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/** Merge several time-ordered readers into one time-ordered stream. */
+class MergedTrace : public TraceReader
+{
+  public:
+    /** @param sources readers to merge; ownership is taken. */
+    explicit MergedTrace(std::vector<std::unique_ptr<TraceReader>> sources);
+
+    bool next(Request &out) override;
+    void reset() override;
+
+  private:
+    struct HeapEntry
+    {
+        Request req;
+        size_t source;
+    };
+    struct Later
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            // Min-heap on time; tie-break on source index for
+            // deterministic interleaving.
+            if (a.req.time != b.req.time)
+                return a.req.time > b.req.time;
+            return a.source > b.source;
+        }
+    };
+
+    void prime();
+
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap;
+    bool primed = false;
+};
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_MERGE_HPP

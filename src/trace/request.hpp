@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The block-device request record.
+ *
+ * A request is what the traces record: a multi-block read or write issued
+ * by one server to one volume, with an issue timestamp and a measured
+ * latency. Cache simulation operates on the per-block expansion of
+ * requests (see expand.hpp).
+ */
+
+#ifndef SIEVESTORE_TRACE_REQUEST_HPP
+#define SIEVESTORE_TRACE_REQUEST_HPP
+
+#include <cstdint>
+
+#include "trace/block.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/** Request direction. */
+enum class Op : uint8_t { Read = 0, Write = 1 };
+
+/**
+ * One multi-block I/O request as recorded below the buffer cache.
+ */
+struct Request
+{
+    /** Issue time, microseconds since trace origin (calendar midnight). */
+    util::TimeUs time = 0;
+    /** First 512-byte block touched (within `volume`). */
+    uint64_t offset_blocks = 0;
+    /** Number of 512-byte blocks touched (>= 1). */
+    uint32_t length_blocks = 0;
+    /** Measured request latency; completion = time + latency. */
+    uint32_t latency_us = 0;
+    /** Global volume index. */
+    VolumeId volume = 0;
+    /** Server that issued the request. */
+    ServerId server = 0;
+    /** Read or write. */
+    Op op = Op::Read;
+
+    /** Completion time of the whole request. */
+    util::TimeUs completion() const { return time + latency_us; }
+
+    /** BlockId of the i-th block covered by this request. */
+    BlockId
+    blockAt(uint32_t i) const
+    {
+        return makeBlockId(volume, offset_blocks + i);
+    }
+
+    /** Total bytes transferred. */
+    uint64_t bytes() const { return uint64_t(length_blocks) * kBlockBytes; }
+};
+
+/** Strict-weak ordering by issue time (ties broken deterministically). */
+inline bool
+requestTimeLess(const Request &a, const Request &b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.volume != b.volume)
+        return a.volume < b.volume;
+    if (a.offset_blocks != b.offset_blocks)
+        return a.offset_blocks < b.offset_blocks;
+    return a.op < b.op;
+}
+
+/**
+ * One 512-byte block access, the unit the cache simulator consumes.
+ * Produced by expanding a Request; carries the linearly-interpolated
+ * completion time of its parent request (Section 4: "We used linear
+ * interpolation to infer completion times for individual blocks in cases
+ * of large, multi-block requests").
+ */
+struct BlockAccess
+{
+    /** Issue time inherited from the parent request. */
+    util::TimeUs time = 0;
+    /** Interpolated completion time of this block. */
+    util::TimeUs completion = 0;
+    /** Identity of the block. */
+    BlockId block = 0;
+    /** Server that issued the parent request. */
+    ServerId server = 0;
+    /** Read or write. */
+    Op op = Op::Read;
+};
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_REQUEST_HPP

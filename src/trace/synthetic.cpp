@@ -1,0 +1,621 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hashing.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace trace {
+
+using util::TimeUs;
+
+int
+SyntheticConfig::calendarDays() const
+{
+    const double end_hour = start_hour + duration_hours;
+    return static_cast<int>(std::ceil(end_hour / 24.0));
+}
+
+uint64_t
+SyntheticConfig::scaledBytes(uint64_t bytes) const
+{
+    return static_cast<uint64_t>(static_cast<double>(bytes) * scale);
+}
+
+SyntheticEnsembleGenerator::SyntheticEnsembleGenerator(
+        const EnsembleConfig &ensemble, std::vector<ServerProfile> profiles_,
+        SyntheticConfig config)
+    : ensemble_(ensemble), profiles(std::move(profiles_)), config_(config)
+{
+    if (profiles.size() != ensemble_.serverCount())
+        util::fatal("expected %zu server profiles, got %zu",
+                    ensemble_.serverCount(), profiles.size());
+    if (config_.scale <= 0.0 || config_.scale > 1.0)
+        util::fatal("synthetic scale must be in (0, 1], got %f",
+                    config_.scale);
+    for (const auto &p : profiles) {
+        if (p.singleton_frac + p.low_reuse_frac > 1.0)
+            util::fatal("cold-class fractions exceed 1");
+        if (p.hot_block_frac <= 0.0 || p.hot_block_frac >= 0.5)
+            util::fatal("hot_block_frac must be in (0, 0.5)");
+    }
+    planHotSets();
+}
+
+std::vector<ServerProfile>
+SyntheticEnsembleGenerator::paperProfiles(const EnsembleConfig &ensemble)
+{
+    // Footprint weights model per-server activity (not just capacity):
+    // the paper's busy servers (Proj, Usr, Src1/2, Prxy by request count)
+    // dominate the daily footprint. Skew personalities implement O2:
+    // Prxy is extremely skewed, Src1 nearly skewless (Fig. 3(a)); Web
+    // concentrates its hot set on volume 0 (Fig. 3(b)); Stg's skew
+    // varies wildly day-to-day (Fig. 3(c)).
+    struct P
+    {
+        const char *key;
+        double weight, hot_frac, median, sigma, giants, day_sigma, read,
+            scan_hour;
+    };
+    static const P table[] = {
+        // key     weight hotfrac med  sig   giant daysig read scan@
+        {"Usr",    1.9,   0.012,  48,  0.45, 0.010, 0.30, 0.75,  3.0},
+        {"Proj",   2.6,   0.010,  45,  0.45, 0.008, 0.35, 0.80,  1.0},
+        {"Prn",    0.55,  0.008,  39,  0.40, 0.006, 0.40, 0.55,  5.0},
+        {"Hm",     0.22,  0.015,  45,  0.40, 0.010, 0.35, 0.45, 23.0},
+        {"Rsrch",  0.55,  0.010,  42,  0.40, 0.008, 0.35, 0.75,  4.0},
+        {"Prxy",   0.50,  0.030,  91,  0.55, 0.040, 0.25, 0.70,  9.0},
+        {"Src1",   1.3,   0.003,  17,  0.40, 0.002, 0.30, 0.80,  2.0},
+        {"Src2",   0.85,  0.010,  39,  0.40, 0.008, 0.35, 0.80,  0.0},
+        {"Stg",    0.45,  0.012,  45,  0.45, 0.010, 1.10, 0.70, 22.0},
+        {"Ts",     0.12,  0.015,  45,  0.40, 0.010, 0.40, 0.70,  6.0},
+        {"Web",    0.85,  0.015,  53,  0.50, 0.015, 0.40, 0.70, 13.0},
+        {"Mds",    0.75,  0.006,  25,  0.40, 0.004, 0.40, 0.85, 21.0},
+        {"Wdev",   0.40,  0.012,  45,  0.40, 0.010, 0.45, 0.70,  4.0},
+    };
+
+    std::vector<ServerProfile> out;
+    for (const auto &srv : ensemble.servers()) {
+        const P *match = nullptr;
+        for (const auto &p : table)
+            if (srv.key == p.key)
+                match = &p;
+        ServerProfile prof;
+        if (match) {
+            prof.footprint_weight = match->weight;
+            prof.hot_block_frac = match->hot_frac;
+            prof.hot_median_count = match->median;
+            prof.hot_count_sigma = match->sigma;
+            prof.hot_giant_frac = match->giants;
+            prof.hot_day_sigma = match->day_sigma;
+            prof.read_frac = match->read;
+            prof.scan_hour = match->scan_hour;
+        }
+        if (srv.key == "Web") {
+            // Volume 0 holds most of the hot set (Fig. 3(b)).
+            prof.volume_hot_weights = {0.82, 0.08, 0.05, 0.05};
+        }
+        if (srv.key == "Prxy") {
+            prof.diurnal_amplitude = 0.7;
+            prof.scan_windows_per_day = 2.5;
+        }
+        out.push_back(std::move(prof));
+    }
+    return out;
+}
+
+SyntheticEnsembleGenerator
+SyntheticEnsembleGenerator::paper(const EnsembleConfig &ensemble,
+                                  SyntheticConfig config)
+{
+    return SyntheticEnsembleGenerator(ensemble, paperProfiles(ensemble),
+                                      config);
+}
+
+double
+SyntheticEnsembleGenerator::dayCoverage(int day) const
+{
+    TimeUs begin, end;
+    dayWindow(day, begin, end);
+    if (end <= begin)
+        return 0.0;
+    return static_cast<double>(end - begin) /
+           static_cast<double>(util::kUsPerDay);
+}
+
+void
+SyntheticEnsembleGenerator::dayWindow(int day, TimeUs &begin,
+                                      TimeUs &end) const
+{
+    const auto trace_begin = static_cast<TimeUs>(
+        config_.start_hour * static_cast<double>(util::kUsPerHour));
+    const auto trace_end = trace_begin + static_cast<TimeUs>(
+        config_.duration_hours * static_cast<double>(util::kUsPerHour));
+    const TimeUs day_begin = static_cast<TimeUs>(day) * util::kUsPerDay;
+    const TimeUs day_end = day_begin + util::kUsPerDay;
+    begin = std::max(trace_begin, day_begin);
+    end = std::min(trace_end, day_end);
+    if (end < begin)
+        end = begin;
+}
+
+util::Rng
+SyntheticEnsembleGenerator::rngFor(uint64_t stream, ServerId server,
+                                   int day) const
+{
+    const uint64_t key = (stream << 40) ^
+                         (static_cast<uint64_t>(server) << 32) ^
+                         static_cast<uint64_t>(static_cast<uint32_t>(day));
+    return util::Rng(util::seededHash(key, config_.seed));
+}
+
+void
+SyntheticEnsembleGenerator::planHotSets()
+{
+    const int n_days = days();
+    const size_t n_servers = ensemble_.serverCount();
+
+    double weight_sum = 0.0;
+    for (const auto &p : profiles)
+        weight_sum += p.footprint_weight;
+
+    hot_plans.assign(n_days, {});
+    unique_budget.assign(n_days, std::vector<double>(n_servers, 0.0));
+    for (int d = 0; d < n_days; ++d)
+        hot_plans[d].resize(n_servers);
+
+    for (size_t s = 0; s < n_servers; ++s) {
+        const ServerProfile &prof = profiles[s];
+        const ServerInfo &srv = ensemble_.servers()[s];
+
+        // Hot-placement distribution over the server's volumes.
+        std::vector<double> vol_weights = prof.volume_hot_weights;
+        if (vol_weights.empty())
+            vol_weights.assign(srv.volume_ids.size(), 1.0);
+        if (vol_weights.size() != srv.volume_ids.size())
+            util::fatal("server %s: %zu volume_hot_weights for %zu volumes",
+                        srv.key.c_str(), vol_weights.size(),
+                        srv.volume_ids.size());
+        const util::AliasTable vol_picker(vol_weights);
+
+        // The retained identity of hot pages across days. The
+        // popularity percentile sticks to the page so per-page daily
+        // counts are stable (giants remain giants until they drift out
+        // of the hot set).
+        struct PoolPage
+        {
+            VolumeId volume;
+            uint64_t page;
+            float read_prob;
+            float base_count; ///< persistent daily count (pre-jitter)
+        };
+        std::vector<PoolPage> pool;
+
+        for (int d = 0; d < n_days; ++d) {
+            const double coverage = dayCoverage(d);
+            if (coverage <= 0.0)
+                continue;
+            util::Rng rng = rngFor(0, static_cast<ServerId>(s), d);
+
+            const double day_mult =
+                rng.nextLogNormal(0.0, prof.footprint_day_sigma);
+            const double unique =
+                config_.unique_blocks_per_day * config_.scale *
+                (prof.footprint_weight / weight_sum) * day_mult * coverage;
+            unique_budget[d][s] = unique;
+
+            // The hot working set does not shrink on partial days —
+            // only the observed counts do. Size the pool from the
+            // full-day footprint so a 7-hour calendar day 0 still
+            // exposes (at reduced counts) the same hot set that day 1
+            // will reuse; counts are scaled by `coverage` below.
+            const size_t n_pages = static_cast<size_t>(std::max(
+                1.0, std::round(prof.hot_block_frac * unique /
+                                (coverage *
+                                 static_cast<double>(kBlocksPerPage)))));
+
+            // Evolve the pool: retain with probability hot_overlap,
+            // then grow/shrink to n_pages.
+            std::vector<PoolPage> next;
+            next.reserve(n_pages);
+            for (const auto &p : pool) {
+                if (next.size() < n_pages && rng.nextBool(prof.hot_overlap))
+                    next.push_back(p);
+            }
+            while (next.size() < n_pages) {
+                const size_t vi = vol_picker.sample(rng);
+                const VolumeInfo &vol =
+                    ensemble_.volume(srv.volume_ids[vi]);
+                const uint64_t pages =
+                    std::max<uint64_t>(1, vol.capacity_blocks /
+                                              kBlocksPerPage);
+                PoolPage p;
+                p.volume = vol.id;
+                p.page = rng.nextBelow(pages);
+                p.read_prob = rng.nextBool(0.7) ? 0.92f : 0.35f;
+                // Persistent base count: lognormal bulk or giant tail.
+                double base;
+                if (rng.nextBool(prof.hot_giant_frac)) {
+                    const double u =
+                        std::max(1e-6, 1.0 - rng.nextDouble());
+                    base = prof.hot_giant_min *
+                           std::pow(1.0 / u, prof.hot_zipf_exponent);
+                } else {
+                    base = rng.nextLogNormal(
+                        std::log(prof.hot_median_count),
+                        prof.hot_count_sigma);
+                }
+                p.base_count = static_cast<float>(
+                    std::min(base, prof.hot_count_cap));
+                next.push_back(p);
+            }
+            pool = std::move(next);
+
+            // Today's per-page count: the persistent base, modulated by
+            // the server-day intensity and a small per-page jitter.
+            const double intensity =
+                rng.nextLogNormal(0.0, prof.hot_day_sigma) * coverage;
+            auto &plan = hot_plans[d][s];
+            plan.reserve(pool.size());
+            for (const PoolPage &p : pool) {
+                double c = static_cast<double>(p.base_count);
+                c = std::min(c, prof.hot_count_cap);
+                c *= intensity *
+                     rng.nextLogNormal(0.0, prof.hot_page_sigma);
+                HotPage hp;
+                hp.volume = p.volume;
+                hp.page = p.page;
+                hp.count = static_cast<uint32_t>(
+                    std::max(1.0, std::round(c)));
+                hp.read_prob = p.read_prob;
+                plan.push_back(hp);
+            }
+        }
+    }
+}
+
+const std::vector<SyntheticEnsembleGenerator::HotPage> &
+SyntheticEnsembleGenerator::hotPlan(ServerId server, int day) const
+{
+    return hot_plans.at(static_cast<size_t>(day)).at(server);
+}
+
+std::vector<double>
+SyntheticEnsembleGenerator::minuteWeights(ServerId server, int day,
+                                          util::Rng &rng,
+                                          bool with_bursts) const
+{
+    const ServerProfile &prof = profiles[server];
+    TimeUs begin, end;
+    dayWindow(day, begin, end);
+    const size_t minutes = static_cast<size_t>(
+        (end - begin + util::kUsPerMinute - 1) / util::kUsPerMinute);
+    std::vector<double> w(std::max<size_t>(1, minutes), 1.0);
+
+    constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+    for (size_t m = 0; m < w.size(); ++m) {
+        const TimeUs t = begin + m * util::kUsPerMinute;
+        const double hour =
+            static_cast<double>(t % util::kUsPerDay) /
+            static_cast<double>(util::kUsPerHour);
+        const double phase =
+            kTwoPi * (hour - prof.diurnal_peak_hour) / 24.0;
+        w[m] = std::max(
+            0.05, 1.0 + prof.diurnal_amplitude * std::cos(phase));
+    }
+
+    // Scan windows: sustained (1-4 h) periods of elevated scan traffic
+    // (nightly backups, indexing). Applied to cold traffic only; hot
+    // blocks are steady-state. Windows are anchored near the server's
+    // preferred scan hour, so they rarely align across servers
+    // (correlated ensemble-wide bursts are rare, Section 1).
+    if (!with_bursts)
+        return w;
+    const double coverage = dayCoverage(day);
+    const uint64_t windows = std::max<uint64_t>(
+        coverage > 0.5 ? 1 : 0,
+        rng.nextPoisson(prof.scan_windows_per_day * coverage));
+    for (uint64_t b = 0; b < windows; ++b) {
+        // Window start hour: preferred hour +/- ~2 h (wrapped).
+        double hour =
+            prof.scan_hour + rng.nextGaussian() * 2.0;
+        hour = hour - 24.0 * std::floor(hour / 24.0);
+        // Map the absolute hour onto this day's minute window.
+        const double begin_hour =
+            static_cast<double>(begin % util::kUsPerDay) /
+            static_cast<double>(util::kUsPerHour);
+        double rel_hour = hour - begin_hour;
+        if (rel_hour < 0.0)
+            rel_hour += 24.0;
+        const size_t start = static_cast<size_t>(rel_hour * 60.0) %
+                             w.size();
+        const size_t len =
+            static_cast<size_t>(rng.nextInRange(30, 90));
+        const double mult =
+            prof.scan_multiplier * (0.7 + 0.6 * rng.nextDouble());
+        for (size_t m = start; m < std::min(start + len, w.size()); ++m)
+            w[m] *= mult;
+    }
+    return w;
+}
+
+TimeUs
+SyntheticEnsembleGenerator::sampleTime(
+        const std::vector<double> &minute_weights, TimeUs begin, TimeUs end,
+        util::Rng &rng) const
+{
+    // This helper assumes an alias table would be overkill at the call
+    // rate involved; callers with high rates pre-build an AliasTable and
+    // sample minutes directly (see emitHotRequests).
+    (void)minute_weights;
+    if (end <= begin + 1)
+        return begin;
+    return rng.nextInRange(begin, end - 1);
+}
+
+uint32_t
+SyntheticEnsembleGenerator::sampleLatency(uint64_t bytes,
+                                          util::Rng &rng) const
+{
+    // Seek/queue base + transfer at ~80 MB/s + exponential queueing
+    // noise; typical of the 7.2k-10k RPM arrays behind the traced
+    // servers.
+    const double base = 2000.0;
+    const double transfer = static_cast<double>(bytes) / 80.0;
+    const double noise = rng.nextExponential(3000.0);
+    double total = base + transfer + noise;
+    if (total > 4.0e9)
+        total = 4.0e9;
+    return static_cast<uint32_t>(total);
+}
+
+void
+SyntheticEnsembleGenerator::emitHotRequests(ServerId server, int day,
+                                            std::vector<Request> &out) const
+{
+    const auto &plan = hotPlan(server, day);
+    if (plan.empty())
+        return;
+    TimeUs begin, end;
+    dayWindow(day, begin, end);
+    if (end <= begin)
+        return;
+
+    util::Rng rng = rngFor(1, server, day);
+    const ServerProfile &prof = profiles[server];
+    const double coverage = dayCoverage(day);
+    const uint32_t max_sessions = static_cast<uint32_t>(std::max(
+        1.0, std::round(prof.hot_sessions_per_day * coverage)));
+
+    // Sessions are spaced evenly in *cumulative traffic time*, not wall
+    // time: activity to a hot block tracks the server's interactive
+    // (diurnal) activity, so inter-session gaps stretch through quiet
+    // hours roughly as the shared cache's residency does. Scan windows
+    // are deliberately excluded — batch scans do not re-reference the
+    // interactive hot set, and spacing against them would bunch a
+    // server's hot sessions inside its own scan storms.
+    util::Rng wrng = rngFor(3, server, day);
+    const std::vector<double> load =
+        minuteWeights(server, day, wrng, false);
+    std::vector<double> prefix(load.size() + 1, 0.0);
+    for (size_t m = 0; m < load.size(); ++m)
+        prefix[m + 1] = prefix[m] + load[m];
+    const double total_load = prefix.back();
+
+    auto minute_at_quantile = [&](double q) {
+        const double target = q * total_load;
+        const auto it =
+            std::upper_bound(prefix.begin(), prefix.end(), target);
+        size_t m = static_cast<size_t>(it - prefix.begin());
+        return m == 0 ? size_t(0) : std::min(m - 1, load.size() - 1);
+    };
+
+    for (const auto &hp : plan) {
+        const uint32_t n_sessions = std::min(hp.count, max_sessions);
+        const double step = 1.0 / static_cast<double>(n_sessions);
+        // Page-specific phase so sessions of different pages interleave.
+        const double phase = rng.nextDouble() * step;
+        uint32_t remaining = hp.count;
+        for (uint32_t s = 0; s < n_sessions; ++s) {
+            // Spread the count evenly; early sessions take remainders.
+            const uint32_t session =
+                remaining / (n_sessions - s) +
+                (remaining % (n_sessions - s) ? 1 : 0);
+            // Near-periodic (in traffic time) with +/-20 % jitter.
+            double q = phase + s * step +
+                       (rng.nextDouble() - 0.5) * 0.4 * step;
+            if (q < 0.0)
+                q = 0.0;
+            if (q >= 1.0)
+                q = 1.0 - 1e-9;
+            const size_t minute = minute_at_quantile(q);
+            TimeUs t = begin + minute * util::kUsPerMinute +
+                       rng.nextBelow(util::kUsPerMinute);
+            for (uint32_t i = 0; i < session; ++i) {
+                if (t >= end)
+                    t = end - 1;
+                Request req;
+                req.time = t;
+                req.volume = hp.volume;
+                req.server = server;
+                req.op =
+                    rng.nextBool(hp.read_prob) ? Op::Read : Op::Write;
+                req.offset_blocks = hp.page * kBlocksPerPage;
+                req.length_blocks = static_cast<uint32_t>(kBlocksPerPage);
+                if (rng.nextBool(config_.unaligned_frac)) {
+                    // Misaligned 4 KB request (Section 4: ~6 %).
+                    req.offset_blocks +=
+                        rng.nextInRange(1, kBlocksPerPage - 1);
+                }
+                req.latency_us = sampleLatency(req.bytes(), rng);
+                out.push_back(req);
+                t += static_cast<TimeUs>(
+                    rng.nextExponential(prof.session_gap_us));
+            }
+            remaining -= session;
+        }
+    }
+}
+
+void
+SyntheticEnsembleGenerator::emitColdRequests(ServerId server, int day,
+                                             std::vector<Request> &out) const
+{
+    const ServerProfile &prof = profiles[server];
+    const ServerInfo &srv = ensemble_.servers()[server];
+    TimeUs begin, end;
+    dayWindow(day, begin, end);
+    if (end <= begin)
+        return;
+
+    const double hot_blocks =
+        static_cast<double>(hotPlan(server, day).size()) *
+        static_cast<double>(kBlocksPerPage);
+    double remaining =
+        unique_budget[static_cast<size_t>(day)][server] - hot_blocks;
+    if (remaining <= 0.0)
+        return;
+
+    util::Rng wrng = rngFor(4, server, day);
+    const std::vector<double> weights =
+        minuteWeights(server, day, wrng, true);
+    const util::AliasTable minute_picker(weights);
+
+    // Cold data is spread capacity-proportionally over volumes.
+    std::vector<double> vol_weights;
+    for (VolumeId v : srv.volume_ids)
+        vol_weights.push_back(
+            static_cast<double>(ensemble_.volume(v).capacity_blocks));
+    const util::AliasTable vol_picker(vol_weights);
+
+    // Extent lengths in 4 KB pages; mean ~12 pages (~48 KB scans).
+    static const uint64_t kExtentPages[] = {1, 2, 4, 8, 16, 32, 64, 128};
+    static const std::vector<double> kExtentWeights =
+        {0.15, 0.15, 0.20, 0.20, 0.15, 0.08, 0.05, 0.02};
+    const util::AliasTable extent_picker(kExtentWeights);
+
+    constexpr uint64_t kMaxChunkBlocks = 32 * kBlocksPerPage; // 128 KB
+
+    util::Rng rng = rngFor(2, server, day);
+    while (remaining > 0.0) {
+        uint64_t extent_blocks =
+            kExtentPages[extent_picker.sample(rng)] * kBlocksPerPage;
+        if (static_cast<double>(extent_blocks) > remaining)
+            extent_blocks = std::max<uint64_t>(
+                kBlocksPerPage,
+                (static_cast<uint64_t>(remaining) / kBlocksPerPage) *
+                    kBlocksPerPage);
+
+        const VolumeInfo &vol =
+            ensemble_.volume(srv.volume_ids[vol_picker.sample(rng)]);
+        const uint64_t max_start =
+            vol.capacity_blocks > extent_blocks
+                ? vol.capacity_blocks - extent_blocks
+                : 0;
+        uint64_t start = max_start > 0 ? rng.nextBelow(max_start) : 0;
+        start = (start / kBlocksPerPage) * kBlocksPerPage;
+
+        // Reuse class: singleton, low-reuse (2-4), or warm (5-10).
+        uint32_t reps;
+        const double u = rng.nextDouble();
+        if (u < prof.singleton_frac)
+            reps = 1;
+        else if (u < prof.singleton_frac + prof.low_reuse_frac)
+            reps = static_cast<uint32_t>(rng.nextInRange(2, 4));
+        else
+            reps = static_cast<uint32_t>(rng.nextInRange(5, 10));
+
+        for (uint32_t rep = 0; rep < reps; ++rep) {
+            // The first scan rides the server's scan windows; re-scans
+            // happen at unrelated times (a different job re-reading the
+            // data), spread across the whole day.
+            const size_t minute =
+                rep == 0 ? minute_picker.sample(rng)
+                         : static_cast<size_t>(rng.nextBelow(
+                               std::max<uint64_t>(1, weights.size())));
+            TimeUs t = begin + minute * util::kUsPerMinute +
+                       rng.nextBelow(util::kUsPerMinute);
+            const Op op =
+                rng.nextBool(prof.read_frac) ? Op::Read : Op::Write;
+
+            // Scan the extent as a chain of sequential chunk requests.
+            uint64_t off = start;
+            uint64_t left = extent_blocks;
+            const bool unaligned = rng.nextBool(config_.unaligned_frac);
+            if (unaligned)
+                off += rng.nextInRange(1, kBlocksPerPage - 1);
+            while (left > 0) {
+                const uint64_t chunk = std::min(left, kMaxChunkBlocks);
+                Request req;
+                req.time = t;
+                req.volume = vol.id;
+                req.server = server;
+                req.op = op;
+                req.offset_blocks = off;
+                req.length_blocks = static_cast<uint32_t>(chunk);
+                req.latency_us = sampleLatency(req.bytes(), rng);
+                if (req.time >= end)
+                    req.time = end - 1;
+                out.push_back(req);
+                t += req.latency_us;
+                off += chunk;
+                left -= chunk;
+            }
+        }
+        remaining -= static_cast<double>(extent_blocks);
+    }
+}
+
+std::vector<Request>
+SyntheticEnsembleGenerator::generateServerDay(ServerId server,
+                                              int day) const
+{
+    if (day < 0 || day >= days())
+        util::fatal("day %d outside trace (0..%d)", day, days() - 1);
+    std::vector<Request> out;
+    emitHotRequests(server, day, out);
+    emitColdRequests(server, day, out);
+    std::sort(out.begin(), out.end(), requestTimeLess);
+    return out;
+}
+
+std::vector<Request>
+SyntheticEnsembleGenerator::generateDay(int day) const
+{
+    if (day < 0 || day >= days())
+        util::fatal("day %d outside trace (0..%d)", day, days() - 1);
+    std::vector<Request> out;
+    for (size_t s = 0; s < ensemble_.serverCount(); ++s) {
+        emitHotRequests(static_cast<ServerId>(s), day, out);
+        emitColdRequests(static_cast<ServerId>(s), day, out);
+    }
+    std::sort(out.begin(), out.end(), requestTimeLess);
+    return out;
+}
+
+bool
+SyntheticEnsembleGenerator::next(Request &out)
+{
+    while (stream_pos >= stream_buffer.size()) {
+        if (stream_day >= days())
+            return false;
+        stream_buffer = generateDay(stream_day++);
+        stream_pos = 0;
+    }
+    out = stream_buffer[stream_pos++];
+    return true;
+}
+
+void
+SyntheticEnsembleGenerator::reset()
+{
+    stream_buffer.clear();
+    stream_pos = 0;
+    stream_day = 0;
+}
+
+} // namespace trace
+} // namespace sievestore

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Synthetic storage-ensemble workload generator.
+ *
+ * Stands in for the proprietary MSR Cambridge traces the paper analyzes.
+ * The generator is a statistical model fitted to everything the paper
+ * reports about those traces:
+ *
+ *  - O1 (popularity skew): ~1 % of each day's accessed blocks draw a
+ *    large, day-varying share (14-53 %) of accesses; the block at the
+ *    top-1 % boundary sees ~10 accesses/day; the top 0.01 % bin averages
+ *    1000+; ~50 % of accessed blocks are singletons and the next ~47 %
+ *    see <= 4 accesses.
+ *  - O2 (skew variation): skew differs across servers (Prxy extreme,
+ *    Src1 near-linear), across volumes of one server (Web vol-0 vs
+ *    vol-1), and across days for one server (Stg); the composition of
+ *    the ensemble top-1 % by server churns daily.
+ *  - Trace shape: 13 servers (Table 1), one week starting 5:00 pm so
+ *    calendar day 0 is a 7-hour partial day (the paper's "day 1
+ *    outlier"), ~3:1 read:write, ~6 % of requests not 4 KB aligned,
+ *    multi-block sequential scans, diurnal load with occasional bursts
+ *    that rarely align across servers.
+ *
+ * Mechanically, each server-day is planned as (a) a persistent pool of
+ * hot 4 KB pages -- lognormal-bulk daily counts plus a thin giant tail --
+ * that drifts day-to-day with high overlap, accessed in short periodic
+ * sessions spaced in traffic time (see ServerProfile field docs for the
+ * cache-behaviour rationale), and (b) a population of sequential cold
+ * extents scanned 1-10 times, concentrated into per-server scan
+ * windows. The plan is scheduled onto a diurnal intensity profile and
+ * emitted as time-sorted multi-block requests.
+ *
+ * Everything is deterministic given SyntheticConfig::seed.
+ */
+
+#ifndef SIEVESTORE_TRACE_SYNTHETIC_HPP
+#define SIEVESTORE_TRACE_SYNTHETIC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/ensemble.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/random.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/**
+ * Per-server workload personality. Defaults are neutral; the paper
+ * ensemble gets curated values from paperProfiles().
+ */
+struct ServerProfile
+{
+    /** Relative share of the ensemble's daily unique blocks. */
+    double footprint_weight = 1.0;
+    /** Fraction of the server's daily unique blocks that are hot. */
+    double hot_block_frac = 0.01;
+    /**
+     * Hot-page daily access counts are a lognormal bulk plus a thin
+     * Pareto tail of "giants" (log/metadata-style blocks written
+     * constantly). The lognormal bulk concentrates the hot mass at
+     * ~20-120 accesses/day — blocks whose block-layer interarrival
+     * exceeds an unsieved cache's residency (so LRU keeps re-faulting
+     * them) but which a sieve admits permanently. The thin lower tail
+     * puts the count at the top-1 % rank boundary at ~10/day (O1); the
+     * giants reproduce Fig. 2(a)'s 1000+-access top bins. Each page's
+     * base count is persistent across days (giants stay giants), which
+     * is the cross-day stability SieveStore-D relies on.
+     */
+    double hot_median_count = 45.0;
+    /** Lognormal sigma of the bulk count distribution. */
+    double hot_count_sigma = 0.45;
+    /** Fraction of hot pages that are giants. */
+    double hot_giant_frac = 0.01;
+    /** Minimum giant daily count. */
+    double hot_giant_min = 800.0;
+    /** Pareto exponent of the giant tail. */
+    double hot_zipf_exponent = 0.7;
+    /** Day-to-day lognormal jitter of an individual page's count. */
+    double hot_page_sigma = 0.20;
+    /**
+     * Hot-block accesses arrive in periodic *sessions*: the server's
+     * RAM buffer cache absorbs tight reuse, so the block layer sees a
+     * short cluster of accesses each time the block falls out of the
+     * buffer cache — at near-regular intervals (periodic jobs, polling,
+     * cache-expiry cycles). The session count per day is bounded, so
+     * inter-session gaps sit *above* an unsieved cache's residency: the
+     * unsieved LRU re-faults the block at every session and captures
+     * only within-session tails, while a sieve admits the block once,
+     * permanently. This gap is where the paper's 35-50 % hit advantage
+     * of SieveStore over AOD/WMNA lives.
+     */
+    double hot_sessions_per_day = 30.0;
+    /** Mean gap between accesses inside a session, microseconds. */
+    double session_gap_us = 30.0e6;
+    /** Cap on a single page's daily access count (bends the curve top). */
+    double hot_count_cap = 4000.0;
+    /** Day-to-day lognormal sigma of hot intensity (skew-in-time). */
+    double hot_day_sigma = 0.35;
+    /** Day-to-day lognormal sigma of footprint size. */
+    double footprint_day_sigma = 0.25;
+    /** Probability a hot page is retained in the next day's hot set
+     * (the paper: "significant overlap in successive days"). */
+    double hot_overlap = 0.92;
+    /** Relative hot-page placement weight per volume (empty: uniform). */
+    std::vector<double> volume_hot_weights;
+    /** Fraction of requests that are reads. */
+    double read_frac = 0.75;
+    /** Fraction of a day's non-hot unique blocks that are singletons. */
+    double singleton_frac = 0.52;
+    /** Fraction with 2-4 accesses (rest up to warm_frac: 5-10). */
+    double low_reuse_frac = 0.46;
+    /** Diurnal modulation amplitude in [0, 1). */
+    double diurnal_amplitude = 0.5;
+    /** Hour of peak load (local). */
+    double diurnal_peak_hour = 14.0;
+    /**
+     * Scan windows: cold/scan traffic concentrates into a few sustained
+     * windows per day (nightly backups, indexing, crawls) — the miss
+     * storms that thrash an unsieved cache and drive WMNA's occupancy
+     * peaks in Figure 8. Hot traffic does not follow these windows, and
+     * windows are independent across servers (correlated ensemble-wide
+     * bursts are rare).
+     */
+    double scan_windows_per_day = 2.0;
+    /** Preferred local hour at which scan windows start. */
+    double scan_hour = 2.0;
+    /** Intensity multiplier inside a scan window. */
+    double scan_multiplier = 8.0;
+};
+
+/** Global generator parameters. */
+struct SyntheticConfig
+{
+    /** Master seed; all randomness derives from it. */
+    uint64_t seed = 0x51e5e5704eULL;
+    /**
+     * Fraction of the paper's traffic volume to generate. Cache sizes
+     * and SSD rates must be scaled identically (scaledBytes()).
+     */
+    double scale = 1.0 / 1024.0;
+    /** Hour of day 0 at which the trace starts (paper: 5 pm). */
+    double start_hour = 17.0;
+    /** Trace length in hours (paper: one week). */
+    double duration_hours = 7.0 * 24.0;
+    /**
+     * Ensemble-average unique blocks touched per full day at scale 1,
+     * fitted to the paper's 685 GB/day average footprint.
+     */
+    double unique_blocks_per_day = 685.0e9 / 512.0;
+    /** ~6 % of requests are not 4 KB aligned (Section 4). */
+    double unaligned_frac = 0.06;
+
+    /** Number of calendar days the trace spans (start + duration). */
+    int calendarDays() const;
+    /** Scale a full-size byte quantity (e.g. a 16 GB cache). */
+    uint64_t scaledBytes(uint64_t bytes) const;
+};
+
+/**
+ * The generator. Use as a TraceReader for a globally time-ordered
+ * stream, or call generateDay() for day-at-a-time access.
+ */
+class SyntheticEnsembleGenerator : public TraceReader
+{
+  public:
+    /**
+     * @param ensemble ensemble description (usually paperEnsemble())
+     * @param profiles one profile per server, same order as ensemble
+     * @param config   global parameters
+     */
+    SyntheticEnsembleGenerator(const EnsembleConfig &ensemble,
+                               std::vector<ServerProfile> profiles,
+                               SyntheticConfig config);
+
+    /** Curated profiles reproducing O1/O2 for the Table 1 ensemble. */
+    static std::vector<ServerProfile>
+    paperProfiles(const EnsembleConfig &ensemble);
+
+    /** Convenience: paper ensemble + paper profiles. */
+    static SyntheticEnsembleGenerator
+    paper(const EnsembleConfig &ensemble, SyntheticConfig config);
+
+    /**
+     * All requests of one calendar day (time-sorted, all servers).
+     * Deterministic and independent of generation order.
+     * @param day 0-based calendar day; day 0 is the 7-hour partial day
+     */
+    std::vector<Request> generateDay(int day) const;
+
+    /** Requests of one calendar day for a single server (time-sorted). */
+    std::vector<Request> generateServerDay(ServerId server, int day) const;
+
+    /** Number of calendar days in the trace. */
+    int days() const { return config_.calendarDays(); }
+
+    const SyntheticConfig &config() const { return config_; }
+    const EnsembleConfig &ensemble() const { return ensemble_; }
+
+    // TraceReader interface: streams day 0, day 1, ... transparently.
+    bool next(Request &out) override;
+    void reset() override;
+
+  private:
+    /** One hot page and its planned daily access count. */
+    struct HotPage
+    {
+        VolumeId volume;
+        uint64_t page;
+        uint32_t count;
+        float read_prob;
+    };
+
+    /** Fraction of calendar day `day` covered by the trace window. */
+    double dayCoverage(int day) const;
+    /** Trace window within calendar day `day`, microseconds. */
+    void dayWindow(int day, util::TimeUs &begin, util::TimeUs &end) const;
+
+    /** Deterministic per-(stream, server, day) RNG. */
+    util::Rng rngFor(uint64_t stream, ServerId server, int day) const;
+
+    /** Plan the hot sets for every server and day (done up front). */
+    void planHotSets();
+
+    /** Today's hot plan for a server. */
+    const std::vector<HotPage> &
+    hotPlan(ServerId server, int day) const;
+
+    void emitHotRequests(ServerId server, int day,
+                         std::vector<Request> &out) const;
+    void emitColdRequests(ServerId server, int day,
+                          std::vector<Request> &out) const;
+
+    /** Sample an issue time inside the day's window. */
+    util::TimeUs sampleTime(const std::vector<double> &minute_weights,
+                            util::TimeUs begin, util::TimeUs end,
+                            util::Rng &rng) const;
+
+    /**
+     * Build per-minute intensity weights for a server-day. Bursts are
+     * applied only to the cold/scan schedule (with_bursts): hot-block
+     * traffic follows the smooth diurnal curve, while scans arrive in
+     * bursts — which is what drives the unsieved caches' occupancy
+     * peaks in Figure 8.
+     */
+    std::vector<double> minuteWeights(ServerId server, int day,
+                                      util::Rng &rng,
+                                      bool with_bursts) const;
+
+    /** Synthesize a request latency for a given transfer size. */
+    uint32_t sampleLatency(uint64_t bytes, util::Rng &rng) const;
+
+    EnsembleConfig ensemble_;
+    std::vector<ServerProfile> profiles;
+    SyntheticConfig config_;
+
+    /** hot_plans[day][server] -> hot pages with today's counts. */
+    std::vector<std::vector<std::vector<HotPage>>> hot_plans;
+    /** Per-server-day unique-block budget (blocks). */
+    std::vector<std::vector<double>> unique_budget;
+
+    // Streaming state for the TraceReader interface.
+    mutable std::vector<Request> stream_buffer;
+    mutable size_t stream_pos = 0;
+    mutable int stream_day = 0;
+};
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_SYNTHETIC_HPP

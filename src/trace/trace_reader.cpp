@@ -1,0 +1,47 @@
+#include "trace/trace_reader.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace trace {
+
+VectorTrace::VectorTrace(std::vector<Request> requests)
+    : reqs(std::move(requests))
+{
+    if (!std::is_sorted(reqs.begin(), reqs.end(),
+                        [](const Request &a, const Request &b) {
+                            return a.time < b.time;
+                        })) {
+        util::fatal("VectorTrace requires time-sorted requests");
+    }
+}
+
+bool
+VectorTrace::next(Request &out)
+{
+    if (pos >= reqs.size())
+        return false;
+    out = reqs[pos++];
+    return true;
+}
+
+void
+VectorTrace::reset()
+{
+    pos = 0;
+}
+
+std::vector<Request>
+drain(TraceReader &reader)
+{
+    std::vector<Request> out;
+    Request r;
+    while (reader.next(r))
+        out.push_back(r);
+    return out;
+}
+
+} // namespace trace
+} // namespace sievestore

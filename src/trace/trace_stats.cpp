@@ -1,0 +1,65 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_set>
+
+#include "trace/block.hpp"
+#include "util/sim_time.hpp"
+
+namespace sievestore {
+namespace trace {
+
+double
+TraceStats::avgDailyUniqueBytes() const
+{
+    double sum = 0.0;
+    int active = 0;
+    for (const auto &d : days) {
+        if (d.block_accesses == 0)
+            continue;
+        sum += static_cast<double>(d.unique_blocks) *
+               static_cast<double>(kBlockBytes);
+        ++active;
+    }
+    return active ? sum / active : 0.0;
+}
+
+TraceStats
+summarizeTrace(TraceReader &reader)
+{
+    TraceStats stats;
+    std::unordered_set<BlockId> uniq;
+    size_t current_day = 0;
+
+    Request req;
+    while (reader.next(req)) {
+        const size_t day = util::dayOf(req.time);
+        if (day >= stats.days.size())
+            stats.days.resize(day + 1);
+        if (day != current_day) {
+            // Requests arrive time-sorted, so a day change is final.
+            uniq.clear();
+            current_day = day;
+        }
+        DayStats &ds = stats.days[day];
+        ++ds.requests;
+        ds.block_accesses += req.length_blocks;
+        ds.bytes += req.bytes();
+        if (req.op == Op::Read)
+            ds.read_accesses += req.length_blocks;
+        if (req.offset_blocks % kBlocksPerPage == 0 &&
+            req.length_blocks % kBlocksPerPage == 0) {
+            ++ds.aligned_requests;
+        }
+        for (uint32_t i = 0; i < req.length_blocks; ++i)
+            uniq.insert(req.blockAt(i));
+        ds.unique_blocks = uniq.size();
+
+        ++stats.total_requests;
+        stats.total_block_accesses += req.length_blocks;
+        stats.total_bytes += req.bytes();
+    }
+    return stats;
+}
+
+} // namespace trace
+} // namespace sievestore

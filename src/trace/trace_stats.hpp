@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-trace summary statistics (per-day, per-server).
+ *
+ * Feeds the Table 1 bench and sanity checks on the synthetic workload:
+ * requests and block accesses per day, bytes accessed per day, unique
+ * footprint per day, read fraction, alignment fraction.
+ */
+
+#ifndef SIEVESTORE_TRACE_TRACE_STATS_HPP
+#define SIEVESTORE_TRACE_TRACE_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_reader.hpp"
+
+namespace sievestore {
+namespace trace {
+
+/** Aggregates for one calendar day of the trace. */
+struct DayStats
+{
+    uint64_t requests = 0;
+    uint64_t block_accesses = 0;
+    uint64_t read_accesses = 0;
+    uint64_t bytes = 0;
+    /** Distinct 512-byte blocks touched. */
+    uint64_t unique_blocks = 0;
+    /** Requests whose offset and length are 4 KB aligned. */
+    uint64_t aligned_requests = 0;
+
+    double
+    readFraction() const
+    {
+        return block_accesses
+                   ? static_cast<double>(read_accesses) /
+                         static_cast<double>(block_accesses)
+                   : 0.0;
+    }
+};
+
+/** Per-day and whole-trace aggregates. */
+struct TraceStats
+{
+    std::vector<DayStats> days;
+    uint64_t total_requests = 0;
+    uint64_t total_block_accesses = 0;
+    uint64_t total_bytes = 0;
+
+    /** Mean daily unique footprint in bytes (days with traffic only). */
+    double avgDailyUniqueBytes() const;
+};
+
+/**
+ * Scan a trace and compute summary statistics. Uses one hash set per
+ * day for unique-block counting; memory is proportional to the largest
+ * daily footprint.
+ */
+TraceStats summarizeTrace(TraceReader &reader);
+
+} // namespace trace
+} // namespace sievestore
+
+#endif // SIEVESTORE_TRACE_TRACE_STATS_HPP

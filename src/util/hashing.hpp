@@ -1,0 +1,66 @@
+/**
+ * @file
+ * 64-bit mixing hash functions.
+ *
+ * The IMCT (imprecise miss-count table, Section 3.3 of the paper) maps a
+ * huge block-address space onto a fixed number of slots; the quality of
+ * that mapping controls how much aliasing pollutes the sieve. We use
+ * finalizer-style mixers (splitmix64 / murmur3 fmix64) which pass
+ * avalanche tests and are cheap enough for the per-miss critical path.
+ */
+
+#ifndef SIEVESTORE_UTIL_HASHING_HPP
+#define SIEVESTORE_UTIL_HASHING_HPP
+
+#include <cstdint>
+
+namespace sievestore {
+namespace util {
+
+/** splitmix64 finalizer: bijective 64-bit mix with good avalanche. */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** murmur3 fmix64 finalizer (a second, independent mixing family). */
+constexpr uint64_t
+fmix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * Hash a 64-bit key with one of several independent seeds. Used where
+ * two decorrelated hash functions of the same key are needed.
+ */
+constexpr uint64_t
+seededHash(uint64_t key, uint64_t seed)
+{
+    return fmix64(mix64(key ^ (seed * 0x9e3779b97f4a7c15ULL)));
+}
+
+/**
+ * Reduce a hash onto [0, n) without modulo bias using the
+ * multiply-shift ("Lemire") reduction. @pre n > 0.
+ */
+constexpr uint64_t
+reduceRange(uint64_t hash, uint64_t n)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(hash) * static_cast<__uint128_t>(n)) >> 64);
+}
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_HASHING_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Status-message and error-handling primitives.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, malformed input) and raises a recoverable exception;
+ * panic() is for internal invariant violations and aborts. inform() and
+ * warn() emit status messages and never stop execution.
+ */
+
+#ifndef SIEVESTORE_UTIL_LOGGING_HPP
+#define SIEVESTORE_UTIL_LOGGING_HPP
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace sievestore {
+namespace util {
+
+/**
+ * Exception thrown by fatal() for conditions that are the user's fault
+ * (bad configuration, invalid arguments, unreadable files).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform };
+
+/** Set the global verbosity threshold (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Emit an informative message the user should know but not worry about.
+ * printf-style formatting.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Emit a warning: something might not behave as well as it could, but
+ * execution continues.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error the program cannot continue past.
+ * Throws FatalError; never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal bug (a condition that should never happen
+ * regardless of user input). Prints and aborts; never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_LOGGING_HPP

@@ -1,0 +1,238 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/hashing.hpp"
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace util {
+
+namespace {
+
+constexpr uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // Expand the single seed through splitmix64, the recommended
+    // initialization for the xoshiro family (avoids low-entropy states).
+    uint64_t x = seed;
+    for (auto &word : s) {
+        x += 0x9e3779b97f4a7c15ULL;
+        word = mix64(x);
+    }
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    return reduceRange(next(), bound);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+uint64_t
+Rng::nextInRange(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextInRange: lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    // Inverse-CDF; 1 - u avoids log(0).
+    return -mean * std::log(1.0 - nextDouble());
+}
+
+double
+Rng::nextGaussian()
+{
+    // Box-Muller; discard the second value for statelessness.
+    const double u1 = 1.0 - nextDouble();
+    const double u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double
+Rng::nextLogNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * nextGaussian());
+}
+
+uint64_t
+Rng::nextPoisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda > 30.0) {
+        // Normal approximation keeps Knuth's product away from
+        // underflow for large rates.
+        const double v = lambda + std::sqrt(lambda) * nextGaussian();
+        return v < 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= nextDouble();
+    } while (p > limit);
+    return k - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(mix64(next()) ^ fmix64(next()));
+}
+
+ZipfSampler::ZipfSampler(uint64_t n_, double exponent)
+    : n(n_), s(exponent)
+{
+    if (n == 0)
+        fatal("ZipfSampler requires n >= 1");
+    if (s < 0.0)
+        fatal("ZipfSampler requires exponent >= 0, got %f", s);
+    hX1 = hIntegral(1.5) - 1.0;
+    hN = hIntegral(static_cast<double>(n) + 0.5);
+    c = 2.0 - hIntegralInverse(hIntegral(2.5) - std::pow(2.0, -s));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    // Integral of x^-s: log for s == 1, power form otherwise.
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12)
+        return log_x;
+    return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    if (std::abs(1.0 - s) < 1e-12)
+        return std::exp(x);
+    double t = x * (1.0 - s) + 1.0;
+    if (t < 0.0)
+        t = 0.0;
+    return std::exp(std::log(t) / (1.0 - s));
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n == 1)
+        return 1;
+    while (true) {
+        const double u = hN + rng.nextDouble() * (hX1 - hN);
+        const double x = hIntegralInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n)
+            k = n;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= c ||
+            u >= hIntegral(kd + 0.5) - std::exp(-s * std::log(kd))) {
+            return k;
+        }
+    }
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    const size_t k = weights.size();
+    if (k == 0)
+        fatal("AliasTable requires at least one weight");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("AliasTable weights must be non-negative");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("AliasTable requires at least one positive weight");
+
+    prob.assign(k, 0.0);
+    alias.assign(k, 0);
+
+    std::vector<double> scaled(k);
+    for (size_t i = 0; i < k; ++i)
+        scaled[i] = weights[i] * static_cast<double>(k) / total;
+
+    std::vector<uint32_t> small, large;
+    small.reserve(k);
+    large.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<uint32_t>(i));
+        else
+            large.push_back(static_cast<uint32_t>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const uint32_t lo = small.back();
+        small.pop_back();
+        const uint32_t hi = large.back();
+        prob[lo] = scaled[lo];
+        alias[lo] = hi;
+        scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0;
+        if (scaled[hi] < 1.0) {
+            large.pop_back();
+            small.push_back(hi);
+        }
+    }
+    // Residuals are 1.0 up to floating-point error.
+    for (uint32_t i : large)
+        prob[i] = 1.0;
+    for (uint32_t i : small)
+        prob[i] = 1.0;
+}
+
+size_t
+AliasTable::sample(Rng &rng) const
+{
+    const size_t i = static_cast<size_t>(rng.nextBelow(prob.size()));
+    return rng.nextDouble() < prob[i] ? i : alias[i];
+}
+
+} // namespace util
+} // namespace sievestore

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and samplers.
+ *
+ * All stochastic components of the library (synthetic trace generation,
+ * RandSieve policies, random replacement) draw from Rng so that every
+ * experiment is reproducible from a single seed.
+ */
+
+#ifndef SIEVESTORE_UTIL_RANDOM_HPP
+#define SIEVESTORE_UTIL_RANDOM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sievestore {
+namespace util {
+
+/**
+ * xoshiro256** PRNG. Small, fast, and statistically strong enough for
+ * workload synthesis; deterministic across platforms (unlike
+ * std::mt19937 distributions, whose outputs are implementation-defined
+ * through std::uniform_*_distribution).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; distinct seeds give decorrelated streams. */
+    explicit Rng(uint64_t seed = 0x5eed5107eULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    uint64_t nextInRange(uint64_t lo, uint64_t hi);
+
+    /**
+     * Exponentially distributed double with the given mean.
+     * Used for inter-arrival time synthesis.
+     */
+    double nextExponential(double mean);
+
+    /** Standard normal deviate (Box-Muller; one value per call). */
+    double nextGaussian();
+
+    /** Poisson deviate (Knuth's method; intended for small lambda). */
+    uint64_t nextPoisson(double lambda);
+
+    /** Lognormal deviate: exp(mu + sigma * N(0,1)). */
+    double nextLogNormal(double mu, double sigma);
+
+    /**
+     * Split off an independent child generator. The child stream is
+     * decorrelated from this one and from other children.
+     */
+    Rng split();
+
+  private:
+    uint64_t s[4];
+};
+
+/**
+ * Bounded Zipf(s) sampler over ranks {1..n} using the rejection-inversion
+ * method of Hormann and Derflinger, which is O(1) per sample and exact
+ * (no truncated-harmonic approximation). Popularity skew in storage
+ * traces is classically Zipf-like; the synthetic generator composes this
+ * with explicit hot/cold classes (see trace/synthetic.hpp).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n        number of ranks (>= 1)
+     * @param exponent skew parameter s >= 0 (0 = uniform)
+     */
+    ZipfSampler(uint64_t n, double exponent);
+
+    /** Sample a rank in [1, n]; rank 1 is most popular. */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t size() const { return n; }
+    double exponent() const { return s; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+
+    uint64_t n;
+    double s;
+    double hX1;
+    double hN;
+    double c;
+};
+
+/**
+ * Discrete distribution over {0..k-1} with arbitrary weights, sampled by
+ * Walker's alias method: O(k) setup, O(1) per sample. Used to pick which
+ * server/volume/popularity class a synthetic request lands in.
+ */
+class AliasTable
+{
+  public:
+    /** @param weights non-negative weights; at least one must be > 0. */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Sample an index with probability proportional to its weight. */
+    size_t sample(Rng &rng) const;
+
+    size_t size() const { return prob.size(); }
+
+  private:
+    std::vector<double> prob;
+    std::vector<uint32_t> alias;
+};
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_RANDOM_HPP

@@ -1,0 +1,114 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace sievestore {
+namespace util {
+
+std::vector<std::string_view>
+splitView(std::string_view line, char delim)
+{
+    std::vector<std::string_view> fields;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = line.find(delim, start);
+        if (pos == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string_view
+trimView(std::string_view sv)
+{
+    size_t begin = 0;
+    size_t end = sv.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(sv[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(sv[end - 1]))) {
+        --end;
+    }
+    return sv.substr(begin, end - begin);
+}
+
+bool
+parseU64(std::string_view sv, uint64_t &out)
+{
+    sv = trimView(sv);
+    if (sv.empty())
+        return false;
+    const auto *first = sv.data();
+    const auto *last = sv.data() + sv.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool
+parseDouble(std::string_view sv, double &out)
+{
+    sv = trimView(sv);
+    if (sv.empty())
+        return false;
+    const auto *first = sv.data();
+    const auto *last = sv.data() + sv.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+std::string
+toLower(std::string_view sv)
+{
+    std::string out;
+    out.reserve(sv.size());
+    for (char c : sv)
+        out.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    return out;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < sizeof(units) / sizeof(units[0])) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[32];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(digits[i]);
+        const size_t rem = n - 1 - i;
+        if (rem > 0 && rem % 3 == 0)
+            out.push_back(',');
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace sievestore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string utilities used by the CSV trace parser and table output.
+ */
+
+#ifndef SIEVESTORE_UTIL_STRING_UTIL_HPP
+#define SIEVESTORE_UTIL_STRING_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sievestore {
+namespace util {
+
+/** Split a line on a delimiter; keeps empty fields. */
+std::vector<std::string_view> splitView(std::string_view line, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trimView(std::string_view sv);
+
+/**
+ * Parse an unsigned 64-bit integer.
+ * @param sv  digits only (after trimming)
+ * @param out parsed value
+ * @retval true on success, false on empty/overflow/non-digit input
+ */
+bool parseU64(std::string_view sv, uint64_t &out);
+
+/** Parse a double. @retval true on success. */
+bool parseDouble(std::string_view sv, double &out);
+
+/** ASCII lower-casing (locale independent). */
+std::string toLower(std::string_view sv);
+
+/** Render a byte count using binary units ("16.0 GiB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Render a count with thousands separators ("434,226,711"). */
+std::string formatCount(uint64_t value);
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_STRING_UTIL_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for in-memory access counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/access_counter.hpp"
+
+namespace {
+
+using namespace sievestore::analysis;
+using namespace sievestore::trace;
+
+Request
+makeRequest(uint64_t offset, uint32_t len)
+{
+    Request r;
+    r.volume = 1;
+    r.offset_blocks = offset;
+    r.length_blocks = len;
+    return r;
+}
+
+TEST(AccessCounter, CountsPerBlock)
+{
+    std::vector<Request> reqs = {makeRequest(0, 4), makeRequest(2, 4)};
+    const BlockCounts counts = countBlockAccesses(reqs);
+    EXPECT_EQ(counts.size(), 6u);
+    EXPECT_EQ(counts.at(makeBlockId(1, 0)), 1u);
+    EXPECT_EQ(counts.at(makeBlockId(1, 2)), 2u);
+    EXPECT_EQ(counts.at(makeBlockId(1, 3)), 2u);
+    EXPECT_EQ(counts.at(makeBlockId(1, 5)), 1u);
+    EXPECT_EQ(totalAccesses(counts), 8u);
+}
+
+TEST(AccessCounter, SortedByCountDescendingWithTieBreak)
+{
+    BlockCounts counts;
+    counts[makeBlockId(0, 5)] = 3;
+    counts[makeBlockId(0, 1)] = 7;
+    counts[makeBlockId(0, 9)] = 3;
+    const auto ranked = sortedByCount(counts);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].block, makeBlockId(0, 1));
+    EXPECT_EQ(ranked[0].count, 7u);
+    // Equal counts break ties by ascending BlockId for determinism.
+    EXPECT_EQ(ranked[1].block, makeBlockId(0, 5));
+    EXPECT_EQ(ranked[2].block, makeBlockId(0, 9));
+}
+
+TEST(AccessCounter, EmptyInput)
+{
+    const BlockCounts counts = countBlockAccesses({});
+    EXPECT_TRUE(counts.empty());
+    EXPECT_EQ(totalAccesses(counts), 0u);
+    EXPECT_TRUE(sortedByCount(counts).empty());
+}
+
+} // namespace

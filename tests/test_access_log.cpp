@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests for the on-disk map-reduce access log
+ * (SieveStore-D's counting substrate, Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "analysis/access_log.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::analysis;
+using sievestore::trace::BlockId;
+using sievestore::util::Rng;
+
+class AccessLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("accesslog_" + std::to_string(::getpid()) + "_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name());
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(AccessLogTest, CountsMatchInMemoryReference)
+{
+    AccessLogConfig cfg;
+    cfg.partitions = 4;
+    cfg.flush_threshold = 64; // force frequent disk activity
+    cfg.compact_threshold_bytes = 1024;
+    AccessLog log(dir.string(), cfg);
+
+    Rng rng(1);
+    std::unordered_map<BlockId, uint64_t> reference;
+    for (int i = 0; i < 20000; ++i) {
+        const BlockId b = rng.nextBelow(500);
+        log.log(b);
+        ++reference[b];
+    }
+    EXPECT_EQ(log.logged(), 20000u);
+
+    const auto reduced = log.reduce(1);
+    std::unordered_map<BlockId, uint64_t> got;
+    for (const auto &bc : reduced)
+        got[bc.block] = bc.count;
+    EXPECT_EQ(got.size(), reference.size());
+    for (const auto &kv : reference)
+        EXPECT_EQ(got[kv.first], kv.second) << "block " << kv.first;
+}
+
+TEST_F(AccessLogTest, ThresholdFiltersAndSortsDescending)
+{
+    AccessLog log(dir.string());
+    for (int rep = 0; rep < 12; ++rep)
+        log.log(100);
+    for (int rep = 0; rep < 5; ++rep)
+        log.log(200);
+    log.log(300);
+
+    const auto selected = log.reduce(5);
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_EQ(selected[0].block, 100u);
+    EXPECT_EQ(selected[0].count, 12u);
+    EXPECT_EQ(selected[1].block, 200u);
+    EXPECT_EQ(selected[1].count, 5u);
+}
+
+TEST_F(AccessLogTest, IncrementalCompactionPreservesCounts)
+{
+    AccessLogConfig cfg;
+    cfg.partitions = 2;
+    cfg.flush_threshold = 16;
+    cfg.compact_threshold_bytes = 256; // compacts every ~32 records
+    AccessLog log(dir.string(), cfg);
+    for (int round = 0; round < 50; ++round) {
+        for (BlockId b = 0; b < 10; ++b)
+            log.log(b);
+        log.compactIfNeeded();
+    }
+    log.compactAll();
+    const auto reduced = log.reduce(1);
+    ASSERT_EQ(reduced.size(), 10u);
+    for (const auto &bc : reduced)
+        EXPECT_EQ(bc.count, 50u);
+}
+
+TEST_F(AccessLogTest, BeginEpochResets)
+{
+    AccessLog log(dir.string());
+    for (int i = 0; i < 100; ++i)
+        log.log(7);
+    log.beginEpoch();
+    EXPECT_EQ(log.logged(), 0u);
+    EXPECT_TRUE(log.reduce(1).empty());
+    // And the log is reusable for the next epoch.
+    log.log(9);
+    const auto reduced = log.reduce(1);
+    ASSERT_EQ(reduced.size(), 1u);
+    EXPECT_EQ(reduced[0].block, 9u);
+}
+
+TEST_F(AccessLogTest, SinglePartitionWorks)
+{
+    AccessLogConfig cfg;
+    cfg.partitions = 1;
+    AccessLog log(dir.string(), cfg);
+    for (int i = 0; i < 1000; ++i)
+        log.log(i % 3);
+    const auto reduced = log.reduce(300);
+    ASSERT_EQ(reduced.size(), 3u);
+}
+
+TEST_F(AccessLogTest, DiskBytesReflectSpill)
+{
+    AccessLogConfig cfg;
+    cfg.partitions = 2;
+    cfg.flush_threshold = 8;
+    AccessLog log(dir.string(), cfg);
+    for (int i = 0; i < 1000; ++i)
+        log.log(i);
+    log.compactAll();
+    EXPECT_GE(log.diskBytes(), 1000u * 8u);
+}
+
+TEST_F(AccessLogTest, EmptyEpochReducesEmpty)
+{
+    AccessLog log(dir.string());
+    EXPECT_TRUE(log.reduce(1).empty());
+}
+
+/** Property: disk-backed counts equal in-memory counts for any stream. */
+class AccessLogProperty : public AccessLogTest,
+                          public ::testing::WithParamInterface<uint64_t>
+{
+};
+
+TEST_P(AccessLogProperty, RandomStreamsMatchReference)
+{
+    AccessLogConfig cfg;
+    cfg.partitions = 1 + GetParam() % 7;
+    cfg.flush_threshold = 32;
+    cfg.compact_threshold_bytes = 512;
+    AccessLog log(dir.string(), cfg);
+
+    Rng rng(GetParam());
+    std::unordered_map<BlockId, uint64_t> reference;
+    const int n = 2000 + static_cast<int>(rng.nextBelow(3000));
+    for (int i = 0; i < n; ++i) {
+        // Heavy-tailed stream: some blocks repeat a lot.
+        const BlockId b = rng.nextBool(0.3) ? rng.nextBelow(5)
+                                            : rng.nextBelow(2000);
+        log.log(b);
+        ++reference[b];
+    }
+    for (uint64_t threshold : {1ULL, 3ULL, 10ULL}) {
+        const auto reduced = log.reduce(threshold);
+        size_t expect = 0;
+        for (const auto &kv : reference)
+            if (kv.second >= threshold)
+                ++expect;
+        ASSERT_EQ(reduced.size(), expect) << "threshold " << threshold;
+        for (const auto &bc : reduced)
+            ASSERT_EQ(bc.count, reference[bc.block]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessLogProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the Table 2 analytical model — exact paper numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::sim;
+using sievestore::util::FatalError;
+
+TEST(Table2, AodRowMatchesPaper)
+{
+    // "Allocate-on-demand (AOD): 35% | 65% | 65% | 26.25% |
+    //  73.75% (=8.75% + 65%)"
+    const Table2Row row = table2Row(Table2Policy::AOD);
+    EXPECT_DOUBLE_EQ(row.hits, 0.35);
+    EXPECT_DOUBLE_EQ(row.misses, 0.65);
+    EXPECT_DOUBLE_EQ(row.alloc_writes, 0.65);
+    EXPECT_DOUBLE_EQ(row.read_hits, 0.2625);
+    EXPECT_DOUBLE_EQ(row.write_ops, 0.7375);
+    EXPECT_DOUBLE_EQ(row.ssd_ops, 1.0); // all accesses touch the SSD
+}
+
+TEST(Table2, WmnaRowMatchesPaper)
+{
+    // "Write-no-allocate (WMNA): ... 48.75% | 26.25% |
+    //  57.5% (=8.75%+48.75%)"
+    const Table2Row row = table2Row(Table2Policy::WMNA);
+    EXPECT_DOUBLE_EQ(row.alloc_writes, 0.4875);
+    EXPECT_DOUBLE_EQ(row.write_ops, 0.575);
+    EXPECT_DOUBLE_EQ(row.read_hits, 0.2625);
+    // "more than doubling the number of SSD operations (~2.4X)"
+    EXPECT_NEAR(row.ssd_ops / 0.35, 2.39, 0.01);
+}
+
+TEST(Table2, IsaRowMatchesPaper)
+{
+    // "Ideal-selective-allocate (ISA): ... eps% | 26.25% |
+    //  <9.75% (=8.75%+eps%)"
+    const Table2Row row = table2Row(Table2Policy::ISA);
+    EXPECT_DOUBLE_EQ(row.alloc_writes, 0.01);
+    EXPECT_LT(row.write_ops, 0.0975 + 1e-12);
+    EXPECT_DOUBLE_EQ(row.read_hits, 0.2625);
+}
+
+TEST(Table2, WmnaWriteIncreaseFactor)
+{
+    // "...increasing the number of SSD writes by a factor of 5.6X"
+    // relative to write hits alone (8.75%).
+    const Table2Row wmna = table2Row(Table2Policy::WMNA);
+    EXPECT_NEAR(wmna.write_ops / 0.0875, 6.57, 0.01);
+    // The paper's 5.6X compares WMNA's writes against... AOD? No: the
+    // increase over the hits-only baseline counts alloc-writes added on
+    // top of write hits: 48.75/8.75 = 5.57X additional writes.
+    EXPECT_NEAR(wmna.alloc_writes / 0.0875, 5.57, 0.01);
+}
+
+TEST(Table2, ParameterSensitivity)
+{
+    // Higher hit rates shrink every policy's allocation-writes.
+    const Table2Row low = table2Row(Table2Policy::AOD, 0.2);
+    const Table2Row high = table2Row(Table2Policy::AOD, 0.6);
+    EXPECT_GT(low.alloc_writes, high.alloc_writes);
+    // Read-only workload: WMNA degenerates to AOD.
+    const Table2Row aod = table2Row(Table2Policy::AOD, 0.35, 1.0);
+    const Table2Row wmna = table2Row(Table2Policy::WMNA, 0.35, 1.0);
+    EXPECT_DOUBLE_EQ(aod.alloc_writes, wmna.alloc_writes);
+}
+
+TEST(Table2, RejectsBadInputs)
+{
+    EXPECT_THROW(table2Row(Table2Policy::AOD, -0.1), FatalError);
+    EXPECT_THROW(table2Row(Table2Policy::AOD, 1.1), FatalError);
+    EXPECT_THROW(table2Row(Table2Policy::AOD, 0.5, 2.0), FatalError);
+}
+
+} // namespace

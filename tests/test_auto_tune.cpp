@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the self-tuning sieve (Section 7 "tuning").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/auto_tune.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore::core;
+using sievestore::trace::BlockAccess;
+using sievestore::trace::BlockId;
+using sievestore::trace::Op;
+using sievestore::util::FatalError;
+using sievestore::util::makeTime;
+
+BlockAccess
+missAt(BlockId block, uint64_t t)
+{
+    BlockAccess a;
+    a.block = block;
+    a.time = t;
+    a.completion = t + 1000;
+    a.op = Op::Read;
+    return a;
+}
+
+SieveStoreCConfig
+looseSieve()
+{
+    SieveStoreCConfig cfg;
+    cfg.imct_slots = 1 << 14;
+    cfg.t1 = 1;
+    cfg.t2 = 1;
+    return cfg;
+}
+
+TEST(AutoTune, TightensWhenChurnExceedsBudget)
+{
+    AutoTuneConfig tune;
+    tune.cache_blocks = 100;   // budget: 100 allocations/day
+    tune.churn_budget = 1.0;
+    AutoTunedSievePolicy policy(looseSieve(), tune);
+    ASSERT_EQ(policy.currentT2(), 1u);
+
+    // Day 0: 2000 distinct blocks each miss twice -> ~2000 allocations
+    // with t1 = t2 = 1: way over budget.
+    for (BlockId b = 0; b < 2000; ++b) {
+        policy.onMiss(missAt(b, makeTime(0, 1)));
+        policy.onMiss(missAt(b, makeTime(0, 2)));
+    }
+    EXPECT_GT(policy.allocationsToday(), 100u);
+    // First access of day 1 closes day 0 and raises t2.
+    policy.onMiss(missAt(999999, makeTime(1, 1)));
+    EXPECT_EQ(policy.currentT2(), 2u);
+    ASSERT_EQ(policy.t2History().size(), 1u);
+    EXPECT_EQ(policy.t2History()[0], 2u);
+}
+
+TEST(AutoTune, LoosensWhenFarUnderBudget)
+{
+    AutoTuneConfig tune;
+    tune.cache_blocks = 1000000; // effectively unlimited budget
+    SieveStoreCConfig sieve = looseSieve();
+    sieve.t2 = 8;
+    AutoTunedSievePolicy policy(sieve, tune);
+    // A quiet day 0 (no allocations), then day 1 arrives.
+    policy.onMiss(missAt(1, makeTime(0, 1)));
+    policy.onMiss(missAt(2, makeTime(1, 1)));
+    EXPECT_EQ(policy.currentT2(), 7u);
+}
+
+TEST(AutoTune, HoldsInsideHysteresisBand)
+{
+    AutoTuneConfig tune;
+    tune.cache_blocks = 100;
+    tune.churn_budget = 1.0;
+    tune.slack = 0.5; // accept 50-150 allocations/day
+    SieveStoreCConfig sieve = looseSieve();
+    sieve.t2 = 4;
+    AutoTunedSievePolicy policy(sieve, tune);
+    // Day 0: exactly 100 allocations (each block misses t1+t2 times).
+    for (BlockId b = 0; b < 100; ++b)
+        for (int m = 0; m < 5; ++m)
+            policy.onMiss(missAt(b, makeTime(0, 1, m)));
+    policy.onMiss(missAt(424242, makeTime(1, 1)));
+    EXPECT_EQ(policy.currentT2(), 4u); // unchanged
+}
+
+TEST(AutoTune, RespectsBounds)
+{
+    AutoTuneConfig tune;
+    tune.cache_blocks = 1;
+    tune.min_t2 = 2;
+    tune.max_t2 = 3;
+    SieveStoreCConfig sieve = looseSieve();
+    sieve.t2 = 10; // clamped down to max at construction
+    AutoTunedSievePolicy policy(sieve, tune);
+    EXPECT_EQ(policy.currentT2(), 3u);
+    // Massive churn across several days cannot push above max_t2.
+    for (int d = 0; d < 3; ++d)
+        for (BlockId b = 0; b < 500; ++b)
+            for (int m = 0; m < 6; ++m)
+                policy.onMiss(missAt(b, makeTime(d, 1, m)));
+    policy.onMiss(missAt(9, makeTime(5, 1)));
+    EXPECT_LE(policy.currentT2(), 3u);
+    EXPECT_GE(policy.currentT2(), 2u);
+}
+
+TEST(AutoTune, OneStepPerDay)
+{
+    AutoTuneConfig tune;
+    tune.cache_blocks = 1; // any allocation exceeds budget
+    AutoTunedSievePolicy policy(looseSieve(), tune);
+    for (int d = 0; d < 4; ++d)
+        for (BlockId b = 0; b < 50; ++b)
+            for (int m = 0; m < 3; ++m)
+                policy.onMiss(missAt(b, makeTime(d, 1, m)));
+    // Three day boundaries crossed -> at most +3 steps from t2 = 1.
+    EXPECT_LE(policy.currentT2(), 4u);
+    EXPECT_EQ(policy.t2History().size(), 3u);
+}
+
+TEST(AutoTune, RejectsBadConfig)
+{
+    AutoTuneConfig bad;
+    bad.min_t2 = 5;
+    bad.max_t2 = 2;
+    EXPECT_THROW(AutoTunedSievePolicy(looseSieve(), bad), FatalError);
+    AutoTuneConfig zero;
+    zero.churn_budget = 0.0;
+    EXPECT_THROW(AutoTunedSievePolicy(looseSieve(), zero), FatalError);
+}
+
+TEST(AutoTune, Name)
+{
+    AutoTunedSievePolicy policy(looseSieve(), AutoTuneConfig{});
+    EXPECT_STREQ(policy.name(), "SieveStore-C/auto");
+    EXPECT_GT(policy.metastateBytes(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the compact binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "trace/binary_trace.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::FatalError;
+using sievestore::util::Rng;
+
+class BinaryTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("bin_trace_" + std::to_string(::getpid()) + ".sstr");
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+
+    std::filesystem::path path;
+};
+
+std::vector<Request>
+randomRequests(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Request> reqs;
+    uint64_t t = 0;
+    for (size_t i = 0; i < n; ++i) {
+        Request r;
+        t += rng.nextBelow(1000000);
+        r.time = t;
+        r.volume = static_cast<VolumeId>(rng.nextBelow(36));
+        r.server = static_cast<ServerId>(rng.nextBelow(13));
+        r.op = rng.nextBool(0.75) ? Op::Read : Op::Write;
+        r.offset_blocks = rng.nextBelow(1ULL << 40);
+        r.length_blocks = 1 + static_cast<uint32_t>(rng.nextBelow(2048));
+        r.latency_us = static_cast<uint32_t>(rng.nextBelow(100000));
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+TEST_F(BinaryTraceTest, RoundTripPreservesEveryField)
+{
+    const auto reqs = randomRequests(5000, 42);
+    {
+        BinaryTraceWriter writer(path.string());
+        for (const auto &r : reqs)
+            writer.write(r);
+        writer.close();
+        EXPECT_EQ(writer.written(), reqs.size());
+    }
+    BinaryTraceReader reader(path.string());
+    EXPECT_EQ(reader.size(), reqs.size());
+    Request r;
+    for (const auto &expect : reqs) {
+        ASSERT_TRUE(reader.next(r));
+        ASSERT_EQ(r.time, expect.time);
+        ASSERT_EQ(r.volume, expect.volume);
+        ASSERT_EQ(r.server, expect.server);
+        ASSERT_EQ(r.op, expect.op);
+        ASSERT_EQ(r.offset_blocks, expect.offset_blocks);
+        ASSERT_EQ(r.length_blocks, expect.length_blocks);
+        ASSERT_EQ(r.latency_us, expect.latency_us);
+    }
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST_F(BinaryTraceTest, ResetRestarts)
+{
+    const auto reqs = randomRequests(10, 1);
+    {
+        BinaryTraceWriter writer(path.string());
+        for (const auto &r : reqs)
+            writer.write(r);
+    } // destructor finalizes
+    BinaryTraceReader reader(path.string());
+    Request r;
+    while (reader.next(r)) {
+    }
+    reader.reset();
+    size_t count = 0;
+    while (reader.next(r))
+        ++count;
+    EXPECT_EQ(count, reqs.size());
+}
+
+TEST_F(BinaryTraceTest, RejectsOutOfOrderWrites)
+{
+    BinaryTraceWriter writer(path.string());
+    Request r;
+    r.time = 100;
+    r.length_blocks = 1;
+    writer.write(r);
+    r.time = 50;
+    EXPECT_THROW(writer.write(r), FatalError);
+}
+
+TEST_F(BinaryTraceTest, RejectsBadMagic)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all";
+    }
+    EXPECT_THROW(BinaryTraceReader(path.string()), FatalError);
+}
+
+TEST_F(BinaryTraceTest, DetectsTruncation)
+{
+    {
+        BinaryTraceWriter writer(path.string());
+        for (const auto &r : randomRequests(100, 2))
+            writer.write(r);
+    }
+    // Chop off the last record's tail.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 10);
+    BinaryTraceReader reader(path.string());
+    Request r;
+    bool threw = false;
+    try {
+        while (reader.next(r)) {
+        }
+    } catch (const FatalError &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST_F(BinaryTraceTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(BinaryTraceReader("/no/such/trace.sstr"), FatalError);
+}
+
+TEST_F(BinaryTraceTest, EmptyTraceIsValid)
+{
+    {
+        BinaryTraceWriter writer(path.string());
+        writer.close();
+    }
+    BinaryTraceReader reader(path.string());
+    EXPECT_EQ(reader.size(), 0u);
+    Request r;
+    EXPECT_FALSE(reader.next(r));
+}
+
+} // namespace

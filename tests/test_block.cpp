@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit and property tests for block addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/block.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::Rng;
+
+TEST(Block, Constants)
+{
+    EXPECT_EQ(kBlockBytes, 512u);
+    EXPECT_EQ(kPageBytes, 4096u);
+    EXPECT_EQ(kBlocksPerPage, 8u);
+}
+
+TEST(Block, PackUnpackBasics)
+{
+    const BlockId id = makeBlockId(5, 123456789);
+    EXPECT_EQ(volumeOf(id), 5u);
+    EXPECT_EQ(blockNrOf(id), 123456789u);
+}
+
+TEST(Block, VolumeZeroAndMax)
+{
+    EXPECT_EQ(volumeOf(makeBlockId(0, 7)), 0u);
+    EXPECT_EQ(volumeOf(makeBlockId(65535, 7)), 65535u);
+    EXPECT_EQ(blockNrOf(makeBlockId(65535, 7)), 7u);
+}
+
+TEST(Block, MaxBlockNumber)
+{
+    const uint64_t max_nr = (1ULL << 48) - 1;
+    const BlockId id = makeBlockId(3, max_nr);
+    EXPECT_EQ(blockNrOf(id), max_nr);
+    EXPECT_EQ(volumeOf(id), 3u);
+}
+
+TEST(Block, PageMapping)
+{
+    EXPECT_EQ(pageOf(makeBlockId(1, 0)), 0u);
+    EXPECT_EQ(pageOf(makeBlockId(1, 7)), 0u);
+    EXPECT_EQ(pageOf(makeBlockId(1, 8)), 1u);
+    EXPECT_EQ(pageOf(makeBlockId(1, 17)), 2u);
+}
+
+TEST(Block, PageStartPreservesVolume)
+{
+    const BlockId id = makeBlockId(9, 21);
+    const BlockId start = pageStart(id);
+    EXPECT_EQ(volumeOf(start), 9u);
+    EXPECT_EQ(blockNrOf(start), 16u);
+}
+
+/** Property: pack/unpack round-trips for random (volume, block) pairs. */
+class RoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoundTrip, RandomPairs)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 10000; ++i) {
+        const VolumeId vol =
+            static_cast<VolumeId>(rng.nextBelow(65536));
+        const uint64_t nr = rng.nextBelow(1ULL << 48);
+        const BlockId id = makeBlockId(vol, nr);
+        ASSERT_EQ(volumeOf(id), vol);
+        ASSERT_EQ(blockNrOf(id), nr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Block, DistinctVolumesNeverCollide)
+{
+    // The same block number on different volumes must differ.
+    EXPECT_NE(makeBlockId(1, 100), makeBlockId(2, 100));
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for ensemble metadata, including the Table 1 totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/ensemble.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::FatalError;
+
+TEST(PaperEnsemble, MatchesTable1Totals)
+{
+    const EnsembleConfig e = EnsembleConfig::paperEnsemble();
+    EXPECT_EQ(e.serverCount(), 13u);
+    EXPECT_EQ(e.volumeCount(), 36u);
+    EXPECT_EQ(e.totalSpindles(), 179u);
+    EXPECT_EQ(e.totalSizeGb(), 6449u);
+}
+
+TEST(PaperEnsemble, PerServerRows)
+{
+    const EnsembleConfig e = EnsembleConfig::paperEnsemble();
+    const ServerInfo &usr = e.serverByKey("Usr");
+    EXPECT_EQ(usr.volumes, 3u);
+    EXPECT_EQ(usr.spindles, 16u);
+    EXPECT_EQ(usr.size_gb, 1367u);
+    const ServerInfo &ts = e.serverByKey("Ts");
+    EXPECT_EQ(ts.volumes, 1u);
+    EXPECT_EQ(ts.size_gb, 22u);
+}
+
+TEST(PaperEnsemble, VolumesPartitionCapacity)
+{
+    const EnsembleConfig e = EnsembleConfig::paperEnsemble();
+    for (const auto &srv : e.servers()) {
+        uint64_t blocks = 0;
+        for (VolumeId v : srv.volume_ids) {
+            EXPECT_EQ(e.volume(v).server, srv.id);
+            blocks += e.volume(v).capacity_blocks;
+        }
+        const uint64_t expect = srv.size_gb * 1000000000ULL / 512;
+        // Even partitioning may round down by < volumes blocks.
+        EXPECT_LE(expect - blocks, srv.volume_ids.size());
+    }
+}
+
+TEST(PaperEnsemble, GlobalVolumeNumbering)
+{
+    const EnsembleConfig e = EnsembleConfig::paperEnsemble();
+    for (size_t i = 0; i < e.volumeCount(); ++i)
+        EXPECT_EQ(e.volume(static_cast<VolumeId>(i)).id, i);
+}
+
+TEST(EnsembleConfig, AddServerValidates)
+{
+    EnsembleConfig e;
+    EXPECT_THROW(e.addServer("bad", "no volumes", 0, 1, 10), FatalError);
+}
+
+TEST(EnsembleConfig, LookupErrors)
+{
+    const EnsembleConfig e = EnsembleConfig::paperEnsemble();
+    EXPECT_THROW(e.serverByKey("NoSuch"), FatalError);
+    EXPECT_THROW(e.server(200), FatalError);
+    EXPECT_THROW(e.volume(999), FatalError);
+}
+
+TEST(EnsembleConfig, CustomEnsemble)
+{
+    EnsembleConfig e;
+    const ServerId a = e.addServer("A", "first", 2, 4, 100);
+    const ServerId b = e.addServer("B", "second", 1, 2, 50);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(e.volumeCount(), 3u);
+    EXPECT_EQ(e.volume(2).server, b);
+}
+
+} // namespace

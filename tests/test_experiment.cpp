@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the experiment plumbing (policy factory, ideal
+ * appliance construction, cost summaries).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore;
+using namespace sievestore::sim;
+using namespace sievestore::trace;
+using sievestore::util::FatalError;
+using sievestore::util::makeTime;
+
+Request
+makeRequest(uint64_t time, uint64_t offset, uint32_t len,
+            Op op = Op::Read)
+{
+    Request r;
+    r.time = time;
+    r.volume = 0;
+    r.server = 0;
+    r.op = op;
+    r.offset_blocks = offset;
+    r.length_blocks = len;
+    r.latency_us = 100;
+    return r;
+}
+
+core::ApplianceConfig
+config()
+{
+    core::ApplianceConfig cfg;
+    cfg.cache_blocks = 1024;
+    return cfg;
+}
+
+TEST(PolicyFactory, NamesMatchPaper)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::Ideal), "Ideal");
+    EXPECT_STREQ(policyKindName(PolicyKind::SieveStoreD),
+                 "SieveStore-D");
+    EXPECT_STREQ(policyKindName(PolicyKind::SieveStoreC),
+                 "SieveStore-C");
+    EXPECT_STREQ(policyKindName(PolicyKind::RandSieveBlkD),
+                 "RandSieve-BlkD");
+    EXPECT_STREQ(policyKindName(PolicyKind::RandSieveC), "RandSieve-C");
+    EXPECT_STREQ(policyKindName(PolicyKind::AOD), "AOD");
+    EXPECT_STREQ(policyKindName(PolicyKind::WMNA), "WMNA");
+}
+
+TEST(PolicyFactory, BuildsEveryContinuousAndDiscreteKind)
+{
+    for (PolicyKind kind :
+         {PolicyKind::SieveStoreD, PolicyKind::SieveStoreC,
+          PolicyKind::RandSieveBlkD, PolicyKind::RandSieveC,
+          PolicyKind::AOD, PolicyKind::WMNA}) {
+        PolicyConfig pc;
+        pc.kind = kind;
+        pc.sieve_c.imct_slots = 1024;
+        auto app = makeAppliance(pc, config());
+        ASSERT_NE(app, nullptr);
+        EXPECT_STREQ(app->policyName(), policyKindName(kind));
+    }
+}
+
+TEST(PolicyFactory, IdealRequiresProfilingPass)
+{
+    PolicyConfig pc;
+    pc.kind = PolicyKind::Ideal;
+    EXPECT_THROW(makeAppliance(pc, config()), FatalError);
+}
+
+TEST(PerDayTopBlocks, FindsDailyHotSet)
+{
+    std::vector<Request> reqs;
+    // Day 0: block 0 dominates. Day 1: block 800 dominates.
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 1, i), 0, 1));
+    for (int i = 0; i < 99; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 2, i), 100 + i, 1));
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(makeRequest(makeTime(1, 1, i), 800, 1));
+    for (int i = 0; i < 99; ++i)
+        reqs.push_back(makeRequest(makeTime(1, 2, i), 900 + i, 1));
+    std::sort(reqs.begin(), reqs.end(), requestTimeLess);
+    VectorTrace trace(std::move(reqs));
+
+    const auto sets = perDayTopBlocks(trace, 0.01);
+    ASSERT_EQ(sets.size(), 2u);
+    ASSERT_EQ(sets[0].size(), 1u);
+    EXPECT_EQ(sets[0][0], makeBlockId(0, 0));
+    ASSERT_EQ(sets[1].size(), 1u);
+    EXPECT_EQ(sets[1][0], makeBlockId(0, 800));
+}
+
+TEST(IdealAppliance, CapturesEachDaysTopBlocks)
+{
+    std::vector<Request> reqs;
+    // Day 0: block 0 accessed 20 times among 99 singletons.
+    for (int i = 0; i < 20; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 1, i), 0, 1));
+    for (int i = 0; i < 99; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 2, i), 100 + i, 1));
+    // Day 1: block 800 takes over.
+    for (int i = 0; i < 20; ++i)
+        reqs.push_back(makeRequest(makeTime(1, 1, i), 800, 1));
+    for (int i = 0; i < 99; ++i)
+        reqs.push_back(makeRequest(makeTime(1, 2, i), 900 + i, 1));
+    std::sort(reqs.begin(), reqs.end(), requestTimeLess);
+    VectorTrace trace(std::move(reqs));
+
+    PolicyConfig pc;
+    pc.kind = PolicyKind::Ideal;
+    auto app = makeIdealAppliance(trace, pc, config());
+    runTrace(trace, *app);
+    ASSERT_GE(app->daily().size(), 2u);
+    // All 20 accesses to each day's hot block hit — including day 0
+    // (the preload) and day 1 (the oracle swap).
+    EXPECT_EQ(app->daily()[0].hits, 20u);
+    EXPECT_EQ(app->daily()[1].hits, 20u);
+}
+
+TEST(CostSummary, ReflectsOccupancy)
+{
+    PolicyConfig pc;
+    pc.kind = PolicyKind::AOD;
+    auto app = makeAppliance(pc, config());
+    // One allocation-write worth of occupancy.
+    app->processRequest(makeRequest(1000, 0, 8, Op::Read));
+    app->finishTrace();
+    const CostSummary cost = summarizeCost(*app, 7.0);
+    EXPECT_EQ(cost.max_drives, 1u);
+    EXPECT_DOUBLE_EQ(cost.coverage_one_drive, 1.0);
+    EXPECT_GT(cost.endurance_years, 0.0);
+}
+
+TEST(CostSummary, NoOccupancyTracker)
+{
+    PolicyConfig pc;
+    pc.kind = PolicyKind::AOD;
+    core::ApplianceConfig ac = config();
+    ac.track_occupancy = false;
+    auto app = makeAppliance(pc, ac);
+    const CostSummary cost = summarizeCost(*app, 7.0);
+    EXPECT_EQ(cost.max_drives, 0u);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the 64-bit mixing hash functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::util;
+
+TEST(Mix64, DistinctInputsGiveDistinctOutputs)
+{
+    // mix64 is bijective; consecutive integers must not collide.
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < 10000; ++i)
+        ASSERT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+}
+
+TEST(Mix64, AvalancheFlipsRoughlyHalfTheBits)
+{
+    // Flipping one input bit should flip ~32 of 64 output bits.
+    Rng rng(123);
+    double total_flips = 0.0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        const uint64_t x = rng.next();
+        const int bit = static_cast<int>(rng.nextBelow(64));
+        const uint64_t flipped =
+            mix64(x) ^ mix64(x ^ (1ULL << bit));
+        total_flips += __builtin_popcountll(flipped);
+    }
+    const double avg = total_flips / trials;
+    EXPECT_GT(avg, 28.0);
+    EXPECT_LT(avg, 36.0);
+}
+
+TEST(Fmix64, DistinctFromMix64)
+{
+    // The two families must not be trivially related.
+    int equal = 0;
+    for (uint64_t i = 1; i <= 1000; ++i)
+        if (mix64(i) == fmix64(i))
+            ++equal;
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(SeededHash, SeedsDecorrelate)
+{
+    // The same key under different seeds should look independent.
+    int same_slot = 0;
+    const uint64_t slots = 1024;
+    for (uint64_t key = 0; key < 4096; ++key) {
+        const uint64_t a = reduceRange(seededHash(key, 1), slots);
+        const uint64_t b = reduceRange(seededHash(key, 2), slots);
+        if (a == b)
+            ++same_slot;
+    }
+    // Expected collisions ~ 4096/1024 = 4 per slot pairing chance:
+    // 4096 * (1/1024) = 4; allow generous slack.
+    EXPECT_LT(same_slot, 20);
+}
+
+TEST(ReduceRange, StaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t n = 1 + rng.nextBelow(1000);
+        EXPECT_LT(reduceRange(rng.next(), n), n);
+    }
+}
+
+TEST(ReduceRange, UniformOverSmallRange)
+{
+    // Hash-reduced values over [0, 8) should be near-uniform.
+    std::vector<int> counts(8, 0);
+    for (uint64_t i = 0; i < 80000; ++i)
+        ++counts[reduceRange(mix64(i), 8)];
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+} // namespace

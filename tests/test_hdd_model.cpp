@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the HDD model and the service-time speedup estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/hdd_model.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::ssd;
+using sievestore::util::FatalError;
+
+TEST(HddModel, Enterprise15kParameters)
+{
+    const HddModel m = HddModel::enterprise15k();
+    EXPECT_DOUBLE_EQ(m.iops, 300.0);
+    EXPECT_DOUBLE_EQ(m.service(), 1.0 / 300.0);
+}
+
+TEST(HddModel, SsdIopsAdvantageMatchesPaperClaim)
+{
+    // Section 5.2: SSD IOPS are "two orders of magnitude higher for
+    // reads and one order of magnitude higher for writes" than HDDs.
+    const HddModel hdd = HddModel::enterprise15k();
+    const SsdModel ssd = SsdModel::intelX25E();
+    EXPECT_GT(ssd.read_iops / hdd.iops, 100.0);
+    EXPECT_GT(ssd.write_iops / hdd.iops, 10.0);
+}
+
+TEST(Speedup, ZeroHitRatioIsUnity)
+{
+    EXPECT_DOUBLE_EQ(serviceTimeSpeedup(HddModel::enterprise15k(),
+                                        SsdModel::intelX25E(), 0.0),
+                     1.0);
+}
+
+TEST(Speedup, FullHitRatioApproachesDeviceRatio)
+{
+    const HddModel hdd = HddModel::enterprise15k();
+    const SsdModel ssd = SsdModel::intelX25E();
+    const double s = serviceTimeSpeedup(hdd, ssd, 1.0, 1.0);
+    EXPECT_NEAR(s, ssd.read_iops / hdd.iops, 1.0);
+}
+
+TEST(Speedup, MonotoneInHitRatio)
+{
+    const HddModel hdd = HddModel::enterprise15k();
+    const SsdModel ssd = SsdModel::intelX25E();
+    double prev = 0.0;
+    for (double h : {0.0, 0.1, 0.25, 0.35, 0.5, 0.9}) {
+        const double s = serviceTimeSpeedup(hdd, ssd, h);
+        EXPECT_GT(s, prev - 1e-12);
+        prev = s;
+    }
+}
+
+TEST(Speedup, PaperOperatingPoint)
+{
+    // At the paper's ~35 % capture, the mean service time improves by
+    // roughly 1.5x: 65 % of accesses still pay the full HDD cost.
+    const double s = serviceTimeSpeedup(HddModel::enterprise15k(),
+                                        SsdModel::intelX25E(), 0.35);
+    EXPECT_GT(s, 1.4);
+    EXPECT_LT(s, 1.6);
+}
+
+TEST(Speedup, RejectsBadInputs)
+{
+    const HddModel hdd = HddModel::enterprise15k();
+    const SsdModel ssd = SsdModel::intelX25E();
+    EXPECT_THROW(serviceTimeSpeedup(hdd, ssd, -0.1), FatalError);
+    EXPECT_THROW(serviceTimeSpeedup(hdd, ssd, 1.1), FatalError);
+    EXPECT_THROW(serviceTimeSpeedup(hdd, ssd, 0.5, 2.0), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the logging and error-handling primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::util;
+
+TEST(Fatal, ThrowsFatalErrorWithFormattedMessage)
+{
+    try {
+        fatal("bad value %d in %s", 42, "config");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 42 in config");
+    }
+}
+
+TEST(LogLevel, SetAndGet)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(original);
+}
+
+TEST(InformWarn, DoNotThrowAtAnyLevel)
+{
+    const LogLevel original = logLevel();
+    for (LogLevel lvl :
+         {LogLevel::Quiet, LogLevel::Warn, LogLevel::Inform}) {
+        setLogLevel(lvl);
+        EXPECT_NO_THROW(inform("status %d", 1));
+        EXPECT_NO_THROW(warn("caution %d", 2));
+    }
+    setLogLevel(original);
+}
+
+std::string
+formatHelper(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+TEST(Vformat, HandlesLongStrings)
+{
+    const std::string big(5000, 'x');
+    const std::string out = formatHelper("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Vformat, EmptyFormat)
+{
+    EXPECT_EQ(formatHelper("%s", ""), "");
+}
+
+TEST(Panic, Aborts)
+{
+    EXPECT_DEATH(panic("invariant %d broken", 9), "invariant 9 broken");
+}
+
+} // namespace

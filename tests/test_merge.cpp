@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the k-way time-ordered trace merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/merge.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::Rng;
+
+std::unique_ptr<VectorTrace>
+traceOf(std::vector<uint64_t> times, ServerId server)
+{
+    std::vector<Request> reqs;
+    for (uint64_t t : times) {
+        Request r;
+        r.time = t;
+        r.server = server;
+        r.length_blocks = 1;
+        reqs.push_back(r);
+    }
+    return std::make_unique<VectorTrace>(std::move(reqs));
+}
+
+TEST(MergedTrace, InterleavesByTime)
+{
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    sources.push_back(traceOf({1, 4, 7}, 0));
+    sources.push_back(traceOf({2, 5, 8}, 1));
+    sources.push_back(traceOf({3, 6, 9}, 2));
+    MergedTrace merged(std::move(sources));
+    Request r;
+    uint64_t expect = 1;
+    while (merged.next(r))
+        EXPECT_EQ(r.time, expect++);
+    EXPECT_EQ(expect, 10u);
+}
+
+TEST(MergedTrace, TieBreaksBySourceIndex)
+{
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    sources.push_back(traceOf({5}, 7));
+    sources.push_back(traceOf({5}, 8));
+    MergedTrace merged(std::move(sources));
+    Request r;
+    ASSERT_TRUE(merged.next(r));
+    EXPECT_EQ(r.server, 7);
+    ASSERT_TRUE(merged.next(r));
+    EXPECT_EQ(r.server, 8);
+}
+
+TEST(MergedTrace, HandlesEmptySources)
+{
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    sources.push_back(traceOf({}, 0));
+    sources.push_back(traceOf({1, 2}, 1));
+    sources.push_back(traceOf({}, 2));
+    MergedTrace merged(std::move(sources));
+    Request r;
+    int count = 0;
+    while (merged.next(r))
+        ++count;
+    EXPECT_EQ(count, 2);
+}
+
+TEST(MergedTrace, NoSources)
+{
+    MergedTrace merged({});
+    Request r;
+    EXPECT_FALSE(merged.next(r));
+}
+
+TEST(MergedTrace, ResetReplaysIdentically)
+{
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    sources.push_back(traceOf({1, 3, 5}, 0));
+    sources.push_back(traceOf({2, 4, 6}, 1));
+    MergedTrace merged(std::move(sources));
+    std::vector<uint64_t> first, second;
+    Request r;
+    while (merged.next(r))
+        first.push_back(r.time);
+    merged.reset();
+    while (merged.next(r))
+        second.push_back(r.time);
+    EXPECT_EQ(first, second);
+}
+
+TEST(MergedTrace, LargeRandomMergeIsSorted)
+{
+    Rng rng(99);
+    std::vector<std::unique_ptr<TraceReader>> sources;
+    size_t total = 0;
+    for (int s = 0; s < 13; ++s) {
+        std::vector<uint64_t> times;
+        uint64_t t = 0;
+        const size_t n = rng.nextBelow(500);
+        for (size_t i = 0; i < n; ++i) {
+            t += rng.nextBelow(10000);
+            times.push_back(t);
+        }
+        total += n;
+        sources.push_back(traceOf(times, static_cast<ServerId>(s)));
+    }
+    MergedTrace merged(std::move(sources));
+    Request r;
+    uint64_t prev = 0;
+    size_t count = 0;
+    while (merged.next(r)) {
+        ASSERT_GE(r.time, prev);
+        prev = r.time;
+        ++count;
+    }
+    EXPECT_EQ(count, total);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the MSR-Cambridge CSV trace reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/msr_csv.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::FatalError;
+
+class MsrCsvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ensemble = EnsembleConfig::paperEnsemble();
+        path = std::filesystem::temp_directory_path() /
+               ("msr_test_" + std::to_string(::getpid()) + ".csv");
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+
+    void
+    writeLines(const std::string &content)
+    {
+        std::ofstream out(path);
+        out << content;
+    }
+
+    EnsembleConfig ensemble;
+    std::filesystem::path path;
+};
+
+TEST_F(MsrCsvTest, ParsesBasicRecord)
+{
+    // 128166372003061629 ticks is a realistic MSR timestamp.
+    writeLines("128166372003061629,usr,0,Read,4096,8192,120000\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.server, ensemble.serverByKey("Usr").id);
+    EXPECT_EQ(r.volume, ensemble.serverByKey("Usr").volume_ids[0]);
+    EXPECT_EQ(r.op, Op::Read);
+    EXPECT_EQ(r.offset_blocks, 8u);   // 4096 / 512
+    EXPECT_EQ(r.length_blocks, 16u);  // 8192 / 512
+    EXPECT_EQ(r.latency_us, 12000u);  // 120000 ticks / 10
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST_F(MsrCsvTest, OriginIsPrecedingCalendarMidnight)
+{
+    writeLines("128166372003061629,web,1,Write,0,512,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(reader.originTicks() % kTicksPerDay, 0u);
+    EXPECT_LE(reader.originTicks(), 128166372003061629ULL);
+    EXPECT_LT(128166372003061629ULL - reader.originTicks(), kTicksPerDay);
+    EXPECT_EQ(r.time,
+              (128166372003061629ULL - reader.originTicks()) / 10);
+}
+
+TEST_F(MsrCsvTest, UnalignedByteExtentRoundsOutward)
+{
+    // Bytes [700, 1500) touch blocks 1 and 2.
+    writeLines("864000000000,prxy,0,Read,700,800,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.offset_blocks, 1u);
+    EXPECT_EQ(r.length_blocks, 2u);
+}
+
+TEST_F(MsrCsvTest, ZeroSizeTouchesOneBlock)
+{
+    writeLines("864000000000,prxy,0,Read,1024,0,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.length_blocks, 1u);
+}
+
+TEST_F(MsrCsvTest, SkipsUnknownHosts)
+{
+    writeLines("864000000000,mystery,0,Read,0,512,10\n"
+               "864000000001,usr,0,Read,0,512,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.server, ensemble.serverByKey("Usr").id);
+    EXPECT_EQ(reader.skipped(), 1u);
+}
+
+TEST_F(MsrCsvTest, SkipsOutOfRangeDisk)
+{
+    // Ts has a single volume; disk 5 does not exist.
+    writeLines("864000000000,ts,5,Read,0,512,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_EQ(reader.skipped(), 1u);
+}
+
+TEST_F(MsrCsvTest, MalformedLineIsFatal)
+{
+    writeLines("not,enough,fields\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    EXPECT_THROW(reader.next(r), FatalError);
+}
+
+TEST_F(MsrCsvTest, CommentsAndBlankLinesIgnored)
+{
+    writeLines("# header comment\n"
+               "\n"
+               "864000000000,usr,0,Write,512,512,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.op, Op::Write);
+}
+
+TEST_F(MsrCsvTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(MsrCsvReader("/no/such/file.csv", ensemble), FatalError);
+}
+
+TEST_F(MsrCsvTest, WriterReaderRoundTrip)
+{
+    const uint64_t origin = 1000 * kTicksPerDay;
+    {
+        MsrCsvWriter writer(path.string(), ensemble, origin);
+        Request r;
+        r.time = 12345678;
+        r.server = ensemble.serverByKey("Src1").id;
+        r.volume = ensemble.serverByKey("Src1").volume_ids[2];
+        r.op = Op::Write;
+        r.offset_blocks = 999;
+        r.length_blocks = 7;
+        r.latency_us = 4321;
+        writer.write(r);
+        writer.close();
+        EXPECT_EQ(writer.written(), 1u);
+    }
+    MsrCsvReader reader(path.string(), ensemble, origin);
+    Request r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.time, 12345678u);
+    EXPECT_EQ(r.server, ensemble.serverByKey("Src1").id);
+    EXPECT_EQ(r.volume, ensemble.serverByKey("Src1").volume_ids[2]);
+    EXPECT_EQ(r.op, Op::Write);
+    EXPECT_EQ(r.offset_blocks, 999u);
+    EXPECT_EQ(r.length_blocks, 7u);
+    EXPECT_EQ(r.latency_us, 4321u);
+}
+
+TEST_F(MsrCsvTest, ResetRestartsStream)
+{
+    writeLines("864000000000,usr,0,Read,0,512,10\n"
+               "864000000001,usr,0,Read,512,512,10\n");
+    MsrCsvReader reader(path.string(), ensemble);
+    Request r;
+    int count = 0;
+    while (reader.next(r))
+        ++count;
+    EXPECT_EQ(count, 2);
+    reader.reset();
+    count = 0;
+    while (reader.next(r))
+        ++count;
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the appliance network-feasibility model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/network.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore::ssd;
+using sievestore::util::FatalError;
+using sievestore::util::kUsPerMinute;
+
+TEST(NetworkModel, FourGigabitBudget)
+{
+    const NetworkModel nic = NetworkModel::fourGigabitLinks();
+    EXPECT_DOUBLE_EQ(nic.bytesPerSecond(), 4.0e9 / 8.0); // 500 MB/s
+}
+
+TEST(NetworkFeasibility, PaperWorstCaseBound)
+{
+    // "Even the maximum SSD access throughput (100% sequential reads,
+    // 250MB/s) accounts for approximately 50% of the network
+    // bandwidth."
+    DriveOccupancyTracker occ(SsdModel::intelX25E());
+    const auto result = checkNetworkFeasibility(
+        occ, NetworkModel::fourGigabitLinks());
+    EXPECT_NEAR(result.worst_case_bound, 0.5, 1e-9);
+}
+
+TEST(NetworkFeasibility, UtilizationArithmetic)
+{
+    DriveOccupancyTracker occ(SsdModel::intelX25E());
+    // 500 MB/s * 60 s / 4 KiB = 7,324,218.75 I/Os fill one minute.
+    occ.recordReads(0, 3662109); // ~half the budget
+    const auto result = checkNetworkFeasibility(
+        occ, NetworkModel::fourGigabitLinks());
+    EXPECT_NEAR(result.peak_utilization, 0.5, 0.001);
+    EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+}
+
+TEST(NetworkFeasibility, DetectsOverload)
+{
+    DriveOccupancyTracker occ(SsdModel::intelX25E());
+    occ.recordReads(0, 8000000);               // over budget
+    occ.recordWrites(kUsPerMinute, 1000);      // light minute
+    const auto result = checkNetworkFeasibility(
+        occ, NetworkModel::fourGigabitLinks());
+    EXPECT_GT(result.peak_utilization, 1.0);
+    EXPECT_DOUBLE_EQ(result.coverage, 0.5);
+}
+
+TEST(NetworkFeasibility, EmptyTracker)
+{
+    DriveOccupancyTracker occ(SsdModel::intelX25E());
+    const auto result = checkNetworkFeasibility(
+        occ, NetworkModel::fourGigabitLinks());
+    EXPECT_DOUBLE_EQ(result.mean_utilization, 0.0);
+    EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+}
+
+TEST(NetworkFeasibility, RejectsDeadNic)
+{
+    DriveOccupancyTracker occ(SsdModel::intelX25E());
+    NetworkModel dead;
+    dead.links = 0;
+    EXPECT_THROW(checkNetworkFeasibility(occ, dead), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for per-minute drive-IOPS occupancy (Section 4, Figs. 8/9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ssd/occupancy.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore::ssd;
+using sievestore::util::FatalError;
+using sievestore::util::kUsPerMinute;
+
+TEST(Occupancy, ExactPaperArithmetic)
+{
+    // 35,000 reads in one minute occupy 1 drive-second per second of
+    // read service... i.e. 35,000 * (1/35000) s = 1 s of 60 s.
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordReads(0, 35000);
+    EXPECT_NEAR(t.occupancy(0), 1.0 / 60.0, 1e-12);
+    // 3,300 writes likewise cost 1 drive-second.
+    t.recordWrites(0, 3300);
+    EXPECT_NEAR(t.occupancy(0), 2.0 / 60.0, 1e-12);
+}
+
+TEST(Occupancy, FullDriveMinute)
+{
+    // 60 s of service in one minute = occupancy exactly 1.
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordReads(0, 35000 * 60);
+    EXPECT_NEAR(t.occupancy(0), 1.0, 1e-9);
+}
+
+TEST(Occupancy, WritesCostTenPointSixTimesReads)
+{
+    const SsdModel m = SsdModel::intelX25E();
+    DriveOccupancyTracker tr(m), tw(m);
+    tr.recordReads(0, 1000);
+    tw.recordWrites(0, 1000);
+    EXPECT_NEAR(tw.occupancy(0) / tr.occupancy(0), 35000.0 / 3300.0,
+                1e-9);
+}
+
+TEST(Occupancy, MinuteBucketing)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordReads(0, 10);
+    t.recordReads(kUsPerMinute - 1, 10);
+    t.recordReads(kUsPerMinute, 5);
+    ASSERT_EQ(t.minutes().size(), 2u);
+    EXPECT_EQ(t.minutes()[0].read_ios, 20u);
+    EXPECT_EQ(t.minutes()[1].read_ios, 5u);
+}
+
+TEST(Occupancy, DrivesSeriesIsCeiling)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordWrites(0, 3300 * 30);          // 30 s -> 0.5 drives -> 1
+    t.recordWrites(kUsPerMinute, 3300 * 90); // 90 s -> 1.5 drives -> 2
+    const auto drives = t.drivesSeries();
+    ASSERT_EQ(drives.size(), 2u);
+    EXPECT_EQ(drives[0], 1u);
+    EXPECT_EQ(drives[1], 2u);
+    EXPECT_EQ(t.maxDrives(), 2u);
+}
+
+TEST(Occupancy, CoverageQueries)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    // 999 light minutes and one 2-drive spike.
+    for (int m = 0; m < 999; ++m)
+        t.recordReads(uint64_t(m) * kUsPerMinute, 100);
+    t.recordWrites(999ULL * kUsPerMinute, 3300 * 90);
+    EXPECT_EQ(t.drivesForCoverage(0.99), 1u);
+    EXPECT_EQ(t.drivesForCoverage(1.0), 2u);
+    EXPECT_NEAR(t.coverageWithDrives(1), 0.999, 1e-9);
+    EXPECT_DOUBLE_EQ(t.coverageWithDrives(2), 1.0);
+}
+
+TEST(Occupancy, IdleMinutesCountTowardCoverage)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordReads(0, 1);
+    t.recordReads(9ULL * kUsPerMinute, 35000 * 120); // 2 drives
+    // 9 of 10 minutes need <= 1 drive (8 idle + 1 light).
+    EXPECT_NEAR(t.coverageWithDrives(1), 0.9, 1e-9);
+}
+
+TEST(Occupancy, EmptyTracker)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    EXPECT_EQ(t.maxDrives(), 0u);
+    EXPECT_EQ(t.drivesForCoverage(0.999), 0u);
+    EXPECT_DOUBLE_EQ(t.coverageWithDrives(0), 1.0);
+    EXPECT_DOUBLE_EQ(t.occupancy(42), 0.0);
+}
+
+TEST(Occupancy, TotalsAndBytesWritten)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    t.recordReads(0, 7);
+    t.recordWrites(0, 3);
+    EXPECT_EQ(t.totalReadIos(), 7u);
+    EXPECT_EQ(t.totalWriteIos(), 3u);
+    EXPECT_EQ(t.bytesWritten(), 3u * 4096u);
+}
+
+TEST(Occupancy, RejectsBadCoverage)
+{
+    DriveOccupancyTracker t(SsdModel::intelX25E());
+    EXPECT_THROW(t.drivesForCoverage(0.0), FatalError);
+    EXPECT_THROW(t.drivesForCoverage(1.5), FatalError);
+}
+
+TEST(Endurance, PaperTenYearClaim)
+{
+    // Section 5.1: <= 500M 512-byte writes/day and 1 PB endurance give
+    // > 10 years: 1e15 / (5e8 * 512 * 365) = 10.7 years.
+    const SsdModel m = SsdModel::intelX25E();
+    const uint64_t writes_per_day_bytes = 500000000ULL * 512ULL;
+    const double years =
+        enduranceYears(m, writes_per_day_bytes * 7, 7.0);
+    EXPECT_NEAR(years, 10.7, 0.05);
+    EXPECT_GT(years, 10.0);
+}
+
+TEST(Endurance, ZeroWritesIsInfinite)
+{
+    const SsdModel m = SsdModel::intelX25E();
+    EXPECT_TRUE(std::isinf(enduranceYears(m, 0, 7.0)));
+}
+
+} // namespace

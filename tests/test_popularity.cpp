@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for popularity binning (the Figure 2 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/popularity.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::analysis;
+using sievestore::trace::BlockId;
+using sievestore::trace::makeBlockId;
+using sievestore::util::Rng;
+
+BlockCounts
+skewedCounts(size_t n, uint64_t seed)
+{
+    // Zipf-like synthetic counts: block i gets ~n/i accesses.
+    BlockCounts counts;
+    Rng rng(seed);
+    for (size_t i = 1; i <= n; ++i)
+        counts[makeBlockId(0, i)] = std::max<uint64_t>(1, n / i);
+    return counts;
+}
+
+TEST(Popularity, TotalsMatch)
+{
+    const BlockCounts counts = skewedCounts(1000, 1);
+    PopularityProfile profile(counts);
+    EXPECT_EQ(profile.uniqueBlocks(), 1000u);
+    EXPECT_EQ(profile.totalAccesses(), totalAccesses(counts));
+}
+
+TEST(Popularity, BinsPartitionBlocks)
+{
+    const BlockCounts counts = skewedCounts(500, 2);
+    PopularityProfile profile(counts, 100);
+    EXPECT_EQ(profile.binCount(), 100u);
+    double weighted = 0.0;
+    for (size_t b = 0; b < profile.binCount(); ++b)
+        weighted += profile.binAverage(b) * 5.0; // 5 blocks per bin
+    EXPECT_NEAR(weighted, static_cast<double>(profile.totalAccesses()),
+                1.0);
+}
+
+TEST(Popularity, FewerBlocksThanBins)
+{
+    const BlockCounts counts = skewedCounts(7, 3);
+    PopularityProfile profile(counts, 10000);
+    EXPECT_EQ(profile.binCount(), 7u);
+    // Bins are in descending popularity.
+    for (size_t b = 1; b < profile.binCount(); ++b)
+        EXPECT_LE(profile.binAverage(b), profile.binAverage(b - 1));
+}
+
+TEST(Popularity, TopShareMonotone)
+{
+    const BlockCounts counts = skewedCounts(2000, 4);
+    PopularityProfile profile(counts);
+    double prev = 0.0;
+    for (double f : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+        const double s = profile.topShare(f);
+        EXPECT_GE(s, prev);
+        EXPECT_LE(s, 1.0);
+        prev = s;
+    }
+    EXPECT_DOUBLE_EQ(profile.topShare(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(profile.topShare(0.0), 0.0);
+}
+
+TEST(Popularity, TopShareOfSkewedBeatsUniform)
+{
+    const BlockCounts skewed = skewedCounts(1000, 5);
+    BlockCounts uniform;
+    for (size_t i = 0; i < 1000; ++i)
+        uniform[makeBlockId(0, i)] = 5;
+    PopularityProfile ps(skewed), pu(uniform);
+    EXPECT_GT(ps.topShare(0.01), pu.topShare(0.01) * 2);
+    EXPECT_NEAR(pu.topShare(0.1), 0.1, 1e-9);
+}
+
+TEST(Popularity, CountAtPercentile)
+{
+    BlockCounts counts;
+    for (size_t i = 1; i <= 100; ++i)
+        counts[makeBlockId(0, i)] = 101 - i; // counts 100..1
+    PopularityProfile profile(counts);
+    EXPECT_EQ(profile.countAtPercentile(0.01), 100u);
+    EXPECT_EQ(profile.countAtPercentile(0.50), 51u);
+    EXPECT_EQ(profile.countAtPercentile(1.0), 1u);
+}
+
+TEST(Popularity, FractionWithCountAtMost)
+{
+    BlockCounts counts;
+    for (size_t i = 0; i < 50; ++i)
+        counts[makeBlockId(0, i)] = 1;
+    for (size_t i = 50; i < 100; ++i)
+        counts[makeBlockId(0, i)] = 10;
+    PopularityProfile profile(counts);
+    EXPECT_DOUBLE_EQ(profile.fractionWithCountAtMost(1), 0.5);
+    EXPECT_DOUBLE_EQ(profile.fractionWithCountAtMost(9), 0.5);
+    EXPECT_DOUBLE_EQ(profile.fractionWithCountAtMost(10), 1.0);
+    EXPECT_DOUBLE_EQ(profile.fractionWithCountAtMost(0), 0.0);
+}
+
+TEST(Popularity, TopBlocksSelectsHighestCounts)
+{
+    const BlockCounts counts = skewedCounts(1000, 6);
+    PopularityProfile profile(counts);
+    const auto top = profile.topBlocks(0.01);
+    ASSERT_EQ(top.size(), 10u);
+    // Every selected block must outrank every unselected one.
+    uint64_t min_top = UINT64_MAX;
+    for (BlockId b : top)
+        min_top = std::min(min_top, counts.at(b));
+    EXPECT_GE(min_top, 100u); // n/i for i=10 => 100
+}
+
+TEST(Popularity, BlocksWithCountAtLeast)
+{
+    const BlockCounts counts = skewedCounts(100, 7);
+    PopularityProfile profile(counts);
+    const auto selected = profile.blocksWithCountAtLeast(10);
+    for (BlockId b : selected)
+        EXPECT_GE(counts.at(b), 10u);
+    size_t expect = 0;
+    for (const auto &kv : counts)
+        if (kv.second >= 10)
+            ++expect;
+    EXPECT_EQ(selected.size(), expect);
+}
+
+TEST(Popularity, EmptyCounts)
+{
+    PopularityProfile profile(BlockCounts{});
+    EXPECT_EQ(profile.uniqueBlocks(), 0u);
+    EXPECT_EQ(profile.binCount(), 0u);
+    EXPECT_DOUBLE_EQ(profile.topShare(0.01), 0.0);
+    EXPECT_TRUE(profile.topBlocks(0.01).empty());
+}
+
+TEST(Popularity, TopBlocksMinimumOne)
+{
+    BlockCounts counts;
+    counts[makeBlockId(0, 1)] = 5;
+    counts[makeBlockId(0, 2)] = 3;
+    PopularityProfile profile(counts);
+    // 1 % of 2 blocks rounds to 0 but at least one block is returned.
+    const auto top = profile.topBlocks(0.01);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0], makeBlockId(0, 1));
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the randomized continuous sieve and the unsieved
+ * baseline policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rand_sieve.hpp"
+#include "core/unsieved.hpp"
+
+namespace {
+
+using namespace sievestore::core;
+using sievestore::trace::BlockAccess;
+using sievestore::trace::Op;
+
+BlockAccess
+access(Op op)
+{
+    BlockAccess a;
+    a.block = 42;
+    a.op = op;
+    return a;
+}
+
+TEST(Aod, AllocatesEveryMiss)
+{
+    AodPolicy aod;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(aod.onMiss(access(Op::Read)),
+                  AllocDecision::Allocate);
+        EXPECT_EQ(aod.onMiss(access(Op::Write)),
+                  AllocDecision::Allocate);
+    }
+    EXPECT_STREQ(aod.name(), "AOD");
+    EXPECT_EQ(aod.metastateBytes(), 0u);
+}
+
+TEST(Wmna, AllocatesOnlyReadMisses)
+{
+    WmnaPolicy wmna;
+    EXPECT_EQ(wmna.onMiss(access(Op::Read)), AllocDecision::Allocate);
+    EXPECT_EQ(wmna.onMiss(access(Op::Write)), AllocDecision::Bypass);
+    EXPECT_STREQ(wmna.name(), "WMNA");
+}
+
+TEST(RandSieveC, AllocatesApproximatelyTheConfiguredFraction)
+{
+    RandSieveCPolicy sieve(0.01, 5);
+    int allocated = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (sieve.onMiss(access(Op::Read)) == AllocDecision::Allocate)
+            ++allocated;
+    EXPECT_NEAR(static_cast<double>(allocated) / n, 0.01, 0.002);
+}
+
+TEST(RandSieveC, IndependentOfOpAndBlock)
+{
+    // The lottery ignores everything about the access: equal rates for
+    // reads and writes.
+    RandSieveCPolicy sieve(0.2, 6);
+    int reads = 0, writes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (sieve.onMiss(access(Op::Read)) == AllocDecision::Allocate)
+            ++reads;
+        if (sieve.onMiss(access(Op::Write)) == AllocDecision::Allocate)
+            ++writes;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / 20000, 0.2, 0.02);
+    EXPECT_NEAR(static_cast<double>(writes) / 20000, 0.2, 0.02);
+}
+
+TEST(RandSieveC, DeterministicPerSeed)
+{
+    RandSieveCPolicy a(0.5, 9), b(0.5, 9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.onMiss(access(Op::Read)),
+                  b.onMiss(access(Op::Read)));
+}
+
+TEST(RandSieveC, ExtremeProbabilities)
+{
+    RandSieveCPolicy never(0.0, 1);
+    RandSieveCPolicy always(1.0, 1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(never.onMiss(access(Op::Read)),
+                  AllocDecision::Bypass);
+        EXPECT_EQ(always.onMiss(access(Op::Read)),
+                  AllocDecision::Allocate);
+    }
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the PRNG and samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sievestore::util;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(4);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.nextInRange(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextPoisson(2.5));
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+    EXPECT_EQ(rng.nextPoisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeLambdaNormalApprox)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextPoisson(100.0));
+    EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(10);
+    std::vector<double> v;
+    for (int i = 0; i < 20001; ++i)
+        v.push_back(rng.nextLogNormal(std::log(50.0), 0.5));
+    std::sort(v.begin(), v.end());
+    EXPECT_NEAR(v[v.size() / 2], 50.0, 2.0);
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng parent(11);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (parent.next() == child.next())
+            ++equal;
+    EXPECT_EQ(equal, 0);
+}
+
+// --- ZipfSampler ---------------------------------------------------------
+
+class ZipfExponents : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfExponents, SamplesInBoundsAndRankOneMostFrequent)
+{
+    const double s = GetParam();
+    const uint64_t n = 100;
+    ZipfSampler zipf(n, s);
+    Rng rng(12);
+    std::vector<uint64_t> counts(n + 1, 0);
+    for (int i = 0; i < 100000; ++i) {
+        const uint64_t r = zipf.sample(rng);
+        ASSERT_GE(r, 1u);
+        ASSERT_LE(r, n);
+        ++counts[r];
+    }
+    if (s > 0.2) {
+        // Rank 1 must dominate rank n clearly for skewed exponents.
+        EXPECT_GT(counts[1], counts[n] * 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfExponents,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfSampler, UniformWhenExponentZero)
+{
+    ZipfSampler zipf(10, 0.0);
+    Rng rng(13);
+    std::vector<uint64_t> counts(11, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (uint64_t r = 1; r <= 10; ++r) {
+        EXPECT_GT(counts[r], n / 10 - n / 50);
+        EXPECT_LT(counts[r], n / 10 + n / 50);
+    }
+}
+
+TEST(ZipfSampler, ClassicZipfFrequencyRatio)
+{
+    // For s = 1, P(rank 1) / P(rank 2) ~ 2.
+    ZipfSampler zipf(1000, 1.0);
+    Rng rng(14);
+    uint64_t c1 = 0, c2 = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const uint64_t r = zipf.sample(rng);
+        if (r == 1)
+            ++c1;
+        else if (r == 2)
+            ++c2;
+    }
+    EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c2), 2.0,
+                0.2);
+}
+
+TEST(ZipfSampler, SingleRank)
+{
+    ZipfSampler zipf(1, 1.0);
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), FatalError);
+    EXPECT_THROW(ZipfSampler(10, -1.0), FatalError);
+}
+
+// --- AliasTable ----------------------------------------------------------
+
+TEST(AliasTable, MatchesWeights)
+{
+    const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+    AliasTable table(weights);
+    Rng rng(16);
+    std::vector<uint64_t> counts(4, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[table.sample(rng)];
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const double expect = weights[i] / 10.0;
+        EXPECT_NEAR(static_cast<double>(counts[i]) / n, expect, 0.01);
+    }
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled)
+{
+    AliasTable table({1.0, 0.0, 1.0});
+    Rng rng(17);
+    for (int i = 0; i < 50000; ++i)
+        EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, SingleEntry)
+{
+    AliasTable table({5.0});
+    Rng rng(18);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsBadWeights)
+{
+    EXPECT_THROW(AliasTable({}), FatalError);
+    EXPECT_THROW(AliasTable({-1.0, 1.0}), FatalError);
+    EXPECT_THROW(AliasTable({0.0, 0.0}), FatalError);
+}
+
+} // namespace

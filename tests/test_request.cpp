@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the request record and its ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/request.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+
+Request
+makeRequest(uint64_t time, uint16_t volume, uint64_t offset, uint32_t len,
+            Op op = Op::Read, uint32_t latency = 1000)
+{
+    Request r;
+    r.time = time;
+    r.volume = volume;
+    r.offset_blocks = offset;
+    r.length_blocks = len;
+    r.op = op;
+    r.latency_us = latency;
+    return r;
+}
+
+TEST(Request, BlockAtCoversRange)
+{
+    const Request r = makeRequest(0, 3, 100, 4);
+    EXPECT_EQ(r.blockAt(0), makeBlockId(3, 100));
+    EXPECT_EQ(r.blockAt(3), makeBlockId(3, 103));
+}
+
+TEST(Request, CompletionAndBytes)
+{
+    const Request r = makeRequest(5000, 1, 0, 16, Op::Write, 2500);
+    EXPECT_EQ(r.completion(), 7500u);
+    EXPECT_EQ(r.bytes(), 16u * 512u);
+}
+
+TEST(Request, TimeOrderingPrimary)
+{
+    const Request a = makeRequest(1, 0, 0, 1);
+    const Request b = makeRequest(2, 0, 0, 1);
+    EXPECT_TRUE(requestTimeLess(a, b));
+    EXPECT_FALSE(requestTimeLess(b, a));
+}
+
+TEST(Request, TieBreaksAreDeterministicAndIrreflexive)
+{
+    const Request a = makeRequest(1, 0, 0, 1, Op::Read);
+    const Request b = makeRequest(1, 0, 0, 1, Op::Write);
+    const Request c = makeRequest(1, 1, 0, 1, Op::Read);
+    EXPECT_TRUE(requestTimeLess(a, b));  // read < write
+    EXPECT_FALSE(requestTimeLess(b, a));
+    EXPECT_TRUE(requestTimeLess(a, c));  // volume 0 < 1
+    EXPECT_FALSE(requestTimeLess(a, a)); // irreflexive
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the sharded multi-node deployment (Section 7
+ * "scaling").
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hpp"
+#include "sim/sharded.hpp"
+#include "trace/synthetic.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore;
+using namespace sievestore::sim;
+using namespace sievestore::trace;
+using sievestore::util::FatalError;
+using sievestore::util::makeTime;
+
+Request
+makeRequest(uint64_t time, uint64_t offset, uint32_t len,
+            Op op = Op::Read)
+{
+    Request r;
+    r.time = time;
+    r.volume = 0;
+    r.server = 0;
+    r.op = op;
+    r.offset_blocks = offset;
+    r.length_blocks = len;
+    r.latency_us = 1000;
+    return r;
+}
+
+ShardedConfig
+config(size_t shards)
+{
+    ShardedConfig cfg;
+    cfg.shards = shards;
+    cfg.policy.kind = PolicyKind::AOD;
+    cfg.node.cache_blocks = 1024;
+    cfg.node.track_occupancy = false;
+    return cfg;
+}
+
+TEST(ShardOf, StableAndPageGranular)
+{
+    // Blocks of one 4 KB page always land on the same shard.
+    for (uint64_t page = 0; page < 100; ++page) {
+        const size_t shard =
+            shardOf(makeBlockId(3, page * 8), 4, 0);
+        for (uint64_t b = 1; b < 8; ++b)
+            EXPECT_EQ(shardOf(makeBlockId(3, page * 8 + b), 4, 0),
+                      shard);
+    }
+}
+
+TEST(ShardOf, SpreadsPagesEvenly)
+{
+    std::vector<int> counts(4, 0);
+    for (uint64_t page = 0; page < 40000; ++page)
+        ++counts[shardOf(makeBlockId(1, page * 8), 4, 0)];
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+TEST(Sharded, AccessesArePartitionedExactly)
+{
+    std::vector<Request> reqs = {
+        makeRequest(1000, 0, 64),  // 8 pages
+        makeRequest(2000, 64, 32), // 4 pages
+    };
+    VectorTrace trace(std::move(reqs));
+    const auto result = runSharded(trace, config(3));
+    ASSERT_EQ(result.nodes.size(), 3u);
+    EXPECT_EQ(result.totals().accesses, 96u);
+}
+
+TEST(Sharded, SingleShardMatchesUnshardedAppliance)
+{
+    SyntheticConfig scfg;
+    scfg.scale = 1.0 / 65536.0;
+    const auto ensemble = EnsembleConfig::paperEnsemble();
+    auto gen = SyntheticEnsembleGenerator::paper(ensemble, scfg);
+
+    ShardedConfig cfg = config(1);
+    cfg.node.cache_blocks = 4096;
+    const auto sharded = runSharded(gen, cfg);
+    gen.reset();
+
+    PolicyConfig pc;
+    pc.kind = PolicyKind::AOD;
+    core::ApplianceConfig ac;
+    ac.cache_blocks = 4096;
+    ac.track_occupancy = false;
+    auto plain = makeAppliance(pc, ac);
+    runTrace(gen, *plain);
+    gen.reset();
+
+    // Identical accesses; hits may differ microscopically because
+    // request splitting (even into one shard the request stays whole)
+    // preserves everything — so demand exact equality.
+    EXPECT_EQ(sharded.totals().accesses, plain->totals().accesses);
+    EXPECT_EQ(sharded.totals().hits, plain->totals().hits);
+}
+
+TEST(Sharded, HitRatioStableAcrossShardCounts)
+{
+    // The ensemble-sharing property: hash-partitioning the block space
+    // splits the hot set evenly, so N shards of capacity C/N capture
+    // roughly what one node of capacity C captures.
+    SyntheticConfig scfg;
+    scfg.scale = 1.0 / 32768.0;
+    const auto ensemble = EnsembleConfig::paperEnsemble();
+    auto gen = SyntheticEnsembleGenerator::paper(ensemble, scfg);
+
+    const uint64_t total_blocks = 2048;
+    double base_ratio = 0.0;
+    for (size_t shards : {size_t(1), size_t(2), size_t(4)}) {
+        ShardedConfig cfg = config(shards);
+        cfg.policy.kind = PolicyKind::SieveStoreC;
+        cfg.policy.sieve_c.imct_slots = 1 << 14;
+        cfg.node.cache_blocks = total_blocks / shards;
+        gen.reset();
+        const auto result = runSharded(gen, cfg);
+        const double ratio = result.totals().hitRatio();
+        if (shards == 1)
+            base_ratio = ratio;
+        else
+            EXPECT_NEAR(ratio, base_ratio, 0.05)
+                << shards << " shards";
+    }
+    gen.reset();
+}
+
+TEST(Sharded, LoadSpreadsAcrossNodes)
+{
+    SyntheticConfig scfg;
+    scfg.scale = 1.0 / 65536.0;
+    const auto ensemble = EnsembleConfig::paperEnsemble();
+    auto gen = SyntheticEnsembleGenerator::paper(ensemble, scfg);
+    const auto result = runSharded(gen, config(4));
+    // At this tiny scale the hot set is a few dozen pages, so a single
+    // giant page skews its shard; just require that no node is idle
+    // and the worst node stays within 2x of the mean (at bench scales
+    // the imbalance is a few percent).
+    EXPECT_LT(result.loadImbalance(), 2.0);
+    for (const auto &node : result.nodes)
+        EXPECT_GT(node->totals().accesses, 0u);
+}
+
+TEST(Sharded, RejectsBadConfig)
+{
+    VectorTrace trace(std::vector<Request>{});
+    auto zero = config(0);
+    EXPECT_THROW(runSharded(trace, zero), FatalError);
+    auto oracle = config(2);
+    oracle.policy.kind = PolicyKind::Ideal;
+    EXPECT_THROW(runSharded(trace, oracle), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for simulated-time helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore::util;
+
+TEST(SimTime, Constants)
+{
+    EXPECT_EQ(kUsPerSecond, 1000000u);
+    EXPECT_EQ(kUsPerMinute, 60u * 1000000u);
+    EXPECT_EQ(kUsPerHour, 3600u * 1000000u);
+    EXPECT_EQ(kUsPerDay, 86400ULL * 1000000u);
+}
+
+TEST(SimTime, MakeTimeComposes)
+{
+    EXPECT_EQ(makeTime(0), 0u);
+    EXPECT_EQ(makeTime(1), kUsPerDay);
+    EXPECT_EQ(makeTime(1, 2, 3, 4, 5),
+              kUsPerDay + 2 * kUsPerHour + 3 * kUsPerMinute +
+                  4 * kUsPerSecond + 5);
+}
+
+TEST(SimTime, DayBoundaries)
+{
+    EXPECT_EQ(dayOf(0), 0u);
+    EXPECT_EQ(dayOf(kUsPerDay - 1), 0u);
+    EXPECT_EQ(dayOf(kUsPerDay), 1u);
+    EXPECT_EQ(dayOf(makeTime(7, 23, 59, 59)), 7u);
+}
+
+TEST(SimTime, MinuteAndHourIndices)
+{
+    EXPECT_EQ(minuteOf(makeTime(0, 0, 59, 59)), 59u);
+    EXPECT_EQ(minuteOf(makeTime(0, 1)), 60u);
+    EXPECT_EQ(hourOf(makeTime(2, 5)), 2u * 24 + 5);
+    // Minute index across the full week used by Figures 8/9.
+    EXPECT_EQ(minuteOf(makeTime(7)), 7u * 24 * 60);
+}
+
+TEST(SimTime, ToSeconds)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(kUsPerSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toSeconds(kUsPerMinute), 60.0);
+    EXPECT_DOUBLE_EQ(toSeconds(500000), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for skew metrics (Gini, Jaccard, server composition).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/skew.hpp"
+
+namespace {
+
+using namespace sievestore::analysis;
+using namespace sievestore::trace;
+
+TEST(Gini, ZeroForUniformCounts)
+{
+    BlockCounts counts;
+    for (size_t i = 0; i < 100; ++i)
+        counts[makeBlockId(0, i)] = 7;
+    PopularityProfile profile(counts);
+    EXPECT_NEAR(giniOfCounts(profile), 0.0, 1e-9);
+}
+
+TEST(Gini, HighForExtremeSkew)
+{
+    BlockCounts counts;
+    counts[makeBlockId(0, 0)] = 100000;
+    for (size_t i = 1; i < 1000; ++i)
+        counts[makeBlockId(0, i)] = 1;
+    PopularityProfile profile(counts);
+    EXPECT_GT(giniOfCounts(profile), 0.9);
+}
+
+TEST(Gini, OrdersDistributionsBySkew)
+{
+    BlockCounts mild, strong;
+    for (size_t i = 1; i <= 200; ++i) {
+        mild[makeBlockId(0, i)] = 100 + i; // nearly flat
+        strong[makeBlockId(0, i)] = 40000 / (i * i); // steep
+    }
+    PopularityProfile pm(mild), ps(strong);
+    EXPECT_LT(giniOfCounts(pm), giniOfCounts(ps));
+}
+
+TEST(Gini, EmptyProfileIsZero)
+{
+    PopularityProfile profile(BlockCounts{});
+    EXPECT_DOUBLE_EQ(giniOfCounts(profile), 0.0);
+}
+
+TEST(Jaccard, IdenticalSetsAreOne)
+{
+    std::vector<BlockId> a = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero)
+{
+    EXPECT_DOUBLE_EQ(jaccard({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap)
+{
+    // {1,2,3} vs {2,3,4}: 2 common of 4 total.
+    EXPECT_DOUBLE_EQ(jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(Jaccard, HandlesDuplicatesInInput)
+{
+    EXPECT_DOUBLE_EQ(jaccard({1, 1, 2}, {2, 2}), 0.5);
+}
+
+TEST(Jaccard, EmptySets)
+{
+    EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard({1}, {}), 0.0);
+}
+
+TEST(ServerComposition, SumsToOneAndAttributesCorrectly)
+{
+    const EnsembleConfig ensemble = EnsembleConfig::paperEnsemble();
+    const VolumeId usr_vol = ensemble.serverByKey("Usr").volume_ids[0];
+    const VolumeId prxy_vol = ensemble.serverByKey("Prxy").volume_ids[0];
+
+    BlockCounts counts;
+    // 3 hot Usr blocks, 1 hot Prxy block, 396 cold blocks elsewhere.
+    for (size_t i = 0; i < 3; ++i)
+        counts[makeBlockId(usr_vol, i)] = 1000;
+    counts[makeBlockId(prxy_vol, 0)] = 1000;
+    const VolumeId src_vol = ensemble.serverByKey("Src1").volume_ids[0];
+    for (size_t i = 0; i < 396; ++i)
+        counts[makeBlockId(src_vol, 1000 + i)] = 1;
+
+    PopularityProfile profile(counts);
+    const auto shares = serverCompositionOfTop(profile, ensemble, 0.01);
+    ASSERT_EQ(shares.size(), ensemble.serverCount());
+    double total = 0.0;
+    for (double s : shares)
+        total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Top 1 % of 400 blocks = the 4 hot ones: 3 Usr + 1 Prxy.
+    EXPECT_NEAR(shares[ensemble.serverByKey("Usr").id], 0.75, 1e-9);
+    EXPECT_NEAR(shares[ensemble.serverByKey("Prxy").id], 0.25, 1e-9);
+}
+
+TEST(ServerComposition, EmptyProfile)
+{
+    const EnsembleConfig ensemble = EnsembleConfig::paperEnsemble();
+    PopularityProfile profile(BlockCounts{});
+    const auto shares = serverCompositionOfTop(profile, ensemble);
+    for (double s : shares)
+        EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the analytical SSD device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_model.hpp"
+
+namespace {
+
+using namespace sievestore::ssd;
+
+TEST(SsdModel, X25EDataSheet)
+{
+    const SsdModel m = SsdModel::intelX25E();
+    EXPECT_DOUBLE_EQ(m.read_iops, 35000.0);
+    EXPECT_DOUBLE_EQ(m.write_iops, 3300.0);
+    EXPECT_DOUBLE_EQ(m.seq_read_bw, 250.0e6);
+    EXPECT_DOUBLE_EQ(m.seq_write_bw, 170.0e6);
+    EXPECT_DOUBLE_EQ(m.endurance_bytes, 1.0e15);
+    EXPECT_EQ(m.capacity_bytes, 32ULL << 30);
+}
+
+TEST(SsdModel, ServiceTimesArePaperConstants)
+{
+    const SsdModel m = SsdModel::intelX25E();
+    EXPECT_DOUBLE_EQ(m.readService(), 1.0 / 35000.0);
+    EXPECT_DOUBLE_EQ(m.writeService(), 1.0 / 3300.0);
+}
+
+TEST(SsdModel, RandomBandwidthTighterThanSequential)
+{
+    // Section 4: "The random bandwidth ... is 140MB/s and 13.2 MB/s
+    // which is a tighter constraint than sequential bandwidth."
+    const SsdModel m = SsdModel::intelX25E();
+    EXPECT_NEAR(m.randomReadBw(), 143.4e6, 1e6);
+    EXPECT_NEAR(m.randomWriteBw(), 13.5e6, 0.5e6);
+    EXPECT_LT(m.randomReadBw(), m.seq_read_bw);
+    EXPECT_LT(m.randomWriteBw(), m.seq_write_bw);
+}
+
+TEST(SsdModel, ScaledPreservesRatios)
+{
+    const SsdModel full = SsdModel::intelX25E();
+    const SsdModel half = full.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.read_iops, 17500.0);
+    EXPECT_DOUBLE_EQ(half.write_iops, 1650.0);
+    EXPECT_DOUBLE_EQ(half.read_iops / half.write_iops,
+                     full.read_iops / full.write_iops);
+    EXPECT_EQ(half.capacity_bytes, 16ULL << 30);
+    EXPECT_DOUBLE_EQ(half.endurance_bytes, 0.5e15);
+}
+
+TEST(SsdModel, CustomCapacity)
+{
+    const SsdModel m = SsdModel::intelX25E(16ULL << 30);
+    EXPECT_EQ(m.capacity_bytes, 16ULL << 30);
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Validation of the synthetic ensemble generator against everything the
+ * paper reports about the traces (observations O1 and O2, Section 2).
+ * These tests run at a small scale; the Figure 2/3 benches print the
+ * same statistics at the default scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/popularity.hpp"
+#include "analysis/skew.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore;
+using namespace sievestore::trace;
+using analysis::BlockCounts;
+using analysis::PopularityProfile;
+
+/** Shared small-scale generator (built once; generation is deterministic). */
+class SyntheticTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ensemble = new EnsembleConfig(EnsembleConfig::paperEnsemble());
+        SyntheticConfig cfg;
+        cfg.scale = 1.0 / 16384.0;
+        gen = new SyntheticEnsembleGenerator(
+            SyntheticEnsembleGenerator::paper(*ensemble, cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete gen;
+        delete ensemble;
+        gen = nullptr;
+        ensemble = nullptr;
+    }
+
+    static BlockCounts
+    countsOfDay(int day)
+    {
+        return analysis::countBlockAccesses(gen->generateDay(day));
+    }
+
+    static EnsembleConfig *ensemble;
+    static SyntheticEnsembleGenerator *gen;
+};
+
+EnsembleConfig *SyntheticTest::ensemble = nullptr;
+SyntheticEnsembleGenerator *SyntheticTest::gen = nullptr;
+
+TEST_F(SyntheticTest, SpansEightCalendarDays)
+{
+    // 5 pm start + 7x24 h = 8 calendar days, day 0 partial (7 h).
+    EXPECT_EQ(gen->days(), 8);
+}
+
+TEST_F(SyntheticTest, DayZeroIsTheEveningPartial)
+{
+    const auto reqs = gen->generateDay(0);
+    ASSERT_FALSE(reqs.empty());
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.time, util::makeTime(0, 17));
+        EXPECT_LT(r.time, util::makeTime(1));
+    }
+}
+
+TEST_F(SyntheticTest, RequestsAreTimeSortedWithinDay)
+{
+    for (int d : {0, 3, 7}) {
+        const auto reqs = gen->generateDay(d);
+        for (size_t i = 1; i < reqs.size(); ++i)
+            ASSERT_GE(reqs[i].time, reqs[i - 1].time);
+    }
+}
+
+TEST_F(SyntheticTest, DeterministicAcrossCalls)
+{
+    const auto a = gen->generateDay(2);
+    const auto b = gen->generateDay(2);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].time, b[i].time);
+        ASSERT_EQ(a[i].offset_blocks, b[i].offset_blocks);
+        ASSERT_EQ(a[i].op, b[i].op);
+    }
+}
+
+TEST_F(SyntheticTest, StreamingMatchesPerDayGeneration)
+{
+    gen->reset();
+    Request r;
+    size_t total_streamed = 0;
+    uint64_t prev = 0;
+    while (gen->next(r)) {
+        ASSERT_GE(r.time, prev);
+        prev = r.time;
+        ++total_streamed;
+    }
+    size_t total_days = 0;
+    for (int d = 0; d < gen->days(); ++d)
+        total_days += gen->generateDay(d).size();
+    EXPECT_EQ(total_streamed, total_days);
+    gen->reset();
+}
+
+TEST_F(SyntheticTest, O1_TopOnePercentShare)
+{
+    // "A very small fraction (~1%) of popular blocks accessed each day
+    // account for ... between 14%-53%" of accesses.
+    for (int d = 1; d <= 6; ++d) {
+        PopularityProfile profile(countsOfDay(d));
+        const double share = profile.topShare(0.01);
+        EXPECT_GT(share, 0.12) << "day " << d;
+        EXPECT_LT(share, 0.60) << "day " << d;
+    }
+}
+
+TEST_F(SyntheticTest, O1_CountDropsFastBeyondTopPercent)
+{
+    // "99% of all blocks accessed in a day see 10 or fewer accesses.
+    //  The least popular 97% ... see 4 or fewer." (small-scale noise
+    //  allowed for.)
+    for (int d : {2, 4}) {
+        PopularityProfile profile(countsOfDay(d));
+        EXPECT_GT(profile.fractionWithCountAtMost(10), 0.96)
+            << "day " << d;
+        EXPECT_GT(profile.fractionWithCountAtMost(4), 0.94)
+            << "day " << d;
+        // ~half of blocks are singletons ("never reused below the 50th
+        // percentile").
+        EXPECT_NEAR(profile.fractionWithCountAtMost(1), 0.52, 0.08)
+            << "day " << d;
+    }
+}
+
+TEST_F(SyntheticTest, O1_TopBinDwarfsBoundaryBin)
+{
+    // Fig. 2(a): the 0.01st-percentile bin averages 1000+ accesses
+    // while the bin at the 1st percentile averages ~10.
+    PopularityProfile profile(countsOfDay(3), 10000);
+    const double top_bin = profile.binAverage(0);
+    const uint64_t at_boundary = profile.countAtPercentile(0.01);
+    // At the tiny test scale giants are few; the benches verify the
+    // full 100x ratio at the default scale.
+    EXPECT_GT(top_bin, 20.0 * static_cast<double>(at_boundary));
+    EXPECT_LE(at_boundary, 40u);
+}
+
+TEST_F(SyntheticTest, ReadWriteMixIsRoughlyThreeToOne)
+{
+    gen->reset();
+    const TraceStats stats = summarizeTrace(*gen);
+    gen->reset();
+    uint64_t reads = 0, total = 0;
+    for (const auto &day : stats.days) {
+        reads += day.read_accesses;
+        total += day.block_accesses;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / total, 0.75, 0.05);
+}
+
+TEST_F(SyntheticTest, RoughlySixPercentUnaligned)
+{
+    gen->reset();
+    const TraceStats stats = summarizeTrace(*gen);
+    gen->reset();
+    uint64_t aligned = 0, requests = 0;
+    for (const auto &day : stats.days) {
+        aligned += day.aligned_requests;
+        requests += day.requests;
+    }
+    const double unaligned =
+        1.0 - static_cast<double>(aligned) / requests;
+    EXPECT_NEAR(unaligned, 0.06, 0.03);
+}
+
+TEST_F(SyntheticTest, O2_PrxySkewedSrc1Flat)
+{
+    // Fig. 3(a): Prxy's accesses concentrate on few blocks; Src1's
+    // cumulative distribution is near-linear.
+    const auto prxy_reqs = gen->generateServerDay(
+        ensemble->serverByKey("Prxy").id, 3);
+    const auto src1_reqs = gen->generateServerDay(
+        ensemble->serverByKey("Src1").id, 3);
+    PopularityProfile prxy(analysis::countBlockAccesses(prxy_reqs));
+    PopularityProfile src1(analysis::countBlockAccesses(src1_reqs));
+    EXPECT_GT(analysis::giniOfCounts(prxy),
+              analysis::giniOfCounts(src1) + 0.1);
+    EXPECT_GT(prxy.topShare(0.01), 2.0 * src1.topShare(0.01));
+}
+
+TEST_F(SyntheticTest, O2_WebVolumeZeroHoldsTheHotSet)
+{
+    // Fig. 3(b): Web's volume 0 is far more skewed than volume 1.
+    const ServerInfo &web = ensemble->serverByKey("Web");
+    const auto reqs = gen->generateServerDay(web.id, 3);
+    BlockCounts v0, v1;
+    for (const auto &r : reqs) {
+        for (uint32_t i = 0; i < r.length_blocks; ++i) {
+            if (r.volume == web.volume_ids[0])
+                ++v0[r.blockAt(i)];
+            else if (r.volume == web.volume_ids[1])
+                ++v1[r.blockAt(i)];
+        }
+    }
+    PopularityProfile p0(v0), p1(v1);
+    EXPECT_GT(p0.topShare(0.01), p1.topShare(0.01));
+}
+
+TEST_F(SyntheticTest, O2_TopPercentCompositionChurnsAcrossDays)
+{
+    // Fig. 3(d): per-server contribution to the ensemble top 1 % varies
+    // day to day; no static partition fits every day.
+    std::vector<std::vector<double>> comps;
+    for (int d = 1; d <= 6; ++d) {
+        PopularityProfile profile(countsOfDay(d));
+        comps.push_back(
+            analysis::serverCompositionOfTop(profile, *ensemble, 0.01));
+    }
+    double max_change = 0.0;
+    for (size_t d = 1; d < comps.size(); ++d)
+        for (size_t s = 0; s < comps[d].size(); ++s)
+            max_change = std::max(
+                max_change, std::abs(comps[d][s] - comps[d - 1][s]));
+    EXPECT_GT(max_change, 0.02);
+}
+
+TEST_F(SyntheticTest, HotSetOverlapsAcrossSuccessiveDays)
+{
+    // "There is significant overlap in successive days" — SieveStore-D
+    // depends on it.
+    PopularityProfile d3(countsOfDay(3)), d4(countsOfDay(4));
+    const double overlap =
+        analysis::jaccard(d3.topBlocks(0.01), d4.topBlocks(0.01));
+    EXPECT_GT(overlap, 0.3);
+    EXPECT_LT(overlap, 0.98); // but the set does drift
+}
+
+TEST_F(SyntheticTest, BlocksStayWithinVolumeCapacity)
+{
+    for (const auto &r : gen->generateDay(1)) {
+        const auto &vol = ensemble->volume(r.volume);
+        EXPECT_LT(r.offset_blocks + r.length_blocks,
+                  vol.capacity_blocks + 64);
+        EXPECT_EQ(vol.server, r.server);
+    }
+}
+
+TEST(SyntheticConfigTest, ScaledBytes)
+{
+    SyntheticConfig cfg;
+    cfg.scale = 1.0 / 1024.0;
+    EXPECT_EQ(cfg.scaledBytes(16ULL << 30), 16ULL << 20);
+    EXPECT_EQ(cfg.calendarDays(), 8);
+}
+
+TEST(SyntheticConfigTest, RejectsBadScale)
+{
+    const EnsembleConfig ensemble = EnsembleConfig::paperEnsemble();
+    SyntheticConfig cfg;
+    cfg.scale = 0.0;
+    EXPECT_THROW(SyntheticEnsembleGenerator::paper(ensemble, cfg),
+                 sievestore::util::FatalError);
+    cfg.scale = 2.0;
+    EXPECT_THROW(SyntheticEnsembleGenerator::paper(ensemble, cfg),
+                 sievestore::util::FatalError);
+}
+
+TEST(SyntheticConfigTest, ProfileCountMustMatchEnsemble)
+{
+    const EnsembleConfig ensemble = EnsembleConfig::paperEnsemble();
+    std::vector<ServerProfile> too_few(3);
+    EXPECT_THROW(SyntheticEnsembleGenerator(ensemble, too_few,
+                                            SyntheticConfig{}),
+                 sievestore::util::FatalError);
+}
+
+} // namespace

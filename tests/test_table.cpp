@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the formatted table emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace sievestore::stats;
+using sievestore::util::FatalError;
+
+TEST(Table, FormatsCellsByType)
+{
+    Table t({"name", "count", "ratio", "pct"});
+    t.row()
+        .cell("row1")
+        .cell(uint64_t(1234567))
+        .cell(0.12345, 2)
+        .cellPercent(0.4567);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("1,234,567"), std::string::npos);
+    EXPECT_NE(out.find("0.12"), std::string::npos);
+    EXPECT_NE(out.find("45.7%"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell(uint64_t(1));
+    t.row().cell("longer").cell(uint64_t(100));
+    std::ostringstream os;
+    t.print(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::vector<size_t> lengths;
+    while (std::getline(is, line))
+        lengths.push_back(line.size());
+    // Header, rule, two body rows: all the same width.
+    ASSERT_EQ(lengths.size(), 4u);
+    EXPECT_EQ(lengths[0], lengths[2]);
+    EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table t({"k", "v"});
+    t.row().cell("a,b").cell("say \"hi\"");
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted)
+{
+    Table t({"k"});
+    t.row().cell("plain");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "k\nplain\n");
+}
+
+TEST(Table, NegativeIntegers)
+{
+    Table t({"v"});
+    t.row().cell(int64_t(-1234));
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("-1,234"), std::string::npos);
+}
+
+TEST(Table, RejectsZeroColumns)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, CellOverflowPanics)
+{
+    Table t({"only"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("too many"), "overflow");
+}
+
+TEST(Table, CellBeforeRowPanics)
+{
+    Table t({"c"});
+    EXPECT_DEATH(t.cell("x"), "before");
+}
+
+} // namespace

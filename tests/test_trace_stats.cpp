@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for whole-trace summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace sievestore::trace;
+using sievestore::util::makeTime;
+
+Request
+makeRequest(uint64_t time, uint64_t offset, uint32_t len, Op op)
+{
+    Request r;
+    r.time = time;
+    r.volume = 0;
+    r.server = 0;
+    r.op = op;
+    r.offset_blocks = offset;
+    r.length_blocks = len;
+    r.latency_us = 100;
+    return r;
+}
+
+TEST(TraceStats, CountsAndUniquePerDay)
+{
+    std::vector<Request> reqs = {
+        makeRequest(makeTime(0, 1), 0, 8, Op::Read),
+        makeRequest(makeTime(0, 2), 0, 8, Op::Write), // same blocks
+        makeRequest(makeTime(0, 3), 8, 4, Op::Read),
+        makeRequest(makeTime(1, 1), 0, 8, Op::Read), // next day
+    };
+    VectorTrace trace(std::move(reqs));
+    const TraceStats stats = summarizeTrace(trace);
+
+    ASSERT_EQ(stats.days.size(), 2u);
+    EXPECT_EQ(stats.days[0].requests, 3u);
+    EXPECT_EQ(stats.days[0].block_accesses, 20u);
+    EXPECT_EQ(stats.days[0].read_accesses, 12u);
+    EXPECT_EQ(stats.days[0].unique_blocks, 12u);
+    EXPECT_EQ(stats.days[1].requests, 1u);
+    // Unique counting resets each calendar day.
+    EXPECT_EQ(stats.days[1].unique_blocks, 8u);
+    EXPECT_EQ(stats.total_requests, 4u);
+    EXPECT_EQ(stats.total_block_accesses, 28u);
+    EXPECT_EQ(stats.total_bytes, 28u * 512u);
+}
+
+TEST(TraceStats, ReadFraction)
+{
+    std::vector<Request> reqs = {
+        makeRequest(1, 0, 3, Op::Read),
+        makeRequest(2, 10, 1, Op::Write),
+    };
+    VectorTrace trace(std::move(reqs));
+    const TraceStats stats = summarizeTrace(trace);
+    EXPECT_DOUBLE_EQ(stats.days[0].readFraction(), 0.75);
+}
+
+TEST(TraceStats, AlignmentDetection)
+{
+    std::vector<Request> reqs = {
+        makeRequest(1, 0, 8, Op::Read),   // aligned 4 KB
+        makeRequest(2, 16, 16, Op::Read), // aligned 8 KB
+        makeRequest(3, 3, 8, Op::Read),   // misaligned offset
+        makeRequest(4, 8, 5, Op::Read),   // misaligned length
+    };
+    VectorTrace trace(std::move(reqs));
+    const TraceStats stats = summarizeTrace(trace);
+    EXPECT_EQ(stats.days[0].aligned_requests, 2u);
+}
+
+TEST(TraceStats, AvgDailyUniqueBytesSkipsEmptyDays)
+{
+    std::vector<Request> reqs = {
+        makeRequest(makeTime(0, 1), 0, 8, Op::Read),
+        makeRequest(makeTime(2, 1), 0, 16, Op::Read), // day 1 empty
+    };
+    VectorTrace trace(std::move(reqs));
+    const TraceStats stats = summarizeTrace(trace);
+    ASSERT_EQ(stats.days.size(), 3u);
+    EXPECT_EQ(stats.days[1].block_accesses, 0u);
+    EXPECT_DOUBLE_EQ(stats.avgDailyUniqueBytes(),
+                     (8.0 * 512 + 16.0 * 512) / 2.0);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    VectorTrace trace(std::vector<Request>{});
+    const TraceStats stats = summarizeTrace(trace);
+    EXPECT_TRUE(stats.days.empty());
+    EXPECT_EQ(stats.total_requests, 0u);
+    EXPECT_DOUBLE_EQ(stats.avgDailyUniqueBytes(), 0.0);
+}
+
+} // namespace
