@@ -51,7 +51,7 @@ main(int argc, char **argv)
     }
 
     for (int d = 0; d < gen.days(); ++d) {
-        const auto &p = profiles[d];
+        const auto &p = profiles[static_cast<size_t>(d)];
         if (p.uniqueBlocks() == 0)
             continue;
         auto &row = ta.row().cell("day " + std::to_string(d + 1));
@@ -82,7 +82,7 @@ main(int argc, char **argv)
                      "<=4 acc [97%]", "singletons [~50%]",
                      "top-1% share [14-53%]"});
     for (int d = 0; d < gen.days(); ++d) {
-        const auto &p = profiles[d];
+        const auto &p = profiles[static_cast<size_t>(d)];
         if (p.uniqueBlocks() == 0)
             continue;
         tl.row()

@@ -127,7 +127,7 @@ main(int argc, char **argv)
     for (const auto &srv : ensemble.servers()) {
         auto &row = td.row().cell(srv.key);
         for (int d = 0; d < gen.days(); ++d)
-            row.cellPercent(comps[d][srv.id]);
+            row.cellPercent(comps[static_cast<size_t>(d)][srv.id]);
     }
     if (opts.csv)
         td.printCsv(std::cout);

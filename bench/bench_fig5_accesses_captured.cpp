@@ -53,21 +53,23 @@ main(int argc, char **argv)
     for (const auto &res : results) {
         auto &row = t.row().cell(res.run.label);
         for (int d = 0; d < days; ++d) {
-            if (d < static_cast<int>(res.daily.size()) &&
-                res.daily[d].accesses) {
-                row.cellPercent(res.daily[d].hitRatio());
+            const auto di = static_cast<size_t>(d);
+            if (di < res.daily.size() && res.daily[di].accesses) {
+                row.cellPercent(res.daily[di].hitRatio());
             } else {
                 row.cell("-");
             }
         }
         row.cellPercent(res.totals.hitRatio());
         char buf[48];
+        const double hit_denom = static_cast<double>(
+            std::max<uint64_t>(1, res.totals.hits));
         std::snprintf(buf, sizeof(buf), "%.0f%%/%.0f%%",
                       100.0 * static_cast<double>(res.totals.read_hits) /
-                          std::max<uint64_t>(1, res.totals.hits),
+                          hit_denom,
                       100.0 *
                           static_cast<double>(res.totals.write_hits) /
-                          std::max<uint64_t>(1, res.totals.hits));
+                          hit_denom);
         row.cell(buf);
     }
     if (opts.csv)

@@ -57,9 +57,10 @@ main(int argc, char **argv)
     for (const auto &res : results) {
         auto &row = t.row().cell(res.run.label);
         for (int d = 0; d < days; ++d) {
+            const auto di = static_cast<size_t>(d);
             const uint64_t v =
-                d < static_cast<int>(res.daily.size())
-                    ? res.daily[d].totalAllocationBlocks()
+                di < res.daily.size()
+                    ? res.daily[di].totalAllocationBlocks()
                     : 0;
             row.cell(v);
         }
@@ -80,8 +81,8 @@ main(int argc, char **argv)
                                     week("SieveStore-C")) +
                                 static_cast<double>(
                                     week("SieveStore-D")));
-    const double unsieved =
-        std::min(week("AOD-32GB"), week("WMNA-32GB"));
+    const double unsieved = static_cast<double>(
+        std::min(week("AOD-32GB"), week("WMNA-32GB")));
     const double rand_avg = 0.5 * (static_cast<double>(
                                        week("RandSieve-C")) +
                                    static_cast<double>(

@@ -85,9 +85,10 @@ main(int argc, char **argv)
             // the day being replayed.
             gen.reset();
             for (int d = 0; d < gen.days(); ++d) {
-                if (retain && static_cast<size_t>(d) < day_sets.size())
-                    retain->setProtected(
-                        {day_sets[d].begin(), day_sets[d].end()});
+                const auto di = static_cast<size_t>(d);
+                if (retain && di < day_sets.size())
+                    retain->setProtected({day_sets[di].begin(),
+                                          day_sets[di].end()});
                 for (const auto &req : gen.generateDay(d))
                     app.processRequest(req);
                 app.finishDay(d);

@@ -176,19 +176,22 @@ main(int argc, char **argv)
     std::printf("  ensemble-C / per-server-ideal hits: %.2fx at %.2fx "
                 "the capacity\n",
                 static_cast<double>(t_c.hits) /
-                    std::max<uint64_t>(1, t_ideal.hits),
+                    static_cast<double>(
+                        std::max<uint64_t>(1, t_ideal.hits)),
                 static_cast<double>(
                     opts.scaledCacheBlocks(16ULL << 30)) /
-                    std::max<uint64_t>(1,
-                                       ps_ideal.total_capacity_blocks));
+                    static_cast<double>(std::max<uint64_t>(
+                        1, ps_ideal.total_capacity_blocks)));
     std::printf("  ensemble-C / per-server-even-split hits: %.2fx at "
                 "equal capacity\n",
                 static_cast<double>(t_c.hits) /
-                    std::max<uint64_t>(1, t_even.hits));
+                    static_cast<double>(
+                        std::max<uint64_t>(1, t_even.hits)));
     std::printf("  one-SSD-per-server captures %.2fx the ensemble's "
                 "hits at 13x the drives (iso-performance costs 13x)\n",
                 static_cast<double>(t_drive.hits) /
-                    std::max<uint64_t>(1, t_c.hits));
+                    static_cast<double>(
+                        std::max<uint64_t>(1, t_c.hits)));
     std::printf("[paper: ensemble-level caching captures more accesses "
                 "at the same cost, and the same accesses at lower cost, "
                 "than ideal per-server caching — the dynamic hot set "

@@ -42,7 +42,8 @@ main(int argc, char **argv)
     // (1) ADBA threshold sweep.
     std::printf("(1) SieveStore-D access-count threshold sweep:\n");
     stats::Table t1({"threshold", "hit ratio", "batch-moved blocks"});
-    for (uint64_t threshold : {2, 4, 6, 8, 10, 12, 16, 20}) {
+    for (const uint64_t threshold :
+         {2ULL, 4ULL, 6ULL, 8ULL, 10ULL, 12ULL, 16ULL, 20ULL}) {
         sim::PolicyConfig pc;
         pc.kind = sim::PolicyKind::SieveStoreD;
         pc.adba_threshold = threshold;
@@ -66,7 +67,7 @@ main(int argc, char **argv)
     std::printf("(2) SieveStore-C window-length sweep (k = 4):\n");
     stats::Table t2({"window (h)", "hit ratio", "alloc-write blocks",
                      "metastate"});
-    for (uint64_t hours : {2, 4, 8, 16, 24}) {
+    for (const uint64_t hours : {2ULL, 4ULL, 8ULL, 16ULL, 24ULL}) {
         sim::PolicyConfig pc;
         pc.kind = sim::PolicyKind::SieveStoreC;
         pc.sieve_c.imct_slots = opts.scaledImctSlots();

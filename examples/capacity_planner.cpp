@@ -41,7 +41,7 @@ main(int argc, char **argv)
     std::printf("capacity sweep (SieveStore-C, t1=9/t2=4, W=8h):\n");
     stats::Table tc({"Cache size", "Captured", "Drives @99.9%",
                      "1-drive coverage", "SSD lifetime (years)"});
-    for (uint64_t gib : {2, 4, 8, 16, 32, 64}) {
+    for (const uint64_t gib : {2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 64ULL}) {
         sim::PolicyConfig pc;
         pc.kind = sim::PolicyKind::SieveStoreC;
         pc.sieve_c.imct_slots = std::max<size_t>(
@@ -73,7 +73,7 @@ main(int argc, char **argv)
                 "threshold t2):\n");
     stats::Table ts({"t2", "Captured", "Alloc-writes",
                      "Drives @99.9%"});
-    for (uint32_t t2 : {0, 1, 2, 4, 8, 16}) {
+    for (const uint32_t t2 : {0U, 1U, 2U, 4U, 8U, 16U}) {
         sim::PolicyConfig pc;
         pc.kind = sim::PolicyKind::SieveStoreC;
         pc.sieve_c.t2 = t2;

@@ -3,23 +3,39 @@
 # table/figure harness. Outputs land in test_output.txt and
 # bench_output.txt at the repository root.
 #
-# Usage: scripts/run_all.sh [scale-denominator]
+# Usage: scripts/run_all.sh [--preset NAME] [scale-denominator]
+#   --preset NAME: build with a CMakePresets.json preset (release,
+#   asan-ubsan, tsan) instead of the default in-source configure;
+#   binaries then live under build/NAME/.
 #   scale-denominator: 1/N of the paper's traffic (default 4096;
 #   1024 gets closer to full volume and takes ~4x longer).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+PRESET=""
+if [[ "${1:-}" == "--preset" ]]; then
+    PRESET="${2:?--preset requires a name (release, asan-ubsan, tsan)}"
+    shift 2
+fi
+
 SCALE="${1:-4096}"
 
-cmake -B build -G Ninja
-cmake --build build
-
-ctest --test-dir build 2>&1 | tee test_output.txt
+if [[ -n "$PRESET" ]]; then
+    BUILD_DIR="build/$PRESET"
+    cmake --preset "$PRESET"
+    cmake --build --preset "$PRESET"
+    ctest --preset "$PRESET" 2>&1 | tee test_output.txt
+else
+    BUILD_DIR="build"
+    cmake -B build -G Ninja
+    cmake --build build
+    ctest --test-dir build 2>&1 | tee test_output.txt
+fi
 
 : > bench_output.txt
-for b in build/bench/*; do
-    [ -x "$b" ] || continue
+for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "### $b" | tee -a bench_output.txt
     if [[ "$b" == *bench_micro_structures ]]; then
         "$b" 2>&1 | tee -a bench_output.txt

@@ -1,5 +1,7 @@
 #include "cache/block_cache.hpp"
 
+#include "util/check.hpp"
+#include "util/footprint.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -102,6 +104,30 @@ std::vector<BlockId>
 BlockCache::contents() const
 {
     return std::vector<BlockId>(resident.begin(), resident.end());
+}
+
+uint64_t
+BlockCache::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(resident);
+}
+
+void
+BlockCache::checkInvariants() const
+{
+    SIEVE_CHECK(capacity_blocks >= 1);
+    SIEVE_CHECK(resident.size() <= capacity_blocks,
+                "resident set %zu exceeds capacity %llu",
+                resident.size(),
+                static_cast<unsigned long long>(capacity_blocks));
+    SIEVE_CHECK(repl != nullptr);
+    SIEVE_CHECK(repl->size() == resident.size(),
+                "replacement policy tracks %zu blocks, cache holds %zu",
+                repl->size(), resident.size());
+    for (BlockId b : resident)
+        SIEVE_CHECK(repl->contains(b),
+                    "resident block %llx unknown to the %s policy",
+                    static_cast<unsigned long long>(b), repl->name());
 }
 
 } // namespace cache

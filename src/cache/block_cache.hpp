@@ -85,6 +85,21 @@ class BlockCache
     /** Snapshot of resident blocks (unordered). */
     std::vector<trace::BlockId> contents() const;
 
+    /**
+     * Footprint of the residency set (util/footprint.hpp convention).
+     * Replacement-policy bookkeeping is excluded — cost reporting
+     * compares sieve metastate, and a deployed cache keeps residency
+     * metadata regardless of policy.
+     */
+    uint64_t memoryBytes() const;
+
+    /**
+     * Audit occupancy accounting: the resident set never exceeds
+     * capacity and the replacement policy mirrors it exactly (same
+     * size, same members). O(size); aborts on violation.
+     */
+    void checkInvariants() const;
+
   private:
     uint64_t capacity_blocks;
     std::unique_ptr<ReplacementPolicy> repl;

@@ -46,6 +46,11 @@ class ReplacementPolicy
     virtual trace::BlockId victim() = 0;
     /** Human-readable policy name. */
     virtual const char *name() const = 0;
+
+    /** Number of blocks the policy currently tracks (audit hook). */
+    virtual size_t size() const = 0;
+    /** True if the policy tracks `block` (audit hook). */
+    virtual bool contains(trace::BlockId block) const = 0;
 };
 
 /** Least-recently-used (the paper's common policy). */
@@ -57,6 +62,12 @@ class LruPolicy : public ReplacementPolicy
     void onErase(trace::BlockId block) override;
     trace::BlockId victim() override;
     const char *name() const override { return "LRU"; }
+    size_t size() const override { return where.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return where.count(block) != 0;
+    }
 
   protected:
     /** Recency list, most-recent at front. */
@@ -84,6 +95,12 @@ class RandomPolicy : public ReplacementPolicy
     void onErase(trace::BlockId block) override;
     trace::BlockId victim() override;
     const char *name() const override { return "Random"; }
+    size_t size() const override { return pool.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return index.count(block) != 0;
+    }
 
   private:
     std::vector<trace::BlockId> pool;
@@ -100,6 +117,12 @@ class LfuPolicy : public ReplacementPolicy
     void onErase(trace::BlockId block) override;
     trace::BlockId victim() override;
     const char *name() const override { return "LFU"; }
+    size_t size() const override { return entries.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return entries.count(block) != 0;
+    }
 
   private:
     struct Entry
@@ -126,6 +149,12 @@ class ClockPolicy : public ReplacementPolicy
     void onErase(trace::BlockId block) override;
     trace::BlockId victim() override;
     const char *name() const override { return "CLOCK"; }
+    size_t size() const override { return where.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return where.count(block) != 0;
+    }
 
   private:
     struct Entry

@@ -51,6 +51,9 @@ class AllocationPolicy
 
     /** Approximate metastate footprint in bytes (for cost reporting). */
     virtual uint64_t metastateBytes() const { return 0; }
+
+    /** Audit policy invariants; aborts on violation (default: none). */
+    virtual void checkInvariants() const {}
 };
 
 } // namespace core

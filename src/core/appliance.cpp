@@ -1,6 +1,7 @@
 #include "core/appliance.hpp"
 
 #include "trace/expand.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 
@@ -223,7 +224,42 @@ Appliance::policyName() const
 uint64_t
 Appliance::metastateBytes() const
 {
-    return policy_ ? policy_->metastateBytes() : 0;
+    return policy_ ? policy_->metastateBytes()
+                   : selector_->metastateBytes();
+}
+
+void
+Appliance::checkInvariants() const
+{
+    // Exactly one allocation mechanism.
+    SIEVE_CHECK((policy_ != nullptr) != (selector_ != nullptr),
+                "appliance must have exactly one of policy/selector");
+    cache_.checkInvariants();
+
+    // Every in-flight allocation is tracked in both structures, and
+    // the pending guard keeps the queue duplicate-free.
+    SIEVE_CHECK(pending.size() == alloc_queue.size(),
+                "%zu pending blocks vs %zu queued allocations",
+                pending.size(), alloc_queue.size());
+
+    for (const DailyReport &rep : reports) {
+        SIEVE_CHECK(rep.hits <= rep.accesses,
+                    "daily hits %llu exceed accesses %llu",
+                    static_cast<unsigned long long>(rep.hits),
+                    static_cast<unsigned long long>(rep.accesses));
+        SIEVE_CHECK(rep.read_accesses <= rep.accesses);
+        SIEVE_CHECK(rep.read_hits + rep.write_hits == rep.hits,
+                    "read hits + write hits must equal total hits");
+        SIEVE_CHECK(rep.read_hits <= rep.read_accesses);
+        SIEVE_CHECK(rep.ssd_read_ios <= rep.read_hits);
+        SIEVE_CHECK(rep.ssd_write_ios <= rep.write_hits);
+        SIEVE_CHECK(rep.ssd_alloc_ios <= rep.allocation_write_blocks);
+    }
+
+    if (policy_)
+        policy_->checkInvariants();
+    if (selector_)
+        selector_->checkInvariants();
 }
 
 } // namespace core

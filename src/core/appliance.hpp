@@ -160,6 +160,17 @@ class Appliance
     /** Metastate footprint of the sieve structures, in bytes. */
     uint64_t metastateBytes() const;
 
+    /**
+     * Audit appliance-level accounting: the cache and its policy agree
+     * on residency, every in-flight allocation appears in both the
+     * queue and the pending set, per-day reports are internally
+     * consistent (hits never exceed accesses, read + write hits equal
+     * total hits), and the sieve's own invariants hold. O(cache size);
+     * aborts on violation. The sim drivers call this at day boundaries
+     * when invariant auditing is enabled (see sim::DriverOptions).
+     */
+    void checkInvariants() const;
+
   private:
     DailyReport &reportFor(util::TimeUs t);
     void drainAllocations(util::TimeUs up_to);

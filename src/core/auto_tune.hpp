@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/sievestore_c.hpp"
+#include "util/check.hpp"
 
 namespace sievestore {
 namespace core {
@@ -56,6 +57,16 @@ class AutoTunedSievePolicy : public AllocationPolicy
     void onHit(const trace::BlockAccess &access) override;
     const char *name() const override { return "SieveStore-C/auto"; }
     uint64_t metastateBytes() const override;
+
+    /** Audit the controller bounds and the wrapped sieve. */
+    void
+    checkInvariants() const override
+    {
+        SIEVE_CHECK(t2 >= tune.min_t2 && t2 <= tune.max_t2,
+                    "auto-tuned t2=%u escaped [%u, %u]", t2,
+                    tune.min_t2, tune.max_t2);
+        sieve->checkInvariants();
+    }
 
     /** Current MCT threshold. */
     uint32_t currentT2() const { return t2; }

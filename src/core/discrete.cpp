@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "analysis/popularity.hpp"
+#include "util/check.hpp"
+#include "util/footprint.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -65,6 +67,25 @@ AdbaSelector::endOfEpoch()
     return selected;
 }
 
+uint64_t
+AdbaSelector::metastateBytes() const
+{
+    // The disk-backed variant keeps counts out of memory by design.
+    return disk_log ? 0 : util::unorderedFootprintBytes(mem_counts);
+}
+
+void
+AdbaSelector::checkInvariants() const
+{
+    SIEVE_CHECK(threshold_ >= 1, "ADBA threshold must be >= 1");
+    // The two counting backends are exclusive: a disk-backed selector
+    // must never accumulate in-memory counts.
+    if (disk_log)
+        SIEVE_CHECK(mem_counts.empty(),
+                    "disk-backed ADBA accumulated %zu in-memory counts",
+                    mem_counts.size());
+}
+
 RandomBlockSelector::RandomBlockSelector(double fraction_, uint64_t seed)
     : fraction(fraction_), rng(seed)
 {
@@ -100,6 +121,19 @@ RandomBlockSelector::endOfEpoch()
     return all;
 }
 
+uint64_t
+RandomBlockSelector::metastateBytes() const
+{
+    return util::unorderedFootprintBytes(seen);
+}
+
+void
+RandomBlockSelector::checkInvariants() const
+{
+    SIEVE_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "RandSieve-BlkD fraction %f out of (0, 1]", fraction);
+}
+
 TopPercentSelector::TopPercentSelector(double fraction_)
     : fraction(fraction_)
 {
@@ -120,6 +154,19 @@ TopPercentSelector::endOfEpoch()
     std::vector<BlockId> top = profile.topBlocks(fraction);
     counts.clear();
     return top;
+}
+
+uint64_t
+TopPercentSelector::metastateBytes() const
+{
+    return util::unorderedFootprintBytes(counts);
+}
+
+void
+TopPercentSelector::checkInvariants() const
+{
+    SIEVE_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "TopPercent fraction %f out of (0, 1]", fraction);
 }
 
 OracleDaySelector::OracleDaySelector(

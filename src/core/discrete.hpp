@@ -43,6 +43,13 @@ class DiscreteSelector
     virtual std::vector<trace::BlockId> endOfEpoch() = 0;
 
     virtual const char *name() const = 0;
+
+    /** Approximate in-memory metastate footprint
+     * (util/footprint.hpp convention; excludes on-disk logs). */
+    virtual uint64_t metastateBytes() const { return 0; }
+
+    /** Audit selector invariants; aborts on violation (default: none). */
+    virtual void checkInvariants() const {}
 };
 
 /**
@@ -65,6 +72,8 @@ class AdbaSelector : public DiscreteSelector
     void observe(const trace::BlockAccess &access) override;
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "SieveStore-D"; }
+    uint64_t metastateBytes() const override;
+    void checkInvariants() const override;
 
     uint64_t threshold() const { return threshold_; }
 
@@ -84,6 +93,8 @@ class RandomBlockSelector : public DiscreteSelector
     void observe(const trace::BlockAccess &access) override;
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "RandSieve-BlkD"; }
+    uint64_t metastateBytes() const override;
+    void checkInvariants() const override;
 
   private:
     double fraction;
@@ -106,6 +117,8 @@ class TopPercentSelector : public DiscreteSelector
     void observe(const trace::BlockAccess &access) override;
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "TopPercent-D"; }
+    uint64_t metastateBytes() const override;
+    void checkInvariants() const override;
 
   private:
     double fraction;

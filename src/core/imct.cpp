@@ -1,5 +1,7 @@
 #include "core/imct.hpp"
 
+#include "util/check.hpp"
+#include "util/footprint.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
 
@@ -33,11 +35,33 @@ Imct::count(trace::BlockId block, util::TimeUs t) const
     return table[slotOf(block)].total(spec.subwindowOf(t), spec);
 }
 
+uint64_t
+Imct::memoryBytes() const
+{
+    return util::vectorFootprintBytes(table);
+}
+
 void
 Imct::clear()
 {
     for (auto &c : table)
         c.clear();
+}
+
+void
+Imct::checkInvariants() const
+{
+    SIEVE_CHECK(!table.empty(), "IMCT must have at least one slot");
+    for (const auto &counter : table)
+        counter.checkInvariants(spec);
+    // Aliasing bound: probe keys across the address space all land
+    // inside the table (reduceRange maps [0, 2^64) onto [0, slots)).
+    for (uint64_t probe = 0; probe < 64; ++probe) {
+        const trace::BlockId block = probe * 0x0123456789abcdefULL;
+        SIEVE_CHECK(slotOf(block) < table.size(),
+                    "IMCT slot mapping escaped the table");
+    }
+    SIEVE_CHECK(memoryBytes() >= table.size() * sizeof(WindowedCounter));
 }
 
 } // namespace core

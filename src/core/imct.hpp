@@ -50,15 +50,19 @@ class Imct
 
     size_t slots() const { return table.size(); }
 
-    /** Metastate footprint. */
-    uint64_t
-    memoryBytes() const
-    {
-        return table.size() * sizeof(WindowedCounter);
-    }
+    /** Metastate footprint (util/footprint.hpp convention). */
+    uint64_t memoryBytes() const;
 
     /** Zero every slot. */
     void clear();
+
+    /**
+     * Audit structural invariants: at least one slot, a sane window
+     * spec, every slot's counter internally consistent, and the
+     * block -> slot mapping always in range (the IMCT's aliasing
+     * bound: no block can escape the table). Aborts on violation.
+     */
+    void checkInvariants() const;
 
     const WindowSpec &window() const { return spec; }
 

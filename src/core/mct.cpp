@@ -1,5 +1,7 @@
 #include "core/mct.hpp"
 
+#include "util/check.hpp"
+#include "util/footprint.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -46,6 +48,33 @@ void
 Mct::remove(trace::BlockId block)
 {
     entries.erase(block);
+}
+
+uint64_t
+Mct::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(entries);
+}
+
+size_t
+Mct::staleEntries(util::TimeUs t) const
+{
+    const uint64_t cur_sub = spec.subwindowOf(t);
+    size_t stale = 0;
+    for (const auto &kv : entries)
+        if (kv.second.stale(cur_sub, spec))
+            ++stale;
+    return stale;
+}
+
+void
+Mct::checkInvariants() const
+{
+    for (const auto &kv : entries)
+        kv.second.checkInvariants(spec);
+    SIEVE_CHECK(memoryBytes() >=
+                entries.size() * (sizeof(trace::BlockId) +
+                                  sizeof(WindowedCounter)));
 }
 
 void

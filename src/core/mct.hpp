@@ -59,14 +59,21 @@ class Mct
 
     size_t size() const { return entries.size(); }
 
-    /** Approximate metastate footprint. */
-    uint64_t
-    memoryBytes() const
-    {
-        // Key + counter + bucket overhead estimate.
-        return entries.size() *
-               (sizeof(trace::BlockId) + sizeof(WindowedCounter) + 16);
-    }
+    /** Metastate footprint (util/footprint.hpp convention). */
+    uint64_t memoryBytes() const;
+
+    /**
+     * Number of entries whose window has fully expired as of t.
+     * Audit hook for prune correctness: immediately after prune(t)
+     * this must be zero.
+     */
+    size_t staleEntries(util::TimeUs t) const;
+
+    /**
+     * Audit structural invariants: every entry's counter is internally
+     * consistent against the shared window spec. Aborts on violation.
+     */
+    void checkInvariants() const;
 
     void clear() { entries.clear(); }
 

@@ -1,5 +1,6 @@
 #include "core/sievestore_c.hpp"
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -91,6 +92,44 @@ uint64_t
 SieveStoreCPolicy::metastateBytes() const
 {
     return imct_.memoryBytes() + mct_.memoryBytes();
+}
+
+void
+SieveStoreCPolicy::checkInvariants() const
+{
+    SIEVE_CHECK(!(cfg.imct_only && cfg.mct_only));
+    SIEVE_CHECK(cfg.t1 + cfg.t2 >= 1);
+    SIEVE_CHECK(imct_.window().subwindow_us == cfg.window.subwindow_us &&
+                    imct_.window().k == cfg.window.k,
+                "IMCT window diverged from the configured window");
+    SIEVE_CHECK(mct_.window().subwindow_us == cfg.window.subwindow_us &&
+                    mct_.window().k == cfg.window.k,
+                "MCT window diverged from the configured window");
+    imct_.checkInvariants();
+    mct_.checkInvariants();
+    SIEVE_CHECK(metastateBytes() >= imct_.memoryBytes());
+    if (!cfg.imct_only && !cfg.mct_only) {
+        // Every MCT entry and every allocation consumed exactly one
+        // IMCT qualification; entries leave only via allocation or
+        // pruning. So the MCT can never duplicate (or exceed) the
+        // promotion state the IMCT tier handed it.
+        SIEVE_CHECK(mct_.size() + allocated <= imct_qualified,
+                    "MCT holds %zu entries + %llu allocations but only "
+                    "%llu IMCT qualifications occurred",
+                    mct_.size(),
+                    static_cast<unsigned long long>(allocated),
+                    static_cast<unsigned long long>(imct_qualified));
+    }
+    if (cfg.prune_on_subwindow && last_prune_sub > 0) {
+        // Prune correctness: nothing stale survived the last prune.
+        const util::TimeUs pruned_at =
+            last_prune_sub * cfg.window.subwindow_us;
+        SIEVE_CHECK(mct_.staleEntries(pruned_at) == 0,
+                    "%zu stale MCT entries survived the prune at "
+                    "subwindow %llu",
+                    mct_.staleEntries(pruned_at),
+                    static_cast<unsigned long long>(last_prune_sub));
+    }
 }
 
 } // namespace core

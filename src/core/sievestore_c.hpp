@@ -65,6 +65,17 @@ class SieveStoreCPolicy : public AllocationPolicy
 
     uint64_t metastateBytes() const override;
 
+    /**
+     * Audit the two-tier sieve's bookkeeping: both tiers share the
+     * configured window; each tier's structure is internally
+     * consistent; in two-tier mode every MCT entry and every
+     * allocation traces back to exactly one IMCT qualification
+     * (mct.size() + allocations <= imctQualified()); and when pruning
+     * on subwindow boundaries, no MCT entry is stale as of the last
+     * prune. Aborts on violation.
+     */
+    void checkInvariants() const override;
+
     const Imct &imct() const { return imct_; }
     const Mct &mct() const { return mct_; }
     const SieveStoreCConfig &config() const { return cfg; }

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 
@@ -129,6 +130,31 @@ class WindowedCounter
     {
         counts.fill(0);
         last_sub = 0;
+    }
+
+    /**
+     * Audit the counter's structural invariants against `spec`:
+     * only the first k subwindow slots may ever hold counts (record()
+     * and advance() index modulo k), and the expiry-aware total can
+     * never exceed what k saturated subwindows could hold. Aborts via
+     * SIEVE_CHECK on violation.
+     */
+    void
+    checkInvariants(const WindowSpec &spec) const
+    {
+        SIEVE_CHECK(spec.k >= 1 && spec.k <= kMaxSubwindows,
+                    "window spec k=%u out of range", spec.k);
+        SIEVE_CHECK(spec.subwindow_us > 0);
+        for (uint32_t i = spec.k; i < kMaxSubwindows; ++i)
+            SIEVE_CHECK(counts[i] == 0,
+                        "subwindow slot %u beyond k=%u holds count %u",
+                        i, spec.k, counts[i]);
+        const uint64_t max_total =
+            static_cast<uint64_t>(spec.k) * UINT16_MAX;
+        SIEVE_CHECK(total(last_sub, spec) <= max_total);
+        // A counter that reports stale must also report a zero total.
+        if (stale(last_sub + spec.k, spec))
+            SIEVE_CHECK(total(last_sub + spec.k, spec) == 0);
     }
 
   private:

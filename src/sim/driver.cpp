@@ -1,13 +1,26 @@
 #include "sim/driver.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 
 namespace sievestore {
 namespace sim {
 
+bool
+defaultCheckInvariants()
+{
+    if (const char *env = std::getenv("SIEVE_CHECK_INVARIANTS"))
+        return std::strcmp(env, "0") != 0;
+    return SIEVE_DCHECKS_ENABLED;
+}
+
 void
-runTrace(trace::TraceReader &reader, core::Appliance &appliance)
+runTrace(trace::TraceReader &reader, core::Appliance &appliance,
+         const DriverOptions &options)
 {
     trace::Request req;
     bool any = false;
@@ -23,11 +36,21 @@ runTrace(trace::TraceReader &reader, core::Appliance &appliance)
         }
         while (current_day < day) {
             appliance.finishDay(current_day);
+            if (options.check_invariants)
+                appliance.checkInvariants();
             ++current_day;
         }
         appliance.processRequest(req);
     }
     appliance.finishTrace();
+    if (options.check_invariants)
+        appliance.checkInvariants();
+}
+
+void
+runTrace(trace::TraceReader &reader, core::Appliance &appliance)
+{
+    runTrace(reader, appliance, DriverOptions{});
 }
 
 } // namespace sim

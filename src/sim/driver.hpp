@@ -5,6 +5,12 @@
  * runTrace() streams a time-ordered request trace into one appliance,
  * issuing calendar-day boundaries (epoch boundaries for discrete
  * configurations) exactly as the paper's day-partitioned analysis does.
+ *
+ * Both drivers (this one and sim/sharded.cpp's runSharded) can audit
+ * appliance invariants at every day boundary: opt in per run via
+ * DriverOptions, or globally via the SIEVE_CHECK_INVARIANTS=1
+ * environment variable. DCHECK-enabled builds (Debug, the sanitizer
+ * presets) audit by default.
  */
 
 #ifndef SIEVESTORE_SIM_DRIVER_HPP
@@ -17,11 +23,31 @@ namespace sievestore {
 namespace sim {
 
 /**
+ * Default for DriverOptions::check_invariants: true when the
+ * SIEVE_CHECK_INVARIANTS environment variable is a non-zero value, or
+ * (absent the variable) when SIEVE_DCHECK is compiled in. Setting
+ * SIEVE_CHECK_INVARIANTS=0 disables auditing even in debug builds.
+ */
+bool defaultCheckInvariants();
+
+/** Replay options shared by the sim drivers. */
+struct DriverOptions
+{
+    /** Audit Appliance::checkInvariants() at every day boundary and
+     * at end of trace. */
+    bool check_invariants = defaultCheckInvariants();
+};
+
+/**
  * Replay an entire trace through an appliance. Day boundaries are
  * detected from request timestamps; finishDay() is invoked for every
  * crossed boundary (including empty days) and finishTrace() at the end.
  * No epoch is run after the final day — there is no next day to serve.
  */
+void runTrace(trace::TraceReader &reader, core::Appliance &appliance,
+              const DriverOptions &options);
+
+/** Replay with default options (env-controlled invariant auditing). */
 void runTrace(trace::TraceReader &reader, core::Appliance &appliance);
 
 } // namespace sim

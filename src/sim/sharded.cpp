@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/driver.hpp"
+#include "util/check.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
@@ -59,6 +61,19 @@ ShardedResult::loadImbalance() const
     return static_cast<double>(max_accesses) / mean;
 }
 
+void
+ShardedResult::checkInvariants() const
+{
+    SIEVE_CHECK(!nodes.empty(), "sharded deployment has no nodes");
+    for (const auto &node : nodes) {
+        SIEVE_CHECK(node != nullptr);
+        node->checkInvariants();
+    }
+    const core::DailyReport sum = totals();
+    SIEVE_CHECK(sum.hits <= sum.accesses);
+    SIEVE_CHECK(sum.read_hits + sum.write_hits == sum.hits);
+}
+
 size_t
 shardOf(trace::BlockId block, size_t shards, uint64_t seed)
 {
@@ -88,6 +103,8 @@ runSharded(trace::TraceReader &reader, const ShardedConfig &config)
         result.nodes.push_back(makeAppliance(pc, config.node));
     }
 
+    const bool audit = defaultCheckInvariants();
+
     trace::Request req;
     bool any = false;
     int current_day = 0;
@@ -100,6 +117,8 @@ runSharded(trace::TraceReader &reader, const ShardedConfig &config)
         while (current_day < day) {
             for (auto &node : result.nodes)
                 node->finishDay(current_day);
+            if (audit)
+                result.checkInvariants();
             ++current_day;
         }
 
@@ -130,6 +149,8 @@ runSharded(trace::TraceReader &reader, const ShardedConfig &config)
     }
     for (auto &node : result.nodes)
         node->finishTrace();
+    if (audit)
+        result.checkInvariants();
     return result;
 }
 

@@ -55,6 +55,13 @@ struct ShardedResult
     uint32_t maxDrivesAtCoverage(double coverage) const;
     /** Worst-case spread: max node accesses / mean node accesses. */
     double loadImbalance() const;
+
+    /**
+     * Audit the deployment: at least one live node, every node's own
+     * invariants hold, and the summed totals are consistent (hits
+     * never exceed accesses). Aborts on violation.
+     */
+    void checkInvariants() const;
 };
 
 /** Shard index of a block (stable page-granular hash). */

@@ -162,10 +162,11 @@ SyntheticEnsembleGenerator::planHotSets()
     for (const auto &p : profiles)
         weight_sum += p.footprint_weight;
 
-    hot_plans.assign(n_days, {});
-    unique_budget.assign(n_days, std::vector<double>(n_servers, 0.0));
-    for (int d = 0; d < n_days; ++d)
-        hot_plans[d].resize(n_servers);
+    hot_plans.assign(static_cast<size_t>(n_days), {});
+    unique_budget.assign(static_cast<size_t>(n_days),
+                         std::vector<double>(n_servers, 0.0));
+    for (auto &day_plan : hot_plans)
+        day_plan.resize(n_servers);
 
     for (size_t s = 0; s < n_servers; ++s) {
         const ServerProfile &prof = profiles[s];
@@ -205,7 +206,7 @@ SyntheticEnsembleGenerator::planHotSets()
             const double unique =
                 config_.unique_blocks_per_day * config_.scale *
                 (prof.footprint_weight / weight_sum) * day_mult * coverage;
-            unique_budget[d][s] = unique;
+            unique_budget[static_cast<size_t>(d)][s] = unique;
 
             // The hot working set does not shrink on partial days —
             // only the observed counts do. Size the pool from the
@@ -258,7 +259,7 @@ SyntheticEnsembleGenerator::planHotSets()
             // the server-day intensity and a small per-page jitter.
             const double intensity =
                 rng.nextLogNormal(0.0, prof.hot_day_sigma) * coverage;
-            auto &plan = hot_plans[d][s];
+            auto &plan = hot_plans[static_cast<size_t>(d)][s];
             plan.reserve(pool.size());
             for (const PoolPage &p : pool) {
                 double c = static_cast<double>(p.base_count);

@@ -1,0 +1,35 @@
+#include "util/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace util {
+
+void
+checkFailed(const char *file, int line, const char *macro_name,
+            const char *expr, const char *msg_fmt, ...)
+{
+    std::string message;
+    if (msg_fmt) {
+        va_list ap;
+        va_start(ap, msg_fmt);
+        message = vformat(msg_fmt, ap);
+        va_end(ap);
+    }
+    if (message.empty()) {
+        std::fprintf(stderr, "%s:%d: %s failed: %s\n", file, line,
+                     macro_name, expr);
+    } else {
+        std::fprintf(stderr, "%s:%d: %s failed: %s — %s\n", file, line,
+                     macro_name, expr, message.c_str());
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace util
+} // namespace sievestore

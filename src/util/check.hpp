@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime contract checking: SIEVE_CHECK / SIEVE_DCHECK /
+ * SIEVE_UNREACHABLE.
+ *
+ * The sieve structures depend on bookkeeping invariants (windowed-
+ * counter monotonicity, IMCT aliasing bounds, cache-occupancy
+ * accounting) that silent corruption would turn into quietly-wrong
+ * simulation results rather than crashes. These macros make the
+ * contracts explicit and fail loudly:
+ *
+ *  - SIEVE_CHECK(cond, ...)   always compiled in; use for cheap
+ *    preconditions and the checkInvariants() audit methods.
+ *  - SIEVE_DCHECK(cond, ...)  compiled in debug and sanitizer builds
+ *    (no NDEBUG, or SIEVE_ENABLE_DCHECKS defined); use on hot paths.
+ *  - SIEVE_UNREACHABLE(...)   marks control flow that must never be
+ *    reached.
+ *
+ * All three accept an optional printf-style message after the
+ * condition. Failures print "file:line: MACRO failed: <expr> — <msg>"
+ * to stderr and abort(), which keeps them usable from gtest death
+ * tests. Raw assert() is banned by scripts/lint.sh in favor of these.
+ */
+
+#ifndef SIEVESTORE_UTIL_CHECK_HPP
+#define SIEVESTORE_UTIL_CHECK_HPP
+
+namespace sievestore {
+namespace util {
+
+/**
+ * Report a failed contract and abort. Never returns. `msg_fmt` may be
+ * null (no user message).
+ */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *macro_name, const char *expr,
+                              const char *msg_fmt = nullptr, ...)
+    __attribute__((format(printf, 5, 6)));
+
+} // namespace util
+} // namespace sievestore
+
+/** Always-on contract check with an optional printf-style message. */
+#define SIEVE_CHECK(cond, ...)                                            \
+    do {                                                                  \
+        if (__builtin_expect(!(cond), 0)) {                               \
+            ::sievestore::util::checkFailed(__FILE__, __LINE__,           \
+                                            "SIEVE_CHECK",                \
+                                            #cond __VA_OPT__(, )          \
+                                                __VA_ARGS__);             \
+        }                                                                 \
+    } while (false)
+
+/** Mark control flow that must never execute. */
+#define SIEVE_UNREACHABLE(...)                                            \
+    ::sievestore::util::checkFailed(__FILE__, __LINE__,                   \
+                                    "SIEVE_UNREACHABLE",                  \
+                                    "reached" __VA_OPT__(, ) __VA_ARGS__)
+
+/**
+ * Debug-only contract check: active when NDEBUG is not defined (Debug
+ * builds) or when SIEVE_ENABLE_DCHECKS is defined (the sanitizer
+ * presets force it on regardless of build type). Compiles to nothing —
+ * the condition is not evaluated — otherwise.
+ */
+#if defined(SIEVE_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define SIEVE_DCHECKS_ENABLED 1
+#define SIEVE_DCHECK(cond, ...) SIEVE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define SIEVE_DCHECKS_ENABLED 0
+#define SIEVE_DCHECK(cond, ...)                                           \
+    do {                                                                  \
+        (void)sizeof(!(cond));                                            \
+    } while (false)
+#endif
+
+#endif // SIEVESTORE_UTIL_CHECK_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The repository-wide memoryBytes() accounting convention.
+ *
+ * Every structure that reports a metastate footprint (IMCT, MCT,
+ * BlockCache, the discrete selectors) derives it from these helpers so
+ * the numbers are comparable across structures and auditable in one
+ * place. The convention models libstdc++ on LP64:
+ *
+ *  - a contiguous vector costs capacity() * sizeof(T);
+ *  - an unordered container node costs its value_type plus one forward
+ *    pointer, and the bucket array costs one pointer per bucket.
+ *
+ * Per-malloc allocator overhead and the (type-dependent) cached hash
+ * code are deliberately excluded: the goal is a stable, conservative
+ * convention for cost *comparisons*, not a byte-exact heap profile.
+ */
+
+#ifndef SIEVESTORE_UTIL_FOOTPRINT_HPP
+#define SIEVESTORE_UTIL_FOOTPRINT_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace sievestore {
+namespace util {
+
+/** Per-node overhead of an unordered container: the forward pointer. */
+constexpr uint64_t kUnorderedNodeOverheadBytes = sizeof(void *);
+
+/** Footprint of an unordered_map / unordered_set per the convention. */
+template <typename UnorderedContainer>
+uint64_t
+unorderedFootprintBytes(const UnorderedContainer &c)
+{
+    return static_cast<uint64_t>(c.size()) *
+               (sizeof(typename UnorderedContainer::value_type) +
+                kUnorderedNodeOverheadBytes) +
+           static_cast<uint64_t>(c.bucket_count()) * sizeof(void *);
+}
+
+/** Footprint of a vector per the convention. */
+template <typename T>
+uint64_t
+vectorFootprintBytes(const std::vector<T> &v)
+{
+    return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_FOOTPRINT_HPP

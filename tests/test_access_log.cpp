@@ -124,7 +124,7 @@ TEST_F(AccessLogTest, SinglePartitionWorks)
     AccessLogConfig cfg;
     cfg.partitions = 1;
     AccessLog log(dir.string(), cfg);
-    for (int i = 0; i < 1000; ++i)
+    for (uint64_t i = 0; i < 1000; ++i)
         log.log(i % 3);
     const auto reduced = log.reduce(300);
     ASSERT_EQ(reduced.size(), 3u);
@@ -136,7 +136,7 @@ TEST_F(AccessLogTest, DiskBytesReflectSpill)
     cfg.partitions = 2;
     cfg.flush_threshold = 8;
     AccessLog log(dir.string(), cfg);
-    for (int i = 0; i < 1000; ++i)
+    for (uint64_t i = 0; i < 1000; ++i)
         log.log(i);
     log.compactAll();
     EXPECT_GE(log.diskBytes(), 1000u * 8u);

@@ -174,7 +174,7 @@ TEST(Appliance, DiscreteEpochInstallsForNextDay)
     ApplianceConfig cfg = smallConfig();
     Appliance app(cfg, std::make_unique<AdbaSelector>(3));
     // Day 0: block 0 accessed 4 times (qualifies), block 100 once.
-    for (int i = 0; i < 4; ++i)
+    for (uint64_t i = 0; i < 4; ++i)
         app.processRequest(
             makeRequest(makeTime(0, 1 + i), 0, 8, Op::Read));
     app.processRequest(makeRequest(makeTime(0, 6), 100, 8, Op::Read));
@@ -194,8 +194,8 @@ TEST(Appliance, EpochCancellationAvoidsRemoves)
 {
     Appliance app(smallConfig(), std::make_unique<AdbaSelector>(2));
     // Block 0 is hot on both days: the second epoch must not re-move it.
-    for (int d = 0; d < 2; ++d)
-        for (int i = 0; i < 3; ++i)
+    for (uint64_t d = 0; d < 2; ++d)
+        for (uint64_t i = 0; i < 3; ++i)
             app.processRequest(
                 makeRequest(makeTime(d, 1 + i), 0, 8, Op::Read));
     app.finishDay(0);

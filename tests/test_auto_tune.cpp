@@ -85,7 +85,7 @@ TEST(AutoTune, HoldsInsideHysteresisBand)
     AutoTunedSievePolicy policy(sieve, tune);
     // Day 0: exactly 100 allocations (each block misses t1+t2 times).
     for (BlockId b = 0; b < 100; ++b)
-        for (int m = 0; m < 5; ++m)
+        for (uint64_t m = 0; m < 5; ++m)
             policy.onMiss(missAt(b, makeTime(0, 1, m)));
     policy.onMiss(missAt(424242, makeTime(1, 1)));
     EXPECT_EQ(policy.currentT2(), 4u); // unchanged
@@ -102,9 +102,9 @@ TEST(AutoTune, RespectsBounds)
     AutoTunedSievePolicy policy(sieve, tune);
     EXPECT_EQ(policy.currentT2(), 3u);
     // Massive churn across several days cannot push above max_t2.
-    for (int d = 0; d < 3; ++d)
+    for (uint64_t d = 0; d < 3; ++d)
         for (BlockId b = 0; b < 500; ++b)
-            for (int m = 0; m < 6; ++m)
+            for (uint64_t m = 0; m < 6; ++m)
                 policy.onMiss(missAt(b, makeTime(d, 1, m)));
     policy.onMiss(missAt(9, makeTime(5, 1)));
     EXPECT_LE(policy.currentT2(), 3u);
@@ -116,9 +116,9 @@ TEST(AutoTune, OneStepPerDay)
     AutoTuneConfig tune;
     tune.cache_blocks = 1; // any allocation exceeds budget
     AutoTunedSievePolicy policy(looseSieve(), tune);
-    for (int d = 0; d < 4; ++d)
+    for (uint64_t d = 0; d < 4; ++d)
         for (BlockId b = 0; b < 50; ++b)
-            for (int m = 0; m < 3; ++m)
+            for (uint64_t m = 0; m < 3; ++m)
                 policy.onMiss(missAt(b, makeTime(d, 1, m)));
     // Three day boundaries crossed -> at most +3 steps from t2 = 1.
     EXPECT_LE(policy.currentT2(), 4u);

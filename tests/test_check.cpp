@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Death tests for the runtime contract-checking framework
+ * (util/check.hpp): SIEVE_CHECK aborts with a formatted report,
+ * SIEVE_DCHECK follows the build configuration, SIEVE_UNREACHABLE is
+ * always fatal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace {
+
+TEST(SieveCheck, PassingCheckIsSilent)
+{
+    SIEVE_CHECK(1 + 1 == 2);
+    SIEVE_CHECK(true, "never printed %d", 42);
+    SUCCEED();
+}
+
+TEST(SieveCheckDeathTest, FailingCheckAborts)
+{
+    EXPECT_DEATH(SIEVE_CHECK(2 + 2 == 5), "SIEVE_CHECK failed");
+}
+
+TEST(SieveCheckDeathTest, ReportNamesTheExpression)
+{
+    const int zero = 0;
+    EXPECT_DEATH(SIEVE_CHECK(zero == 1), "zero == 1");
+}
+
+TEST(SieveCheckDeathTest, ReportIncludesFormattedMessage)
+{
+    const uint64_t size = 7, cap = 4;
+    EXPECT_DEATH(SIEVE_CHECK(size <= cap,
+                             "size %llu exceeds capacity %llu",
+                             static_cast<unsigned long long>(size),
+                             static_cast<unsigned long long>(cap)),
+                 "size 7 exceeds capacity 4");
+}
+
+TEST(SieveCheckDeathTest, UnreachableAlwaysAborts)
+{
+    EXPECT_DEATH(SIEVE_UNREACHABLE("bad enum value %d", 99),
+                 "SIEVE_UNREACHABLE.*bad enum value 99");
+}
+
+TEST(SieveCheck, CheckEvaluatesConditionExactlyOnce)
+{
+    int evaluations = 0;
+    SIEVE_CHECK(++evaluations > 0);
+    EXPECT_EQ(evaluations, 1);
+}
+
+#if SIEVE_DCHECKS_ENABLED
+
+TEST(SieveDcheckDeathTest, FailingDcheckAbortsWhenEnabled)
+{
+    EXPECT_DEATH(SIEVE_DCHECK(false, "debug contract"),
+                 "SIEVE_CHECK failed.*debug contract");
+}
+
+TEST(SieveDcheck, PassingDcheckIsSilentWhenEnabled)
+{
+    int evaluations = 0;
+    SIEVE_DCHECK(++evaluations == 1);
+    EXPECT_EQ(evaluations, 1);
+}
+
+#else // !SIEVE_DCHECKS_ENABLED
+
+TEST(SieveDcheck, DcheckIsFreeWhenDisabled)
+{
+    // Disabled DCHECKs must not evaluate their condition (they only
+    // typecheck it), so side effects never run in Release.
+    int evaluations = 0;
+    SIEVE_DCHECK(++evaluations == 1);
+    EXPECT_EQ(evaluations, 0);
+    SIEVE_DCHECK(false, "never reported %d", 1);
+    SUCCEED();
+}
+
+#endif // SIEVE_DCHECKS_ENABLED
+
+} // namespace

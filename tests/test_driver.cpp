@@ -46,7 +46,7 @@ TEST(Driver, RunsDayBoundariesForDiscretePolicies)
     core::Appliance app(config(),
                         std::make_unique<core::AdbaSelector>(2));
     std::vector<Request> reqs;
-    for (int i = 0; i < 3; ++i)
+    for (uint64_t i = 0; i < 3; ++i)
         reqs.push_back(makeRequest(makeTime(0, 1 + i), 0, 8));
     reqs.push_back(makeRequest(makeTime(1, 1), 0, 8));
     VectorTrace trace(std::move(reqs));

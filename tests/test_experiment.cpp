@@ -82,13 +82,13 @@ TEST(PerDayTopBlocks, FindsDailyHotSet)
 {
     std::vector<Request> reqs;
     // Day 0: block 0 dominates. Day 1: block 800 dominates.
-    for (int i = 0; i < 10; ++i)
+    for (uint64_t i = 0; i < 10; ++i)
         reqs.push_back(makeRequest(makeTime(0, 1, i), 0, 1));
-    for (int i = 0; i < 99; ++i)
+    for (uint64_t i = 0; i < 99; ++i)
         reqs.push_back(makeRequest(makeTime(0, 2, i), 100 + i, 1));
-    for (int i = 0; i < 10; ++i)
+    for (uint64_t i = 0; i < 10; ++i)
         reqs.push_back(makeRequest(makeTime(1, 1, i), 800, 1));
-    for (int i = 0; i < 99; ++i)
+    for (uint64_t i = 0; i < 99; ++i)
         reqs.push_back(makeRequest(makeTime(1, 2, i), 900 + i, 1));
     std::sort(reqs.begin(), reqs.end(), requestTimeLess);
     VectorTrace trace(std::move(reqs));
@@ -105,14 +105,14 @@ TEST(IdealAppliance, CapturesEachDaysTopBlocks)
 {
     std::vector<Request> reqs;
     // Day 0: block 0 accessed 20 times among 99 singletons.
-    for (int i = 0; i < 20; ++i)
+    for (uint64_t i = 0; i < 20; ++i)
         reqs.push_back(makeRequest(makeTime(0, 1, i), 0, 1));
-    for (int i = 0; i < 99; ++i)
+    for (uint64_t i = 0; i < 99; ++i)
         reqs.push_back(makeRequest(makeTime(0, 2, i), 100 + i, 1));
     // Day 1: block 800 takes over.
-    for (int i = 0; i < 20; ++i)
+    for (uint64_t i = 0; i < 20; ++i)
         reqs.push_back(makeRequest(makeTime(1, 1, i), 800, 1));
-    for (int i = 0; i < 99; ++i)
+    for (uint64_t i = 0; i < 99; ++i)
         reqs.push_back(makeRequest(makeTime(1, 2, i), 900 + i, 1));
     std::sort(reqs.begin(), reqs.end(), requestTimeLess);
     VectorTrace trace(std::move(reqs));

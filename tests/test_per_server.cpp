@@ -81,11 +81,11 @@ TEST(PerServer, StrandedCapacityCannotBeShared)
     // large hot set. Ensemble-equivalent capacity split 50/50 loses.
     std::vector<Request> reqs;
     // Server 0 cycles over 64 blocks; server 1 touches 4.
-    for (int round = 0; round < 3; ++round)
-        for (int i = 0; i < 8; ++i)
+    for (uint64_t round = 0; round < 3; ++round)
+        for (uint64_t i = 0; i < 8; ++i)
             reqs.push_back(makeRequest(
-                makeTime(0, 1 + round * 2, i), 0, uint64_t(i) * 8, 8));
-    for (int round = 0; round < 3; ++round)
+                makeTime(0, 1 + round * 2, i), 0, i * 8, 8));
+    for (uint64_t round = 0; round < 3; ++round)
         reqs.push_back(
             makeRequest(makeTime(0, 2 + round * 2), 1, 0, 4));
     std::sort(reqs.begin(), reqs.end(), requestTimeLess);
@@ -124,16 +124,13 @@ TEST(ElasticCapacities, TopPercentOfDailyUnique)
 {
     std::vector<Request> reqs;
     // Server 0: 800 unique blocks on day 0, 160 on day 1.
-    for (int i = 0; i < 100; ++i)
-        reqs.push_back(makeRequest(makeTime(0, 1, i), 0,
-                                   uint64_t(i) * 8, 8));
-    for (int i = 0; i < 20; ++i)
-        reqs.push_back(makeRequest(makeTime(1, 1, i), 0,
-                                   uint64_t(i) * 8, 8));
+    for (uint64_t i = 0; i < 100; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 1, i), 0, i * 8, 8));
+    for (uint64_t i = 0; i < 20; ++i)
+        reqs.push_back(makeRequest(makeTime(1, 1, i), 0, i * 8, 8));
     // Server 1: 80 unique blocks on day 0 only.
-    for (int i = 0; i < 10; ++i)
-        reqs.push_back(makeRequest(makeTime(0, 2, i), 1,
-                                   uint64_t(i) * 8, 8));
+    for (uint64_t i = 0; i < 10; ++i)
+        reqs.push_back(makeRequest(makeTime(0, 2, i), 1, i * 8, 8));
     std::sort(reqs.begin(), reqs.end(), requestTimeLess);
     VectorTrace trace(std::move(reqs));
 

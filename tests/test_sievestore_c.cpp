@@ -44,7 +44,7 @@ TEST(SieveStoreC, AllocatesOnExactlyT1PlusT2Misses)
     const BlockId b = 12345;
     // t1 = 9 misses to qualify past the IMCT, then t2 = 4 additional
     // misses in the MCT; the allocation fires on miss 13.
-    for (int i = 1; i <= 12; ++i) {
+    for (uint64_t i = 1; i <= 12; ++i) {
         EXPECT_EQ(sieve.onMiss(missAt(b, 1000 * i)),
                   AllocDecision::Bypass)
             << "miss " << i;
@@ -72,7 +72,7 @@ TEST(SieveStoreC, WindowExpiryDemandsRecency)
     SieveStoreCPolicy sieve(cfg);
     const BlockId b = 99;
     const TimeUs sub = cfg.window.subwindow_us;
-    for (int i = 0; i < 8; ++i)
+    for (uint64_t i = 0; i < 8; ++i)
         sieve.onMiss(missAt(b, i));
     // Jump 5 subwindows ahead: everything stale.
     EXPECT_EQ(sieve.onMiss(missAt(b, 5 * sub)), AllocDecision::Bypass);
@@ -85,7 +85,7 @@ TEST(SieveStoreC, MctProgressAlsoExpires)
     cfg.prune_on_subwindow = true;
     SieveStoreCPolicy sieve(cfg);
     const BlockId b = 7;
-    for (int i = 0; i < 11; ++i) // 9 to qualify + 2 in MCT
+    for (uint64_t i = 0; i < 11; ++i) // 9 to qualify + 2 in MCT
         sieve.onMiss(missAt(b, i));
     EXPECT_TRUE(sieve.mct().contains(b));
     const TimeUs far = 10 * cfg.window.subwindow_us;
@@ -100,7 +100,7 @@ TEST(SieveStoreC, TwoBlocksProgressIndependentlyInMct)
 {
     SieveStoreCPolicy sieve(smallConfig());
     // Qualify both past the IMCT.
-    for (int i = 0; i < 9; ++i) {
+    for (uint64_t i = 0; i < 9; ++i) {
         sieve.onMiss(missAt(1, i));
         sieve.onMiss(missAt(2, i));
     }
@@ -120,7 +120,7 @@ TEST(SieveStoreC, ImctOnlyAblationAllocatesAtCombinedThreshold)
     cfg.imct_only = true;
     SieveStoreCPolicy sieve(cfg);
     const BlockId b = 5;
-    for (int i = 1; i <= 12; ++i)
+    for (uint64_t i = 1; i <= 12; ++i)
         EXPECT_EQ(sieve.onMiss(missAt(b, i)), AllocDecision::Bypass);
     EXPECT_EQ(sieve.onMiss(missAt(b, 13)), AllocDecision::Allocate);
     EXPECT_STREQ(sieve.name(), "SieveStore-C/imct-only");
@@ -145,7 +145,7 @@ TEST(SieveStoreC, T2ZeroAllocatesStraightFromImct)
     cfg.t2 = 0;
     SieveStoreCPolicy sieve(cfg);
     const BlockId b = 3;
-    for (int i = 1; i <= 8; ++i)
+    for (uint64_t i = 1; i <= 8; ++i)
         EXPECT_EQ(sieve.onMiss(missAt(b, i)), AllocDecision::Bypass);
     EXPECT_EQ(sieve.onMiss(missAt(b, 9)), AllocDecision::Allocate);
     EXPECT_EQ(sieve.mct().size(), 0u);
@@ -157,7 +157,7 @@ TEST(SieveStoreC, MetastateAccounting)
     const uint64_t base = sieve.metastateBytes();
     EXPECT_GT(base, 0u);
     // Qualifying blocks grow the MCT share.
-    for (int i = 0; i < 10; ++i)
+    for (uint64_t i = 0; i < 10; ++i)
         sieve.onMiss(missAt(1, i));
     EXPECT_GT(sieve.metastateBytes(), base);
 }

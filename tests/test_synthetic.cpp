@@ -168,7 +168,7 @@ TEST_F(SyntheticTest, ReadWriteMixIsRoughlyThreeToOne)
         reads += day.read_accesses;
         total += day.block_accesses;
     }
-    EXPECT_NEAR(static_cast<double>(reads) / total, 0.75, 0.05);
+    EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(total), 0.75, 0.05);
 }
 
 TEST_F(SyntheticTest, RoughlySixPercentUnaligned)
@@ -182,7 +182,7 @@ TEST_F(SyntheticTest, RoughlySixPercentUnaligned)
         requests += day.requests;
     }
     const double unaligned =
-        1.0 - static_cast<double>(aligned) / requests;
+        1.0 - static_cast<double>(aligned) / static_cast<double>(requests);
     EXPECT_NEAR(unaligned, 0.06, 0.03);
 }
 
