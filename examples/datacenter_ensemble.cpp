@@ -8,9 +8,15 @@
  * prints the day-by-day service report an operator would care about:
  * captured traffic, SSD writes, drive provisioning, and wearout.
  *
- *   $ ./datacenter_ensemble [scale-denominator]
+ * A final section scales the appliance out to a 4-node sharded
+ * deployment and replays it through the parallel engine — one worker
+ * thread per node — which is how larger-than-default scales stay
+ * tractable.
+ *
+ *   $ ./datacenter_ensemble [scale-denominator] [threads]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -18,6 +24,7 @@
 
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sharded.hpp"
 #include "ssd/network.hpp"
 #include "stats/table.hpp"
 #include "trace/synthetic.hpp"
@@ -129,5 +136,54 @@ main(int argc, char **argv)
                 "allocation-writes for blocks that are never reused) "
                 "into a read-serving asset provisioned with a single "
                 "drive.\n");
+
+    // Scale-out: shard the block space across 4 appliance nodes and
+    // replay them in parallel (Section 7 direction; ISSUE 2).
+    const size_t threads =
+        argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 4;
+    std::printf("\nScale-out: 4 appliance nodes, parallel replay "
+                "with %zu worker threads:\n",
+                threads);
+    {
+        sim::ShardedConfig scfg;
+        scfg.shards = 4;
+        scfg.policy.kind = sim::PolicyKind::SieveStoreC;
+        scfg.policy.sieve_c.imct_slots = std::max<size_t>(
+            1024, static_cast<size_t>(4.5e8 * workload.scale) / 4);
+        scfg.node.cache_blocks = std::max<uint64_t>(
+            64,
+            workload.scaledBytes(16ULL << 30) / trace::kBlockBytes / 4);
+        scfg.node.ssd = ssd::SsdModel::intelX25E(4ULL << 30)
+                            .scaled(workload.scale);
+        scfg.parallel.threads = threads;
+
+        gen.reset();
+        const auto start = std::chrono::steady_clock::now();
+        const auto sharded = sim::runShardedParallel(gen, scfg);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        stats::Table ts({"Node", "Accesses", "Captured",
+                         "Alloc-writes"});
+        for (size_t s = 0; s < sharded.nodes.size(); ++s) {
+            const auto nt = sharded.nodes[s]->totals();
+            ts.row()
+                .cell("node " + std::to_string(s))
+                .cell(nt.accesses)
+                .cellPercent(nt.hitRatio())
+                .cell(nt.allocation_write_blocks);
+        }
+        const auto st = sharded.totals();
+        ts.row()
+            .cell("total")
+            .cell(st.accesses)
+            .cellPercent(st.hitRatio())
+            .cell(st.allocation_write_blocks);
+        ts.print(std::cout);
+        std::printf("replayed in %.2f s (load imbalance %.2f); "
+                    "per-node reports are bit-identical to a serial "
+                    "replay of the same deployment\n",
+                    elapsed.count(), sharded.loadImbalance());
+    }
     return 0;
 }

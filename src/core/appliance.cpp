@@ -170,6 +170,12 @@ Appliance::processRequest(const trace::Request &req)
 void
 Appliance::finishDay(int day)
 {
+    SIEVE_CHECK(day > last_finished_day,
+                "finishDay(%d) after finishDay(%d): days must strictly "
+                "increase",
+                day, last_finished_day);
+    last_finished_day = day;
+
     const util::TimeUs day_end =
         (static_cast<util::TimeUs>(day) + 1) * util::kUsPerDay;
     drainAllocations(day_end - 1);

@@ -24,6 +24,7 @@
 #ifndef SIEVESTORE_CORE_APPLIANCE_HPP
 #define SIEVESTORE_CORE_APPLIANCE_HPP
 
+#include <climits>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -133,9 +134,18 @@ class Appliance
     /**
      * Close calendar day `day`: drain allocations due within it and,
      * for discrete appliances, run the epoch boundary — the new block
-     * set is installed and its moves attributed to day + 1.
+     * set is installed and its moves attributed to day + 1. Days must
+     * strictly increase across calls (checked); the parallel sharded
+     * driver relies on this monotone day cursor to audit that every
+     * shard sits at the same epoch boundary at its day barriers.
      */
     void finishDay(int day);
+
+    /**
+     * Day most recently closed by finishDay(), or INT_MIN if none yet.
+     * The replay drivers use it as the appliance's epoch cursor.
+     */
+    int lastFinishedDay() const { return last_finished_day; }
 
     /** Drain every pending allocation (end of trace). */
     void finishTrace();
@@ -198,6 +208,9 @@ class Appliance
                         std::greater<PendingAlloc>>
         alloc_queue;
     std::unordered_set<trace::BlockId> pending;
+
+    /** Epoch cursor: last day closed by finishDay(). */
+    int last_finished_day = INT_MIN;
 
     std::vector<DailyReport> reports;
 };

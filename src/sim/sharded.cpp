@@ -85,23 +85,32 @@ shardOf(trace::BlockId block, size_t shards, uint64_t seed)
         util::reduceRange(util::seededHash(key, seed), shards));
 }
 
-ShardedResult
-runSharded(trace::TraceReader &reader, const ShardedConfig &config)
+std::vector<std::unique_ptr<core::Appliance>>
+makeShardNodes(const ShardedConfig &config)
 {
     if (config.shards == 0)
         util::fatal("sharded deployment requires at least one node");
     if (config.policy.kind == PolicyKind::Ideal)
         util::fatal("sharded runs do not support the oracle policy");
 
-    ShardedResult result;
+    std::vector<std::unique_ptr<core::Appliance>> nodes;
+    nodes.reserve(config.shards);
     for (size_t s = 0; s < config.shards; ++s) {
         PolicyConfig pc = config.policy;
         pc.seed += s;
         pc.sieve_c.seed += s; // decorrelate the nodes' IMCTs
         if (pc.adba_disk_log)
             pc.adba_log_dir += "/shard" + std::to_string(s);
-        result.nodes.push_back(makeAppliance(pc, config.node));
+        nodes.push_back(makeAppliance(pc, config.node));
     }
+    return nodes;
+}
+
+ShardedResult
+runSharded(trace::TraceReader &reader, const ShardedConfig &config)
+{
+    ShardedResult result;
+    result.nodes = makeShardNodes(config);
 
     const bool audit = defaultCheckInvariants();
 
@@ -122,30 +131,11 @@ runSharded(trace::TraceReader &reader, const ShardedConfig &config)
             ++current_day;
         }
 
-        if (req.length_blocks == 0)
-            continue;
-        // Split the request into per-shard subrequests: maximal runs of
-        // consecutive blocks mapping to the same shard. Latency is
-        // inherited; each subrequest keeps its own interpolation span,
-        // which approximates the original block completion times.
-        uint32_t run_start = 0;
-        size_t run_shard =
-            shardOf(req.blockAt(0), config.shards, config.seed);
-        for (uint32_t i = 1; i <= req.length_blocks; ++i) {
-            const size_t shard =
-                i < req.length_blocks
-                    ? shardOf(req.blockAt(i), config.shards,
-                              config.seed)
-                    : SIZE_MAX;
-            if (shard == run_shard)
-                continue;
-            trace::Request sub = req;
-            sub.offset_blocks = req.offset_blocks + run_start;
-            sub.length_blocks = i - run_start;
-            result.nodes[run_shard]->processRequest(sub);
-            run_start = i;
-            run_shard = shard;
-        }
+        forEachSubrequest(
+            req, config.shards, config.seed,
+            [&result](size_t shard, const trace::Request &sub) {
+                result.nodes[shard]->processRequest(sub);
+            });
     }
     for (auto &node : result.nodes)
         node->finishTrace();

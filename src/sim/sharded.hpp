@@ -27,6 +27,29 @@
 namespace sievestore {
 namespace sim {
 
+/** Options for the parallel replay engine (runShardedParallel). */
+struct ParallelOptions
+{
+    /**
+     * Worker threads (0 = one per shard). Clamped to the shard count;
+     * with fewer threads than shards, shards are distributed
+     * round-robin and each worker multiplexes its queues.
+     */
+    size_t threads = 0;
+    /** Per-shard SPSC queue capacity (rounded up to a power of two). */
+    size_t queue_depth = 4096;
+    /**
+     * Lockstep mode: calendar-day barriers hold every shard at the
+     * same epoch boundary, so cross-shard invariant audits (and any
+     * future cross-shard coordination) observe a consistent cut of
+     * the deployment. Per-node counters are bit-identical either way
+     * — shards share no block state, so each node's result is a pure
+     * function of its own subrequest stream — and turning this off
+     * only removes the barrier stalls (free-running workers).
+     */
+    bool deterministic = true;
+};
+
 /** Configuration for a sharded deployment. */
 struct ShardedConfig
 {
@@ -41,6 +64,8 @@ struct ShardedConfig
     core::ApplianceConfig node;
     /** Hash seed for the page -> shard mapping. */
     uint64_t seed = 0;
+    /** Parallel replay knobs (used by runShardedParallel only). */
+    ParallelOptions parallel;
 };
 
 /** Outcome of a sharded run. */
@@ -68,12 +93,71 @@ struct ShardedResult
 size_t shardOf(trace::BlockId block, size_t shards, uint64_t seed);
 
 /**
+ * Instantiate the per-node appliances for a sharded deployment
+ * (decorrelated seeds, per-shard ADBA log directories). Shared by the
+ * serial and parallel drivers so both replay against identical nodes.
+ * Throws FatalError on zero shards or the oracle policy.
+ */
+std::vector<std::unique_ptr<core::Appliance>>
+makeShardNodes(const ShardedConfig &config);
+
+/**
+ * Split one request into per-shard subrequests — maximal runs of
+ * consecutive blocks mapping to the same shard — and invoke
+ * fn(shard, subrequest) for each run in block order. Latency is
+ * inherited; each subrequest keeps its own interpolation span, which
+ * approximates the original block completion times. Zero-length
+ * requests produce no subrequests. This is the single splitting
+ * routine used by both replay drivers: bit-identical sharded results
+ * depend on serial and parallel agreeing on it exactly.
+ */
+template <typename Fn>
+void
+forEachSubrequest(const trace::Request &req, size_t shards,
+                  uint64_t seed, Fn &&fn)
+{
+    if (req.length_blocks == 0)
+        return;
+    uint32_t run_start = 0;
+    size_t run_shard = shardOf(req.blockAt(0), shards, seed);
+    for (uint32_t i = 1; i <= req.length_blocks; ++i) {
+        const size_t shard =
+            i < req.length_blocks
+                ? shardOf(req.blockAt(i), shards, seed)
+                : SIZE_MAX;
+        if (shard == run_shard)
+            continue;
+        trace::Request sub = req;
+        sub.offset_blocks = req.offset_blocks + run_start;
+        sub.length_blocks = i - run_start;
+        fn(run_shard, sub);
+        run_start = i;
+        run_shard = shard;
+    }
+}
+
+/**
  * Replay a trace through a sharded deployment. Requests are split into
  * per-shard subrequests at page granularity; day boundaries fire on
  * every node.
  */
 ShardedResult runSharded(trace::TraceReader &reader,
                          const ShardedConfig &config);
+
+/**
+ * Parallel replay: one reader thread (the caller) partitions the
+ * time-ordered trace into bounded SPSC queues (util/spsc_queue.hpp);
+ * ParallelOptions::threads workers drive the per-shard appliances
+ * through the same day-boundary/finishDay sequence the serial driver
+ * issues. Because shards share no block state and every node consumes
+ * exactly the subrequest/day-marker stream runSharded would feed it,
+ * the per-node DailyReports are bit-identical to runSharded's (the
+ * differential tests assert this field-for-field). In deterministic
+ * mode, calendar-day barriers additionally hold the shards in epoch
+ * lockstep so cross-shard invariant audits see a consistent cut.
+ */
+ShardedResult runShardedParallel(trace::TraceReader &reader,
+                                 const ShardedConfig &config);
 
 } // namespace sim
 } // namespace sievestore

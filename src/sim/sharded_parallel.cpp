@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Parallel sharded replay engine.
+ *
+ * The scale-out design of sim/sharded.hpp guarantees that appliance
+ * nodes share no block state: the page->shard hash partitions the
+ * block space, so every node's DailyReports are a pure function of
+ * (a) the subrequest stream routed to it and (b) the day-boundary
+ * sequence fired on it. runShardedParallel exploits exactly that
+ * guarantee: the calling thread replays the trace once, routing each
+ * subrequest — split by the same forEachSubrequest the serial driver
+ * uses — into a bounded SPSC queue per shard, interleaved with
+ * day-end markers pushed to *every* queue at each calendar-day
+ * crossing (a shard can be idle for a day yet must still run its
+ * epoch boundary). Each worker consumes its queues strictly in order,
+ * so every node observes the identical processRequest/finishDay
+ * sequence runSharded would have issued, and the per-node reports are
+ * bit-identical by construction — the differential tests assert it
+ * field-for-field.
+ *
+ * Determinism therefore needs no barriers at all; the calendar-day
+ * barrier of deterministic mode exists to keep the *deployment*
+ * observable: it holds every shard at the same epoch boundary so the
+ * cross-shard invariant audit (summed totals, lockstep day cursors)
+ * sees a consistent cut, exactly where the serial driver audits.
+ *
+ * Deadlock-freedom: workers poll their queues non-blockingly and
+ * round-robin, so a full queue is always eventually drained by its
+ * owner; the reader blocks only on a full queue, and every item that
+ * precedes a barrier round is already enqueued before the reader can
+ * block on the next round's items.
+ */
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "sim/sharded.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/sim_time.hpp"
+#include "util/spsc_queue.hpp"
+
+namespace sievestore {
+namespace sim {
+
+namespace {
+
+/** One queue entry: a routed subrequest or a calendar-day boundary. */
+struct Item
+{
+    enum class Kind : uint8_t { Request, DayEnd };
+    Kind kind = Kind::Request;
+    /** Day being closed (DayEnd only). */
+    int day = 0;
+    trace::Request req;
+};
+
+using ItemQueue = util::SpscQueue<Item>;
+
+/**
+ * Cyclic barrier with a serial phase: the last thread to arrive runs
+ * `serial_fn` while the others are parked, then everyone is released.
+ * The mutex hand-off makes all pre-arrival writes (each worker's
+ * finishDay effects) visible to the serial phase and vice versa.
+ */
+class DayBarrier
+{
+  public:
+    explicit DayBarrier(size_t parties) : parties_(parties) {}
+
+    template <typename Fn>
+    void
+    arriveAndWait(Fn &&serial_fn)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++arrived == parties_) {
+            serial_fn();
+            arrived = 0;
+            ++generation;
+            cv.notify_all();
+            return;
+        }
+        const uint64_t gen = generation;
+        cv.wait(lock, [&] { return generation != gen; });
+    }
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    const size_t parties_;
+    size_t arrived = 0;
+    uint64_t generation = 0;
+};
+
+/** Where one shard stands within the current replay round. */
+enum class Phase : uint8_t { Running, AtDayEnd, Closed };
+
+/** Everything a worker thread needs; nodes are owned by the result. */
+struct WorkerArgs
+{
+    std::vector<size_t> owned; ///< shard indices, round-robin assigned
+    const std::vector<ItemQueue *> *queues = nullptr;
+    ShardedResult *result = nullptr;
+    DayBarrier *barrier = nullptr; ///< null in free-running mode
+    bool audit = false;
+};
+
+/**
+ * Drain whatever shard `s` has available. Advances the node through
+ * requests until the queue momentarily empties (Running), a day-end
+ * marker is consumed (AtDayEnd, day stored in *day_out), or the queue
+ * is closed and fully drained (Closed, after finishTrace).
+ */
+Phase
+pollShard(ItemQueue &queue, core::Appliance &node, int *day_out)
+{
+    Item item;
+    for (;;) {
+        if (!queue.tryPop(item)) {
+            if (!queue.closed())
+                return Phase::Running;
+            // Re-check after observing the close flag: items pushed
+            // before close() may race with the flag's visibility.
+            if (!queue.tryPop(item)) {
+                node.finishTrace();
+                return Phase::Closed;
+            }
+        }
+        if (item.kind == Item::Kind::Request) {
+            node.processRequest(item.req);
+            continue;
+        }
+        node.finishDay(item.day);
+        *day_out = item.day;
+        return Phase::AtDayEnd;
+    }
+}
+
+void
+runWorker(const WorkerArgs &args)
+{
+    const std::vector<ItemQueue *> &queues = *args.queues;
+    ShardedResult &result = *args.result;
+    const size_t n = args.owned.size();
+    std::vector<Phase> phase(n, Phase::Running);
+    size_t closed_count = 0;
+
+    while (closed_count < n) {
+        // One round: advance every owned shard to its next day-end
+        // marker (or to close). Non-blocking round-robin polling so a
+        // stalled shard never prevents draining another — the
+        // reader's backpressure depends on it.
+        size_t running = n - closed_count;
+        int round_day = 0;
+        bool saw_day_end = false;
+        while (running > 0) {
+            bool progressed = false;
+            for (size_t k = 0; k < n; ++k) {
+                if (phase[k] != Phase::Running)
+                    continue;
+                const size_t s = args.owned[k];
+                int day = 0;
+                const Phase p =
+                    pollShard(*queues[s], *result.nodes[s], &day);
+                if (p == Phase::Running)
+                    continue;
+                phase[k] = p;
+                --running;
+                progressed = true;
+                if (p == Phase::AtDayEnd) {
+                    SIEVE_CHECK(!saw_day_end || day == round_day,
+                                "shards diverged within one round: "
+                                "day %d vs %d",
+                                day, round_day);
+                    saw_day_end = true;
+                    round_day = day;
+                    if (!args.barrier && args.audit)
+                        result.nodes[s]->checkInvariants();
+                } else {
+                    ++closed_count;
+                }
+            }
+            if (running > 0 && !progressed)
+                std::this_thread::yield();
+        }
+
+        // The reader pushes each marker to every queue before any
+        // later item, so a round ends uniformly: either every owned
+        // shard hit the same day-end or every one closed.
+        if (saw_day_end) {
+            SIEVE_CHECK(closed_count == 0 ||
+                            closed_count == n,
+                        "round mixed day-end and close markers");
+            if (args.barrier) {
+                args.barrier->arriveAndWait([&result, round_day,
+                                             audit = args.audit] {
+                    // Serial phase: every worker has arrived, so all
+                    // shards closed `round_day`. Audit the lockstep
+                    // property and (when enabled) the same cross-shard
+                    // invariants the serial driver checks per day.
+                    for (const auto &node : result.nodes)
+                        SIEVE_CHECK(node->lastFinishedDay() ==
+                                        round_day,
+                                    "shard not in epoch lockstep: "
+                                    "cursor %d, barrier day %d",
+                                    node->lastFinishedDay(), round_day);
+                    if (audit)
+                        result.checkInvariants();
+                });
+            }
+            for (size_t k = 0; k < n; ++k)
+                if (phase[k] == Phase::AtDayEnd)
+                    phase[k] = Phase::Running;
+        }
+    }
+}
+
+} // namespace
+
+ShardedResult
+runShardedParallel(trace::TraceReader &reader,
+                   const ShardedConfig &config)
+{
+    ShardedResult result;
+    result.nodes = makeShardNodes(config);
+
+    const ParallelOptions &popt = config.parallel;
+    if (popt.queue_depth == 0)
+        util::fatal("parallel replay requires queue_depth >= 1");
+    const size_t workers = std::min(
+        popt.threads == 0 ? config.shards : popt.threads,
+        config.shards);
+
+    std::vector<std::unique_ptr<ItemQueue>> queues;
+    std::vector<ItemQueue *> queue_ptrs;
+    queues.reserve(config.shards);
+    for (size_t s = 0; s < config.shards; ++s) {
+        queues.push_back(std::make_unique<ItemQueue>(popt.queue_depth));
+        queue_ptrs.push_back(queues.back().get());
+    }
+
+    const bool audit = defaultCheckInvariants();
+    DayBarrier barrier(workers);
+
+    std::vector<WorkerArgs> args(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        for (size_t s = w; s < config.shards; s += workers)
+            args[w].owned.push_back(s);
+        args[w].queues = &queue_ptrs;
+        args[w].result = &result;
+        args[w].barrier = popt.deterministic ? &barrier : nullptr;
+        args[w].audit = audit;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        threads.emplace_back(runWorker, std::cref(args[w]));
+
+    // Reader: identical day/split logic to runSharded, but routed
+    // into the queues instead of the appliances.
+    trace::Request req;
+    bool any = false;
+    int current_day = 0;
+    while (reader.next(req)) {
+        const int day = static_cast<int>(util::dayOf(req.time));
+        if (!any) {
+            current_day = day;
+            any = true;
+        }
+        while (current_day < day) {
+            Item marker;
+            marker.kind = Item::Kind::DayEnd;
+            marker.day = current_day;
+            for (ItemQueue *q : queue_ptrs)
+                q->push(marker);
+            ++current_day;
+        }
+
+        forEachSubrequest(
+            req, config.shards, config.seed,
+            [&queue_ptrs](size_t shard, const trace::Request &sub) {
+                Item item;
+                item.req = sub;
+                queue_ptrs[shard]->push(std::move(item));
+            });
+    }
+    for (ItemQueue *q : queue_ptrs)
+        q->close();
+    for (std::thread &t : threads)
+        t.join();
+
+    if (audit)
+        result.checkInvariants();
+    return result;
+}
+
+} // namespace sim
+} // namespace sievestore

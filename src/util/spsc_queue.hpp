@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Bounded lock-free single-producer / single-consumer queue.
+ *
+ * The parallel replay engine (sim/sharded_parallel.cpp) moves every
+ * request of a sharded trace from one reader thread to one worker per
+ * shard; with millions of requests per simulated day the hand-off is a
+ * hot path, so the queue is a wait-free ring buffer: one atomic store
+ * per push and per pop, indices on separate cache lines, and cached
+ * peer positions so the common case touches no shared line at all
+ * (the "fast forward" optimization of Rigtorp-style SPSC rings).
+ *
+ * Contract: exactly one thread calls tryPush/push/close (the producer)
+ * and exactly one thread calls tryPop/pop (the consumer). Release
+ * stores on the producer index publish the slot contents; acquire
+ * loads on the consumer side observe them — this pairing is the whole
+ * memory-ordering argument, and the tsan preset verifies it.
+ */
+
+#ifndef SIEVESTORE_UTIL_SPSC_QUEUE_HPP
+#define SIEVESTORE_UTIL_SPSC_QUEUE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sievestore {
+namespace util {
+
+/**
+ * Fixed-capacity SPSC ring buffer. T must be default-constructible and
+ * move-assignable. Capacity is rounded up to a power of two (minimum
+ * 2) so wraparound is a mask, not a modulo.
+ */
+template <typename T>
+class SpscQueue
+{
+  public:
+    explicit SpscQueue(size_t min_capacity)
+    {
+        uint64_t cap = 2;
+        while (cap < min_capacity)
+            cap *= 2;
+        slots.resize(static_cast<size_t>(cap));
+        mask = cap - 1;
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Usable capacity in items. */
+    size_t capacity() const { return slots.size(); }
+
+    /**
+     * Producer: enqueue by move. Returns false (leaving `value`
+     * untouched) when the ring is full.
+     */
+    bool
+    tryPush(T &&value)
+    {
+        const uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - head_cache == capacity()) {
+            head_cache = head.load(std::memory_order_acquire);
+            if (t - head_cache == capacity())
+                return false;
+        }
+        slots[static_cast<size_t>(t & mask)] = std::move(value);
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer: enqueue by copy. */
+    bool
+    tryPush(const T &value)
+    {
+        T copy = value;
+        return tryPush(std::move(copy));
+    }
+
+    /** Consumer: dequeue into `out`. Returns false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        const uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == tail_cache) {
+            tail_cache = tail.load(std::memory_order_acquire);
+            if (h == tail_cache)
+                return false;
+        }
+        out = std::move(slots[static_cast<size_t>(h & mask)]);
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Producer: mark the stream complete. No push may follow; pop
+     * drains the remaining items and then reports end-of-stream.
+     */
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    /** True once the producer has closed the queue (items may remain). */
+    bool
+    closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Producer: blocking enqueue (spin-then-yield until space).
+     * @pre the queue is not closed.
+     */
+    void
+    push(T value)
+    {
+        SIEVE_DCHECK(!closed(), "push after close");
+        while (!tryPush(std::move(value)))
+            backoff();
+    }
+
+    /**
+     * Consumer: blocking dequeue. Returns false only when the queue is
+     * closed *and* fully drained; otherwise waits for the producer.
+     */
+    bool
+    pop(T &out)
+    {
+        for (;;) {
+            if (tryPop(out))
+                return true;
+            if (closed()) {
+                // Re-check: items pushed before close() may have become
+                // visible only after the closed flag was observed.
+                return tryPop(out);
+            }
+            backoff();
+        }
+    }
+
+    /** Approximate occupancy (exact only when both sides are quiet). */
+    size_t
+    sizeApprox() const
+    {
+        const uint64_t t = tail.load(std::memory_order_acquire);
+        const uint64_t h = head.load(std::memory_order_acquire);
+        return static_cast<size_t>(t - h);
+    }
+
+    /** Footprint of the ring per the memoryBytes() convention. */
+    uint64_t
+    memoryBytes() const
+    {
+        return static_cast<uint64_t>(slots.capacity()) * sizeof(T);
+    }
+
+  private:
+    static void backoff() { std::this_thread::yield(); }
+
+    std::vector<T> slots;
+    uint64_t mask = 0;
+
+    /** Consumer position; written by the consumer only. */
+    alignas(64) std::atomic<uint64_t> head{0};
+    /** Producer's cached view of `head` (producer-private). */
+    alignas(64) uint64_t head_cache = 0;
+    /** Producer position; written by the producer only. */
+    alignas(64) std::atomic<uint64_t> tail{0};
+    /** Consumer's cached view of `tail` (consumer-private). */
+    alignas(64) uint64_t tail_cache = 0;
+    alignas(64) std::atomic<bool> closed_{false};
+};
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_SPSC_QUEUE_HPP

@@ -4,12 +4,16 @@
  * "scaling").
  */
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/driver.hpp"
 #include "sim/sharded.hpp"
 #include "trace/synthetic.hpp"
 #include "util/logging.hpp"
+#include "util/random.hpp"
 #include "util/sim_time.hpp"
 
 namespace {
@@ -55,6 +59,56 @@ TEST(ShardOf, StableAndPageGranular)
         for (uint64_t b = 1; b < 8; ++b)
             EXPECT_EQ(shardOf(makeBlockId(3, page * 8 + b), 4, 0),
                       shard);
+    }
+}
+
+TEST(ShardOf, PropertyPageNeverStraddlesNodes)
+{
+    // For random volumes, block numbers, shard counts and hash seeds:
+    // all 8 blocks of a 4 KB page map to one shard (the property the
+    // sharded SSD I/O accounting depends on).
+    util::Rng rng(0x9a6eULL);
+    for (int trial = 0; trial < 20000; ++trial) {
+        const VolumeId vol =
+            static_cast<VolumeId>(rng.nextBelow(1 << 16));
+        const uint64_t page = rng.nextBelow(1ULL << 40);
+        const size_t shards = 1 + rng.nextBelow(64);
+        const uint64_t seed = rng.next();
+        const size_t shard =
+            shardOf(makeBlockId(vol, page * 8), shards, seed);
+        ASSERT_LT(shard, shards);
+        for (uint64_t b = 1; b < 8; ++b)
+            ASSERT_EQ(shardOf(makeBlockId(vol, page * 8 + b),
+                              shards, seed),
+                      shard)
+                << "vol " << vol << " page " << page << " shards "
+                << shards << " seed " << seed;
+    }
+}
+
+TEST(ShardOf, PropertyLoadImbalanceBoundedOnUniformSample)
+{
+    // Documented bound: hashing a uniform 100k-page sample across
+    // 2..16 shards keeps max/mean page load under 1.05 for every
+    // seed tried. (The bench-scale request imbalance in
+    // bench_sec7_scaling_tuning stays within a few percent of 1.0;
+    // this pins the hash-quality half of that claim.)
+    for (const uint64_t seed : {0ULL, 1ULL, 0xfeedULL}) {
+        for (const size_t shards : {size_t(2), size_t(4), size_t(7),
+                                    size_t(16)}) {
+            std::vector<uint64_t> counts(shards, 0);
+            const uint64_t pages = 100000;
+            for (uint64_t page = 0; page < pages; ++page)
+                ++counts[shardOf(makeBlockId(2, page * 8), shards,
+                                 seed)];
+            uint64_t worst = 0;
+            for (const uint64_t c : counts)
+                worst = std::max(worst, c);
+            const double mean = static_cast<double>(pages) /
+                                static_cast<double>(shards);
+            EXPECT_LT(static_cast<double>(worst) / mean, 1.05)
+                << shards << " shards, seed " << seed;
+        }
     }
 }
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and stress tests for the bounded SPSC ring buffer behind the
+ * parallel replay engine. The single-threaded cases pin the edge
+ * semantics (wraparound, full/empty, close); the two-thread cases are
+ * the memory-ordering witnesses the tsan preset runs with race
+ * detection enabled.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/spsc_queue.hpp"
+
+namespace {
+
+using sievestore::util::SpscQueue;
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(4).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscQueue, EmptyPopFails)
+{
+    SpscQueue<int> q(4);
+    int v = -1;
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_EQ(v, -1);
+    EXPECT_EQ(q.sizeApprox(), 0u);
+}
+
+TEST(SpscQueue, FullPushFailsAndLeavesValueIntact)
+{
+    SpscQueue<std::unique_ptr<int>> q(2);
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(1)));
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(2)));
+    auto third = std::make_unique<int>(3);
+    EXPECT_FALSE(q.tryPush(std::move(third)));
+    // A failed move-push must not consume the value.
+    ASSERT_NE(third, nullptr);
+    EXPECT_EQ(*third, 3);
+    EXPECT_EQ(q.sizeApprox(), 2u);
+}
+
+TEST(SpscQueue, FifoOrderAcrossWraparound)
+{
+    SpscQueue<uint64_t> q(4); // capacity 4; cycle it many times
+    uint64_t next_push = 0, next_pop = 0;
+    for (int round = 0; round < 1000; ++round) {
+        while (q.tryPush(uint64_t(next_push)))
+            ++next_push;
+        uint64_t v = 0;
+        while (q.tryPop(v)) {
+            EXPECT_EQ(v, next_pop);
+            ++next_pop;
+        }
+    }
+    EXPECT_EQ(next_push, next_pop);
+    EXPECT_GE(next_push, 4000u);
+}
+
+TEST(SpscQueue, PartialDrainInterleavesCorrectly)
+{
+    // Push two, pop one: occupancy grows while FIFO order holds.
+    SpscQueue<int> q(64);
+    int out = 0;
+    for (int step = 0; step < 30; ++step) {
+        ASSERT_TRUE(q.tryPush(2 * step));
+        ASSERT_TRUE(q.tryPush(2 * step + 1));
+        ASSERT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, step);
+    }
+    EXPECT_EQ(q.sizeApprox(), 30u);
+}
+
+TEST(SpscQueue, CloseDrainsRemainingThenReportsEnd)
+{
+    SpscQueue<int> q(8);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v)); // closed and drained
+}
+
+TEST(SpscQueue, CloseOnEmptyQueueUnblocksConsumer)
+{
+    SpscQueue<int> q(4);
+    std::thread consumer([&q] {
+        int v = 0;
+        EXPECT_FALSE(q.pop(v));
+    });
+    q.close();
+    consumer.join();
+}
+
+TEST(SpscQueue, MoveOnlyPayload)
+{
+    SpscQueue<std::unique_ptr<int>> q(4);
+    q.push(std::make_unique<int>(42));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(q.pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 42);
+}
+
+/**
+ * Two-thread sequence check: the consumer must observe exactly
+ * 0,1,2,...,n-1. `producer_batch` / `consumer_batch` skew which side
+ * runs ahead: a large producer batch keeps the ring full (consumer is
+ * the bottleneck), a large consumer batch keeps it empty (producer is
+ * the bottleneck), exercising both cached-index refresh paths.
+ */
+void
+streamThrough(size_t capacity, uint64_t n, int producer_batch,
+              int consumer_batch)
+{
+    SpscQueue<uint64_t> q(capacity);
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < n; ++i) {
+            q.push(uint64_t(i));
+            if (producer_batch && (i + 1) % uint64_t(producer_batch) == 0)
+                std::this_thread::yield();
+        }
+        q.close();
+    });
+    uint64_t expected = 0;
+    uint64_t v = 0;
+    while (q.pop(v)) {
+        ASSERT_EQ(v, expected);
+        ++expected;
+        if (consumer_batch &&
+            expected % uint64_t(consumer_batch) == 0)
+            std::this_thread::yield();
+    }
+    producer.join();
+    EXPECT_EQ(expected, n);
+}
+
+TEST(SpscQueueStress, BalancedProducerConsumer)
+{
+    streamThrough(64, 50000, 0, 0);
+}
+
+TEST(SpscQueueStress, ProducerFasterThanConsumer)
+{
+    // Tiny ring + consumer yielding every element: the producer lives
+    // on the full-queue path.
+    streamThrough(2, 20000, 0, 1);
+}
+
+TEST(SpscQueueStress, ConsumerFasterThanProducer)
+{
+    // Producer yields constantly: the consumer lives on the
+    // empty-queue path.
+    streamThrough(1024, 20000, 1, 0);
+}
+
+TEST(SpscQueueStress, ManySmallClosedStreams)
+{
+    // Close/reopen pattern as the replay engine uses it: one queue
+    // per stream, short bursts, consumer must never lose the tail.
+    for (int stream = 0; stream < 200; ++stream) {
+        SpscQueue<int> q(4);
+        std::thread producer([&q, stream] {
+            for (int i = 0; i < stream % 7; ++i)
+                q.push(int(i));
+            q.close();
+        });
+        int count = 0, v = 0;
+        while (q.pop(v)) {
+            EXPECT_EQ(v, count);
+            ++count;
+        }
+        producer.join();
+        EXPECT_EQ(count, stream % 7);
+    }
+}
+
+} // namespace
