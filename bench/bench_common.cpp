@@ -1,14 +1,24 @@
 #include "bench_common.hpp"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 
 namespace sievestore {
 namespace bench {
+
+namespace {
+
+/** Set by parse() so note() can silence commentary without every
+ * call site threading the options through helper functions. */
+bool g_suppress_notes = false;
+
+} // namespace
 
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
@@ -29,19 +39,35 @@ BenchOptions::parse(int argc, char **argv)
             opts.seed = std::strtoull(value("--seed"), nullptr, 0);
         } else if (arg == "--csv") {
             opts.csv = true;
+        } else if (arg == "--json") {
+            opts.json = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options:\n"
                 "  --scale-denominator N  run at 1/N of the paper's "
                 "traffic (default 4096)\n"
                 "  --seed S               generator seed\n"
-                "  --csv                  CSV output\n");
+                "  --csv                  CSV output\n"
+                "  --json                 JSON output (suppresses "
+                "banners)\n");
             std::exit(0);
         } else {
             util::fatal("unknown option '%s' (try --help)", arg.c_str());
         }
     }
+    g_suppress_notes = opts.json;
     return opts;
+}
+
+void
+note(const char *fmt, ...)
+{
+    if (g_suppress_notes)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
 }
 
 trace::SyntheticConfig
@@ -120,9 +146,22 @@ runPolicy(const PolicyRun &run, const BenchOptions &opts,
 }
 
 void
+emit(const stats::Table &table, const BenchOptions &opts)
+{
+    if (opts.json)
+        table.printJson(std::cout);
+    else if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+void
 printBanner(const std::string &title, const std::string &paper_ref,
             const BenchOptions &opts)
 {
+    if (opts.json)
+        return;
     std::printf("== %s ==\n", title.c_str());
     std::printf("reproduces: %s\n", paper_ref.c_str());
     std::printf("workload:   synthetic 13-server ensemble at 1/%.0f of "

@@ -19,6 +19,7 @@
 
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
+#include "stats/table.hpp"
 #include "trace/synthetic.hpp"
 
 namespace sievestore {
@@ -33,8 +34,11 @@ struct BenchOptions
     uint64_t seed = 0x51e5e5704eULL;
     /** Emit CSV instead of aligned tables. */
     bool csv = false;
+    /** Emit JSON instead of aligned tables (takes precedence over
+     * csv; machine-readable output for the CI perf-smoke job). */
+    bool json = false;
 
-    /** Parse --scale-denominator/--seed/--csv; exits on --help. */
+    /** Parse --scale-denominator/--seed/--csv/--json; exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Synthetic generator configuration at this scale. */
@@ -71,9 +75,22 @@ std::unique_ptr<core::Appliance>
 runPolicy(const PolicyRun &run, const BenchOptions &opts,
           trace::SyntheticEnsembleGenerator &gen);
 
-/** Print the standard bench banner (scale, seed, paper pointer). */
+/** Print the standard bench banner (scale, seed, paper pointer).
+ * Suppressed under --json so stdout stays parseable. */
 void printBanner(const std::string &title, const std::string &paper_ref,
                  const BenchOptions &opts);
+
+/** Emit a table to stdout in the format the options selected. */
+void emit(const stats::Table &table, const BenchOptions &opts);
+
+/**
+ * printf-style human commentary around the tables (headline ratios,
+ * paper cross-references, alternate renderings). Suppressed entirely
+ * under --json so stdout carries nothing but the emitted tables: one
+ * JSON array per table, a whitespace-separated stream when a bench
+ * prints several.
+ */
+void note(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace bench
 } // namespace sievestore

@@ -62,21 +62,15 @@ main(int argc, char **argv)
             row2.cellPercent(p.topShare(r));
     }
 
-    std::printf("(a) access count of the block at each percentile "
+    note("(a) access count of the block at each percentile "
                 "rank:\n");
-    if (opts.csv)
-        ta.printCsv(std::cout);
-    else
-        ta.print(std::cout);
-    std::printf("\n(b)/(c) cumulative share of accesses captured by the "
+    emit(ta, opts);
+    note("\n(b)/(c) cumulative share of accesses captured by the "
                 "most popular blocks:\n");
-    if (opts.csv)
-        tb.printCsv(std::cout);
-    else
-        tb.print(std::cout);
+    emit(tb, opts);
 
     // Landmark summary vs O1.
-    std::printf("\nO1 landmarks (paper expectation in brackets):\n");
+    note("\nO1 landmarks (paper expectation in brackets):\n");
     stats::Table tl({"Day", "top-0.01% bin avg [>1000]",
                      "count @1% [~10]", "<=10 acc [99%]",
                      "<=4 acc [97%]", "singletons [~50%]",
@@ -94,10 +88,7 @@ main(int argc, char **argv)
             .cellPercent(p.fractionWithCountAtMost(1))
             .cellPercent(p.topShare(0.01));
     }
-    if (opts.csv)
-        tl.printCsv(std::cout);
-    else
-        tl.print(std::cout);
+    emit(tl, opts);
 
     // The 16-32 GB sizing argument.
     double max_top_gb = 0.0;
@@ -106,7 +97,7 @@ main(int argc, char **argv)
                           512.0 * opts.inv_scale / 1e9;
         max_top_gb = std::max(max_top_gb, gb);
     }
-    std::printf("\nmax daily top-1%% footprint (scaled back): %.1f GB "
+    note("\nmax daily top-1%% footprint (scaled back): %.1f GB "
                 "[paper: at most 11.9 GB — fits a 16-32 GB SSD with "
                 "room to spare]\n",
                 max_top_gb);

@@ -49,7 +49,7 @@ main(int argc, char **argv)
     const int day = 3;
 
     // (a) Prxy vs Src1.
-    std::printf("(a) server-to-server (day %d): cumulative access share "
+    note("(a) server-to-server (day %d): cumulative access share "
                 "captured by top-X%% of the server's blocks\n",
                 day + 1);
     stats::Table ta({"Server", "top 1%", "top 5%", "top 10%", "top 25%",
@@ -61,15 +61,12 @@ main(int argc, char **argv)
                     PopularityProfile(
                         analysis::countBlockAccesses(reqs)));
     }
-    if (opts.csv)
-        ta.printCsv(std::cout);
-    else
-        ta.print(std::cout);
-    std::printf("[paper: Prxy — a small fraction of blocks accounts for "
+    emit(ta, opts);
+    note("[paper: Prxy — a small fraction of blocks accounts for "
                 "nearly all accesses; Src1 — near-linear]\n\n");
 
     // (b) Web volume 0 vs volume 1.
-    std::printf("(b) volume-to-volume within Web (day %d):\n", day + 1);
+    note("(b) volume-to-volume within Web (day %d):\n", day + 1);
     const auto &web = ensemble.serverByKey("Web");
     const auto web_reqs = gen.generateServerDay(web.id, day);
     BlockCounts v0, v1;
@@ -85,15 +82,12 @@ main(int argc, char **argv)
                      "top 50%", "Gini"});
     printCdfRow(tb, "Web vol-0", PopularityProfile(v0));
     printCdfRow(tb, "Web vol-1", PopularityProfile(v1));
-    if (opts.csv)
-        tb.printCsv(std::cout);
-    else
-        tb.print(std::cout);
-    std::printf("[paper: volume-0 exhibits significantly more skew than "
+    emit(tb, opts);
+    note("[paper: volume-0 exhibits significantly more skew than "
                 "volume-1]\n\n");
 
     // (c) Stg across days.
-    std::printf("(c) day-to-day for the web-staging server (Stg):\n");
+    note("(c) day-to-day for the web-staging server (Stg):\n");
     stats::Table tc({"Day", "top 1%", "top 5%", "top 10%", "top 25%",
                      "top 50%", "Gini"});
     const auto stg = ensemble.serverByKey("Stg").id;
@@ -103,15 +97,12 @@ main(int argc, char **argv)
                     PopularityProfile(
                         analysis::countBlockAccesses(reqs)));
     }
-    if (opts.csv)
-        tc.printCsv(std::cout);
-    else
-        tc.print(std::cout);
-    std::printf("[paper: Stg day 5 exhibits significant skew, day 3 "
+    emit(tc, opts);
+    note("[paper: Stg day 5 exhibits significant skew, day 3 "
                 "does not — skew varies in time]\n\n");
 
     // (d) composition of the ensemble top 1 % by server per day.
-    std::printf("(d) server composition of the ensemble's top-1%% "
+    note("(d) server composition of the ensemble's top-1%% "
                 "blocks per day:\n");
     std::vector<std::string> headers = {"Server"};
     for (int d = 0; d < gen.days(); ++d)
@@ -129,11 +120,8 @@ main(int argc, char **argv)
         for (int d = 0; d < gen.days(); ++d)
             row.cellPercent(comps[static_cast<size_t>(d)][srv.id]);
     }
-    if (opts.csv)
-        td.printCsv(std::cout);
-    else
-        td.print(std::cout);
-    std::printf("[paper: the contribution of each server varies across "
+    emit(td, opts);
+    note("[paper: the contribution of each server varies across "
                 "days — no static partition can capture it]\n");
     return 0;
 }

@@ -72,10 +72,7 @@ main(int argc, char **argv)
                           hit_denom);
         row.cell(buf);
     }
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emit(t, opts);
 
     // Headline ratios. Days 2+ only: day 1 is the partial-day outlier
     // and SieveStore-D has nothing allocated yet (both as in the paper,
@@ -105,23 +102,23 @@ main(int argc, char **argv)
                  std::max(hits_from_day2(find("AOD-32GB")),
                           hits_from_day2(find("WMNA-32GB"))));
 
-    std::printf("\nheadline comparisons (days 2-8):\n");
-    std::printf("  ideal capture:        %5.1f%%  [paper: ~35%% avg, "
+    note("\nheadline comparisons (days 2-8):\n");
+    note("  ideal capture:        %5.1f%%  [paper: ~35%% avg, "
                 "14-53%% by day]\n",
                 ideal * 100.0);
-    std::printf("  SieveStore-D vs ideal: %5.1f%% of ideal  [paper: "
+    note("  SieveStore-D vs ideal: %5.1f%% of ideal  [paper: "
                 "within 14%% on average]\n",
                 100.0 * sieve_d / ideal);
-    std::printf("  SieveStore-C vs ideal: %5.1f%% of ideal  [paper: "
+    note("  SieveStore-C vs ideal: %5.1f%% of ideal  [paper: "
                 "within 4%%; exceeds it on 3 days]\n",
                 100.0 * sieve_c / ideal);
-    std::printf("  SieveStore-D vs best unsieved: %+5.1f%%  [paper: "
+    note("  SieveStore-D vs best unsieved: %+5.1f%%  [paper: "
                 "+35%%]\n",
                 100.0 * (sieve_d / best_unsieved - 1.0));
-    std::printf("  SieveStore-C vs best unsieved: %+5.1f%%  [paper: "
+    note("  SieveStore-C vs best unsieved: %+5.1f%%  [paper: "
                 "+50%%]\n",
                 100.0 * (sieve_c / best_unsieved - 1.0));
-    std::printf("  (the sieved caches above use 16 GB against unsieved "
+    note("  (the sieved caches above use 16 GB against unsieved "
                 "32 GB — 1/2 the capacity and, per Fig. 9, 1/7th the "
                 "drives)\n");
     return 0;

@@ -66,10 +66,7 @@ main(int argc, char **argv)
         }
         row.cell(res.week);
     }
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emit(t, opts);
 
     auto week = [&](const std::string &label) {
         for (const auto &r : results)
@@ -87,14 +84,14 @@ main(int argc, char **argv)
                                        week("RandSieve-C")) +
                                    static_cast<double>(
                                        week("RandSieve-BlkD")));
-    std::printf("\nweek ratios:\n");
-    std::printf("  best unsieved / SieveStore avg: %.0fx  [paper: more "
+    note("\nweek ratios:\n");
+    note("  best unsieved / SieveStore avg: %.0fx  [paper: more "
                 "than two orders of magnitude]\n",
                 unsieved / sieve);
-    std::printf("  random sieves / SieveStore avg: %.1fx  [paper: "
+    note("  random sieves / SieveStore avg: %.1fx  [paper: "
                 "~8.5x]\n",
                 rand_avg / sieve);
-    std::printf("  (log10 gap: %.1f decades)\n",
+    note("  (log10 gap: %.1f decades)\n",
                 std::log10(unsieved / sieve));
     return 0;
 }

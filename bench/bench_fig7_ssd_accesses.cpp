@@ -71,7 +71,7 @@ main(int argc, char **argv)
         const double years = ssd::enduranceYears(
             ssd::SsdModel::intelX25E(),
             static_cast<uint64_t>(write_blocks_full * 512.0), 7.0);
-        std::printf("%s: %.0fM 512B writes/day at full scale -> "
+        note("%s: %.0fM 512B writes/day at full scale -> "
                     "endurance %.1f years%s\n",
                     run.label.c_str(), write_blocks_full / 7.0 / 1e6,
                     years,
@@ -79,12 +79,9 @@ main(int argc, char **argv)
                         ? "  [paper: <500M/day -> >10 years]"
                         : "");
     }
-    std::printf("\n");
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
-    std::printf("\n[paper: without sieving, allocation-writes are the "
+    note("\n");
+    emit(t, opts);
+    note("\n[paper: without sieving, allocation-writes are the "
                 "dominant fraction of all SSD accesses; for SieveStore "
                 "they are a nearly-invisible sliver]\n");
     return 0;

@@ -65,24 +65,21 @@ main(int argc, char **argv)
             .cell(above_one);
         series.emplace_back(run.label, occupancy);
     }
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emit(t, opts);
 
     // Hour-level peak profile: the shape of the paper's curves.
-    std::printf("\nper-hour peak occupancy (chronological; rows are "
+    note("\nper-hour peak occupancy (chronological; rows are "
                 "12-hour stripes):\n");
     const size_t hours = 24 * 8;
     for (const auto &[label, occupancy] : series) {
-        std::printf("%s:\n", label.c_str());
+        note("%s:\n", label.c_str());
         for (size_t h = 0; h < hours; ++h) {
             double peak = 0.0;
             for (size_t m = h * 60;
                  m < std::min((h + 1) * 60, occupancy.size()); ++m)
                 peak = std::max(peak, occupancy[m]);
             if (h % 12 == 0)
-                std::printf("  h%03zu ", h);
+                note("  h%03zu ", h);
             // One glyph per hour: '.' <0.25, '-' <0.5, '+' <1, digit =
             // ceil(occupancy) above 1.
             char glyph = '.';
@@ -99,23 +96,23 @@ main(int argc, char **argv)
         }
         std::putchar('\n');
     }
-    std::printf("[paper: WMNA's peaks (gray curve) manifest the cost of "
+    note("[paper: WMNA's peaks (gray curve) manifest the cost of "
                 "allocation-writes; SieveStore variants stay mostly "
                 "under occupancy 1]\n");
 
     if (opts.csv) {
-        std::printf("\nminute,");
+        note("\nminute,");
         for (const auto &[label, _] : series)
-            std::printf("%s,", label.c_str());
-        std::printf("\n");
+            note("%s,", label.c_str());
+        note("\n");
         size_t minutes = 0;
         for (const auto &[_, s] : series)
             minutes = std::max(minutes, s.size());
         for (size_t m = 0; m < minutes; ++m) {
-            std::printf("%zu", m);
+            note("%zu", m);
             for (const auto &[_, s] : series)
-                std::printf(",%.4f", m < s.size() ? s[m] : 0.0);
-            std::printf("\n");
+                note(",%.4f", m < s.size() ? s[m] : 0.0);
+            note("\n");
         }
     }
     return 0;

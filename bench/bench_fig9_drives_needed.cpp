@@ -61,16 +61,13 @@ main(int argc, char **argv)
         if (run.label == "SieveStore-C")
             sieve_999 = std::max<uint32_t>(1, d999);
     }
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emit(t, opts);
 
-    std::printf("\npaper landmarks: SieveStore-D 1 drive always (batch "
+    note("\npaper landmarks: SieveStore-D 1 drive always (batch "
                 "moves staggered into idle periods); SieveStore-C 1 "
                 "drive for 99.9%% of minutes, 2 for the other 9 "
                 "minutes; WMNA 7 drives @99.9%%, 4 @90%%\n");
-    std::printf("drive ratio at 99.9%% coverage (WMNA / SieveStore-C): "
+    note("drive ratio at 99.9%% coverage (WMNA / SieveStore-C): "
                 "%ux  [paper: 7x -> \"1/7th the number of SSD "
                 "drives\"]\n",
                 wmna_999 / sieve_999);

@@ -10,11 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <string>
 #include <unistd.h>
 
 #include "analysis/access_log.hpp"
 #include "cache/block_cache.hpp"
+#include "cache/replacement.hpp"
 #include "core/imct.hpp"
 #include "core/mct.hpp"
 #include "core/sievestore_c.hpp"
@@ -78,23 +81,56 @@ BM_SieveStoreCOnMiss(benchmark::State &state)
 }
 BENCHMARK(BM_SieveStoreCOnMiss);
 
+/**
+ * Both cache engines under one harness: engine 0 is the flat
+ * block-index engine, engine 1 the node-based Reference* policies it
+ * replaced. The flat-hot-path acceptance bar (resident-hit throughput
+ * and per-resident-block bytes) reads straight off these counters.
+ */
+cache::BlockCache
+makeEngineCache(uint64_t capacity, int64_t engine,
+                cache::EvictionKind kind)
+{
+    if (engine == 0)
+        return cache::BlockCache(capacity,
+                                 cache::EvictionSpec{kind, 1});
+    return cache::BlockCache(
+        capacity, cache::makeReferencePolicy({kind, 1}));
+}
+
+void
+setEngineLabel(benchmark::State &state, const cache::BlockCache &cache)
+{
+    state.SetLabel(std::string(state.range(0) == 0 ? "flat/"
+                                                   : "reference/") +
+                   cache.policyName());
+    state.counters["bytes_per_block"] = benchmark::Counter(
+        static_cast<double>(cache.memoryBytes()) /
+        static_cast<double>(std::max<uint64_t>(1, cache.size())));
+}
+
 void
 BM_BlockCacheAccessHit(benchmark::State &state)
 {
-    cache::BlockCache cache(1 << 16);
+    const auto kind = static_cast<cache::EvictionKind>(state.range(1));
+    auto cache = makeEngineCache(1 << 16, state.range(0), kind);
     for (trace::BlockId b = 0; b < (1 << 16); ++b)
         cache.insert(b);
     util::Rng rng(4);
     for (auto _ : state)
         benchmark::DoNotOptimize(cache.access(rng.nextBelow(1 << 16)));
     state.SetItemsProcessed(state.iterations());
+    setEngineLabel(state, cache);
 }
-BENCHMARK(BM_BlockCacheAccessHit);
+BENCHMARK(BM_BlockCacheAccessHit)
+    ->ArgNames({"engine", "kind"})
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
 
 void
 BM_BlockCacheInsertEvict(benchmark::State &state)
 {
-    cache::BlockCache cache(1 << 14);
+    const auto kind = static_cast<cache::EvictionKind>(state.range(1));
+    auto cache = makeEngineCache(1 << 14, state.range(0), kind);
     util::Rng rng(5);
     trace::BlockId next = 0;
     for (auto _ : state) {
@@ -103,8 +139,33 @@ BM_BlockCacheInsertEvict(benchmark::State &state)
         ++next;
     }
     state.SetItemsProcessed(state.iterations());
+    setEngineLabel(state, cache);
 }
-BENCHMARK(BM_BlockCacheInsertEvict);
+BENCHMARK(BM_BlockCacheInsertEvict)
+    ->ArgNames({"engine", "kind"})
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
+
+void
+BM_BlockCacheMixedHotCold(benchmark::State &state)
+{
+    // The appliance's actual access mix: mostly hits in a hot set,
+    // with a cold tail forcing insert+evict churn.
+    const auto kind = static_cast<cache::EvictionKind>(state.range(1));
+    auto cache = makeEngineCache(1 << 14, state.range(0), kind);
+    util::Rng rng(6);
+    for (auto _ : state) {
+        const trace::BlockId b = rng.nextBool(0.9)
+                                     ? rng.nextBelow(1 << 13)
+                                     : rng.next();
+        if (!cache.access(b))
+            cache.insert(b);
+    }
+    state.SetItemsProcessed(state.iterations());
+    setEngineLabel(state, cache);
+}
+BENCHMARK(BM_BlockCacheMixedHotCold)
+    ->ArgNames({"engine", "kind"})
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
 
 void
 BM_AccessLogAppendAndReduce(benchmark::State &state)

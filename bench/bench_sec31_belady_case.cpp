@@ -59,11 +59,8 @@ main(int argc, char **argv)
         cache::simulateBeladySelective(stream, 1));
     add("Fixed allocation of 'a'",
         cache::simulateFixedSet(stream, {0}));
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
-    std::printf("[paper: selective Belady converges to a 50%% hit ratio "
+    emit(t, opts);
+    note("[paper: selective Belady converges to a 50%% hit ratio "
                 "with 50%% of accesses causing allocation-writes; the "
                 "fixed allocation captures nearly the same hits with "
                 "exactly 1]\n\n");
@@ -80,11 +77,11 @@ main(int argc, char **argv)
     // misses at least 1/4 of its accesses: >= 50% + 47%/4 = 61.75% of
     // blocks incur compulsory allocation-writes under MIN.
     const double bound = singletons + (le4 - singletons) / 4.0;
-    std::printf("compulsory-allocation bound on day 4 of the synthetic "
+    note("compulsory-allocation bound on day 4 of the synthetic "
                 "trace:\n");
-    std::printf("  singletons: %.1f%% of blocks; <=4 accesses: %.1f%%\n",
+    note("  singletons: %.1f%% of blocks; <=4 accesses: %.1f%%\n",
                 singletons * 100.0, le4 * 100.0);
-    std::printf("  => MIN must allocation-write >= %.1f%% of accessed "
+    note("  => MIN must allocation-write >= %.1f%% of accessed "
                 "blocks [paper: 61.75%%]; ideal sieving allocates 1%%\n",
                 bound * 100.0);
     return 0;

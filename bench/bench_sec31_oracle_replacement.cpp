@@ -111,11 +111,8 @@ main(int argc, char **argv)
                       2);
         }
     }
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
-    std::printf("\n[the paper's point: giving the unsieved policies a "
+    emit(t, opts);
+    note("\n[the paper's point: giving the unsieved policies a "
                 "perfect replacement policy improves their hit ratio "
                 "but cannot touch their allocation-writes — only "
                 "selective *allocation* can; SieveStore-C needs no "

@@ -167,13 +167,10 @@ main(int argc, char **argv)
         opts.scaledCacheBlocks(16ULL << 30), t_d);
     add("Ensemble SieveStore-C (16GB shared)", "I",
         opts.scaledCacheBlocks(16ULL << 30), t_c);
-    if (opts.csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emit(t, opts);
 
-    std::printf("\ncomparisons:\n");
-    std::printf("  ensemble-C / per-server-ideal hits: %.2fx at %.2fx "
+    note("\ncomparisons:\n");
+    note("  ensemble-C / per-server-ideal hits: %.2fx at %.2fx "
                 "the capacity\n",
                 static_cast<double>(t_c.hits) /
                     static_cast<double>(
@@ -182,17 +179,17 @@ main(int argc, char **argv)
                     opts.scaledCacheBlocks(16ULL << 30)) /
                     static_cast<double>(std::max<uint64_t>(
                         1, ps_ideal.total_capacity_blocks)));
-    std::printf("  ensemble-C / per-server-even-split hits: %.2fx at "
+    note("  ensemble-C / per-server-even-split hits: %.2fx at "
                 "equal capacity\n",
                 static_cast<double>(t_c.hits) /
                     static_cast<double>(
                         std::max<uint64_t>(1, t_even.hits)));
-    std::printf("  one-SSD-per-server captures %.2fx the ensemble's "
+    note("  one-SSD-per-server captures %.2fx the ensemble's "
                 "hits at 13x the drives (iso-performance costs 13x)\n",
                 static_cast<double>(t_drive.hits) /
                     static_cast<double>(
                         std::max<uint64_t>(1, t_c.hits)));
-    std::printf("[paper: ensemble-level caching captures more accesses "
+    note("[paper: ensemble-level caching captures more accesses "
                 "at the same cost, and the same accesses at lower cost, "
                 "than ideal per-server caching — the dynamic hot set "
                 "(O2) cannot be statically partitioned]\n");

@@ -44,7 +44,7 @@ main(int argc, char **argv)
     // engine: capture must be identical (same deployment, same
     // trace), and the parallel column shows what the threading
     // substrate buys at each node count.
-    std::printf("(1) block-space sharding across appliance nodes "
+    note("(1) block-space sharding across appliance nodes "
                 "(16 GB total, SieveStore-C):\n");
     stats::Table t1({"Nodes", "Captured", "Alloc-writes",
                      "Worst node drives @99.9%", "Load imbalance",
@@ -84,11 +84,8 @@ main(int argc, char **argv)
             .cell(serial_s.count() / parallel_s.count(), 2);
     }
     gen.reset();
-    if (opts.csv)
-        t1.printCsv(std::cout);
-    else
-        t1.print(std::cout);
-    std::printf("[expected: flat capture — hash-partitioning the block "
+    emit(t1, opts);
+    note("[expected: flat capture — hash-partitioning the block "
                 "space never strands capacity the way per-server "
                 "partitioning (Section 5.3) does; the parallel replay "
                 "(one worker per node) is bit-identical by "
@@ -96,7 +93,7 @@ main(int argc, char **argv)
                 "cores or the reader saturate]\n\n");
 
     // (2) Self-tuning sieve under different churn budgets.
-    std::printf("(2) self-tuning sieve (t2 adjusted daily to a churn "
+    note("(2) self-tuning sieve (t2 adjusted daily to a churn "
                 "budget):\n");
     stats::Table t2({"Churn budget (x capacity/day)", "Captured",
                      "Alloc-writes", "Final t2", "t2 trajectory"});
@@ -129,16 +126,13 @@ main(int argc, char **argv)
             .cell(trajectory);
     }
     gen.reset();
-    if (opts.csv)
-        t2.printCsv(std::cout);
-    else
-        t2.print(std::cout);
-    std::printf("[tight budgets drive t2 up (less churn, slightly "
+    emit(t2, opts);
+    note("[tight budgets drive t2 up (less churn, slightly "
                 "fewer hits); loose budgets relax toward the "
                 "hit-maximizing threshold — no hand tuning needed]\n\n");
 
     // (3) End-to-end service-time payoff.
-    std::printf("(3) mean service-time speedup for the ensemble "
+    note("(3) mean service-time speedup for the ensemble "
                 "(15k-RPM spindles behind, X25-E in front):\n");
     stats::Table t3({"Configuration", "Captured",
                      "Mean service-time speedup"});
@@ -157,11 +151,8 @@ main(int argc, char **argv)
                       ssd::SsdModel::intelX25E(), hit),
                   2);
     }
-    if (opts.csv)
-        t3.printCsv(std::cout);
-    else
-        t3.print(std::cout);
-    std::printf("[the captured fraction is served at SSD IOPS — two "
+    emit(t3, opts);
+    note("[the captured fraction is served at SSD IOPS — two "
                 "orders of magnitude above the spindles (Section "
                 "5.2)]\n");
     return 0;

@@ -40,7 +40,7 @@ main(int argc, char **argv)
     ac.ssd = opts.scaledSsd(16ULL << 30);
 
     // (1) ADBA threshold sweep.
-    std::printf("(1) SieveStore-D access-count threshold sweep:\n");
+    note("(1) SieveStore-D access-count threshold sweep:\n");
     stats::Table t1({"threshold", "hit ratio", "batch-moved blocks"});
     for (const uint64_t threshold :
          {2ULL, 4ULL, 6ULL, 8ULL, 10ULL, 12ULL, 16ULL, 20ULL}) {
@@ -56,15 +56,12 @@ main(int argc, char **argv)
             .cellPercent(t.hitRatio())
             .cell(t.batch_moved_blocks);
     }
-    if (opts.csv)
-        t1.printCsv(std::cout);
-    else
-        t1.print(std::cout);
-    std::printf("[paper: below ~8 the sieve is inadequate (pollution, "
+    emit(t1, opts);
+    note("[paper: below ~8 the sieve is inadequate (pollution, "
                 "extra moves); 8-20 is flat]\n\n");
 
     // (2) SieveStore-C window sweep.
-    std::printf("(2) SieveStore-C window-length sweep (k = 4):\n");
+    note("(2) SieveStore-C window-length sweep (k = 4):\n");
     stats::Table t2({"window (h)", "hit ratio", "alloc-write blocks",
                      "metastate"});
     for (const uint64_t hours : {2ULL, 4ULL, 8ULL, 16ULL, 24ULL}) {
@@ -83,15 +80,12 @@ main(int argc, char **argv)
             .cell(t.allocation_write_blocks)
             .cell(util::formatBytes(app->metastateBytes()));
     }
-    if (opts.csv)
-        t2.printCsv(std::cout);
-    else
-        t2.print(std::cout);
-    std::printf("[paper: lengths shorter than 8 h caused some "
+    emit(t2, opts);
+    note("[paper: lengths shorter than 8 h caused some "
                 "degradation; otherwise insensitive]\n\n");
 
     // (3) Tier ablation.
-    std::printf("(3) two-tier sieve ablation:\n");
+    note("(3) two-tier sieve ablation:\n");
     stats::Table t3({"sieve", "hit ratio", "alloc-write blocks",
                      "MCT entries peak-ish", "metastate"});
     struct Variant
@@ -119,16 +113,13 @@ main(int argc, char **argv)
             .cell("-")
             .cell(util::formatBytes(app->metastateBytes()));
     }
-    if (opts.csv)
-        t3.printCsv(std::cout);
-    else
-        t3.print(std::cout);
-    std::printf("[expected: IMCT-only admits aliased low-reuse blocks "
+    emit(t3, opts);
+    note("[expected: IMCT-only admits aliased low-reuse blocks "
                 "(pollution + allocation-writes); MCT-only matches "
                 "two-tier hits at a much larger exact-state cost]\n\n");
 
     // (4) Batch moves charged to occupancy.
-    std::printf("(4) SieveStore-D batch moves: staggered (paper) vs "
+    note("(4) SieveStore-D batch moves: staggered (paper) vs "
                 "charged to the drive:\n");
     stats::Table t4({"batch handling", "max drives", "drives @99.9%"});
     for (bool charge : {false, true}) {
@@ -146,11 +137,8 @@ main(int argc, char **argv)
             .cell(uint64_t(occ->maxDrives()))
             .cell(uint64_t(occ->drivesForCoverage(0.999)));
     }
-    if (opts.csv)
-        t4.printCsv(std::cout);
-    else
-        t4.print(std::cout);
-    std::printf("[paper: the moves are <=0.5%% of accesses and there is "
+    emit(t4, opts);
+    note("[paper: the moves are <=0.5%% of accesses and there is "
                 "significant slack bandwidth, so staggering avoids any "
                 "burst]\n");
     return 0;

@@ -43,16 +43,13 @@ main(int argc, char **argv)
         .cell(ensemble.volumeCount())
         .cell(ensemble.totalSpindles())
         .cell(ensemble.totalSizeGb());
-    if (opts.csv)
-        t1.printCsv(std::cout);
-    else
-        t1.print(std::cout);
+    emit(t1, opts);
 
     auto gen = trace::SyntheticEnsembleGenerator::paper(
         ensemble, opts.traceConfig());
     const trace::TraceStats stats = trace::summarizeTrace(gen);
 
-    std::printf("\nGenerated workload by calendar day (x%.0f to compare "
+    note("\nGenerated workload by calendar day (x%.0f to compare "
                 "with the paper):\n",
                 opts.inv_scale);
     stats::Table t2({"Day", "Requests", "Accesses (512B)", "GB accessed",
@@ -74,15 +71,12 @@ main(int argc, char **argv)
             .cellPercent(static_cast<double>(day.aligned_requests) /
                          static_cast<double>(day.requests));
     }
-    if (opts.csv)
-        t2.printCsv(std::cout);
-    else
-        t2.print(std::cout);
+    emit(t2, opts);
 
-    std::printf("\npaper: 685 GB/day average unique footprint "
+    note("\npaper: 685 GB/day average unique footprint "
                 "(335-1190 GB), 1.5-2.5 TB/day accessed, ~434M requests "
                 "per week, ~3:1 read:write, ~6%% unaligned\n");
-    std::printf("week totals (scaled back): %s requests, %.2f TB/day "
+    note("week totals (scaled back): %s requests, %.2f TB/day "
                 "accessed avg, %.0f GB/day unique avg\n",
                 util::formatCount(static_cast<uint64_t>(
                                       static_cast<double>(

@@ -28,7 +28,7 @@ main(int argc, char **argv)
     printBanner("Table 2: allocation-policy impact",
                 "Table 2, Section 3.1", opts);
 
-    std::printf("analytical model (hit rate 35%%, 3:1 reads:writes, all "
+    note("analytical model (hit rate 35%%, 3:1 reads:writes, all "
                 "entries %% of accesses):\n");
     stats::Table ta({"Allocation policy", "Hits", "Misses",
                      "Alloc-writes", "Read hits",
@@ -53,14 +53,11 @@ main(int argc, char **argv)
             .cellPercent(row.write_ops, 2)
             .cellPercent(row.ssd_ops, 2);
     }
-    if (opts.csv)
-        ta.printCsv(std::cout);
-    else
-        ta.print(std::cout);
-    std::printf("[paper row AOD: 35 | 65 | 65 | 26.25 | 73.75; WMNA: "
+    emit(ta, opts);
+    note("[paper row AOD: 35 | 65 | 65 | 26.25 | 73.75; WMNA: "
                 "alloc 48.75, writes 57.5; ISA: eps, <9.75]\n\n");
 
-    std::printf("simulated cross-check on the synthetic week (measured "
+    note("simulated cross-check on the synthetic week (measured "
                 "fractions of all accesses):\n");
     const auto ensemble = trace::EnsembleConfig::paperEnsemble();
     auto gen = trace::SyntheticEnsembleGenerator::paper(
@@ -88,11 +85,8 @@ main(int argc, char **argv)
                     n,
                 2);
     }
-    if (opts.csv)
-        ts.printCsv(std::cout);
-    else
-        ts.print(std::cout);
-    std::printf("[shape check: AOD/WMNA turn the majority of accesses "
+    emit(ts, opts);
+    note("[shape check: AOD/WMNA turn the majority of accesses "
                 "into slow SSD writes; the sieve's allocation-writes "
                 "are epsilon]\n");
     return 0;

@@ -24,6 +24,17 @@ totalAccesses(const BlockCounts &counts)
     return total;
 }
 
+void
+sortDescendingByCount(std::vector<BlockCount> &counts)
+{
+    std::sort(counts.begin(), counts.end(),
+              [](const BlockCount &a, const BlockCount &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.block < b.block;
+              });
+}
+
 std::vector<BlockCount>
 sortedByCount(const BlockCounts &counts)
 {
@@ -31,12 +42,70 @@ sortedByCount(const BlockCounts &counts)
     out.reserve(counts.size());
     for (const auto &kv : counts)
         out.push_back(BlockCount{kv.first, kv.second});
-    std::sort(out.begin(), out.end(),
-              [](const BlockCount &a, const BlockCount &b) {
-                  if (a.count != b.count)
-                      return a.count > b.count;
-                  return a.block < b.block;
-              });
+    sortDescendingByCount(out);
+    return out;
+}
+
+AccessCounter::AccessCounter(size_t expected_blocks)
+    : counts_(expected_blocks)
+{
+}
+
+void
+AccessCounter::reserve(size_t expected_blocks)
+{
+    counts_.reserve(expected_blocks);
+}
+
+void
+AccessCounter::observe(trace::BlockId block)
+{
+    ++*counts_.findOrInsert(block).first;
+}
+
+uint64_t
+AccessCounter::count(trace::BlockId block) const
+{
+    const uint64_t *c = counts_.find(block);
+    return c ? *c : 0;
+}
+
+uint64_t
+AccessCounter::totalAccesses() const
+{
+    uint64_t total = 0;
+    counts_.forEach([&](uint64_t, const uint64_t &c) { total += c; });
+    return total;
+}
+
+std::vector<BlockCount>
+AccessCounter::sortedByCount() const
+{
+    return countsAtLeast(0);
+}
+
+std::vector<BlockCount>
+AccessCounter::countsAtLeast(uint64_t threshold) const
+{
+    std::vector<BlockCount> out;
+    out.reserve(counts_.size());
+    counts_.forEach([&](uint64_t block, const uint64_t &c) {
+        if (c >= threshold)
+            out.push_back(BlockCount{block, c});
+    });
+    sortDescendingByCount(out);
+    return out;
+}
+
+std::vector<trace::BlockId>
+AccessCounter::sortedBlocks() const
+{
+    std::vector<trace::BlockId> out;
+    out.reserve(counts_.size());
+    counts_.forEach([&](uint64_t block, const uint64_t &) {
+        out.push_back(block);
+    });
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "trace/request.hpp"
+#include "util/flat_index.hpp"
 
 namespace sievestore {
 namespace analysis {
@@ -41,6 +42,65 @@ uint64_t totalAccesses(const BlockCounts &counts);
  * BlockId for determinism).
  */
 std::vector<BlockCount> sortedByCount(const BlockCounts &counts);
+
+/** Sort (block, count) pairs descending by count, ascending BlockId. */
+void sortDescendingByCount(std::vector<BlockCount> &counts);
+
+/**
+ * Per-block access counter on the flat block index
+ * (util/flat_index.hpp): one open-addressing probe per observation
+ * instead of a node-based unordered_map insert. This is the counting
+ * state of the discrete selectors (SieveStore-D's in-memory ADBA
+ * backend and the ablation selectors); reserve() lets the driver
+ * pre-size it for the expected epoch population so steady-state
+ * observation never rehashes, and clear() keeps the slot array so
+ * epoch boundaries do not re-grow from scratch.
+ */
+class AccessCounter
+{
+  public:
+    AccessCounter() = default;
+
+    /** Pre-sized for `expected_blocks` distinct blocks. */
+    explicit AccessCounter(size_t expected_blocks);
+
+    /** Grow so `expected_blocks` distinct blocks fit rehash-free. */
+    void reserve(size_t expected_blocks);
+
+    /** Record one access to `block`. */
+    void observe(trace::BlockId block);
+
+    /** Access count of `block` (0 if never observed). */
+    uint64_t count(trace::BlockId block) const;
+
+    /** Distinct blocks observed this epoch. */
+    size_t uniqueBlocks() const { return counts_.size(); }
+    bool empty() const { return counts_.empty(); }
+
+    /** Sum of all counts. */
+    uint64_t totalAccesses() const;
+
+    /** All (block, count) pairs, descending count / ascending block. */
+    std::vector<BlockCount> sortedByCount() const;
+
+    /** Pairs with count >= threshold, same deterministic order. */
+    std::vector<BlockCount> countsAtLeast(uint64_t threshold) const;
+
+    /** Observed blocks in ascending BlockId order. */
+    std::vector<trace::BlockId> sortedBlocks() const;
+
+    /** Drop all counts but keep the slot array (epoch boundary). */
+    void clear() { counts_.clear(); }
+
+    /** Metastate footprint (util/footprint.hpp convention). */
+    uint64_t memoryBytes() const { return counts_.memoryBytes(); }
+
+    /** Audit the underlying table; aborts on violation. */
+    void checkInvariants() const { counts_.checkInvariants(); }
+
+  private:
+    util::FlatIndex<uint64_t> counts_;
+};
 
 } // namespace analysis
 } // namespace sievestore

@@ -11,6 +11,20 @@ namespace analysis {
 PopularityProfile::PopularityProfile(const BlockCounts &counts, size_t bins)
 {
     ranked_ = sortedByCount(counts);
+    build(bins);
+}
+
+PopularityProfile::PopularityProfile(std::vector<BlockCount> counts,
+                                     size_t bins)
+{
+    ranked_ = std::move(counts);
+    sortDescendingByCount(ranked_);
+    build(bins);
+}
+
+void
+PopularityProfile::build(size_t bins)
+{
     unique = ranked_.size();
 
     cum_accesses.resize(unique);

@@ -34,6 +34,14 @@ class PopularityProfile
     explicit PopularityProfile(const BlockCounts &counts,
                                size_t bins = 10000);
 
+    /**
+     * Build from already-flattened (block, count) pairs, e.g. an
+     * AccessCounter's sortedByCount(). The pairs are (re)sorted into
+     * the canonical descending-count order; blocks must be distinct.
+     */
+    explicit PopularityProfile(std::vector<BlockCount> counts,
+                               size_t bins = 10000);
+
     /** Distinct blocks accessed. */
     uint64_t uniqueBlocks() const { return unique; }
     /** Total accesses. */
@@ -70,6 +78,9 @@ class PopularityProfile
     const std::vector<BlockCount> &ranked() const { return ranked_; }
 
   private:
+    /** Shared constructor tail: ranked_ is sorted; fill the bins. */
+    void build(size_t bins);
+
     std::vector<BlockCount> ranked_;
     std::vector<uint64_t> bin_sums;
     std::vector<uint64_t> bin_sizes;

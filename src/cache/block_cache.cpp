@@ -1,5 +1,7 @@
 #include "cache/block_cache.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 #include "util/footprint.hpp"
 #include "util/logging.hpp"
@@ -8,56 +10,99 @@ namespace sievestore {
 namespace cache {
 
 using trace::BlockId;
+using util::IndexList;
 
-BlockCache::BlockCache(uint64_t capacity,
-                       std::unique_ptr<ReplacementPolicy> policy)
-    : capacity_blocks(capacity), repl(std::move(policy))
+namespace {
+
+void
+checkCapacity(uint64_t capacity_blocks)
 {
     if (capacity_blocks == 0)
         util::fatal("cache capacity must be at least one block");
-    if (!repl)
-        repl = std::make_unique<LruPolicy>();
+    // The order-book arena links nodes by 32-bit index; at 512-byte
+    // blocks the cap is a 2 TB cache, far past the paper's 32 GB.
+    SIEVE_CHECK(capacity_blocks < IndexList::kNull,
+                "cache capacity %llu exceeds the 2^32-1 block arena",
+                static_cast<unsigned long long>(capacity_blocks));
+}
+
+} // namespace
+
+BlockCache::BlockCache(uint64_t capacity, EvictionSpec espec)
+    : capacity_blocks(capacity), spec(espec), rng(espec.seed)
+{
+    checkCapacity(capacity_blocks);
+#ifdef SIEVE_REFERENCE_CACHE
+    // Reference build: route the built-in kinds to the seed policies.
+    custom = makeReferencePolicy(spec);
+#endif
+    index.reserve(capacity_blocks);
+}
+
+BlockCache::BlockCache(uint64_t capacity,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_blocks(capacity), custom(std::move(policy)),
+      rng(spec.seed)
+{
+    checkCapacity(capacity_blocks);
+#ifdef SIEVE_REFERENCE_CACHE
+    if (!custom)
+        custom = makeReferencePolicy(spec);
+#endif
+    index.reserve(capacity_blocks);
 }
 
 bool
 BlockCache::contains(BlockId block) const
 {
-    return resident.count(block) != 0;
+    return index.contains(block);
 }
 
 bool
 BlockCache::access(BlockId block)
 {
-    if (!resident.count(block))
+    PolicyState *st = index.find(block);
+    if (!st)
         return false;
-    repl->onAccess(block);
+    if (custom)
+        custom->onAccess(block);
+    else
+        policyAccess(*st);
     return true;
 }
 
 std::optional<BlockId>
 BlockCache::insert(BlockId block)
 {
-    if (resident.count(block))
-        util::panic("BlockCache: insert of resident block %llx",
-                    static_cast<unsigned long long>(block));
     std::optional<BlockId> evicted;
-    if (resident.size() >= capacity_blocks) {
-        const BlockId victim = repl->victim();
-        repl->onErase(victim);
-        resident.erase(victim);
+    if (index.size() >= capacity_blocks) {
+        // Pre-check the contract here: below capacity findOrInsert
+        // detects duplicates for free, but at capacity the victim
+        // could be the duplicate itself and mask the misuse.
+        if (index.contains(block))
+            util::panic("BlockCache: insert of resident block %llx",
+                        static_cast<unsigned long long>(block));
+        const BlockId victim = custom ? custom->victim() : policyVictim();
+        eraseResident(victim);
         evicted = victim;
     }
-    resident.insert(block);
-    repl->onInsert(block);
+    const auto [st, inserted] = index.findOrInsert(block);
+    if (!inserted)
+        util::panic("BlockCache: insert of resident block %llx",
+                    static_cast<unsigned long long>(block));
+    if (custom)
+        custom->onInsert(block);
+    else
+        policyInsert(block, *st);
     return evicted;
 }
 
 bool
 BlockCache::erase(BlockId block)
 {
-    if (!resident.erase(block))
+    if (!index.contains(block))
         return false;
-    repl->onErase(block);
+    eraseResident(block);
     return true;
 }
 
@@ -66,35 +111,41 @@ BlockCache::batchReplace(const std::vector<BlockId> &new_set)
 {
     BatchReplaceResult result;
 
-    std::unordered_set<BlockId> incoming;
-    incoming.reserve(new_set.size());
+    // Deduplicate and truncate to capacity in first-come priority
+    // order (the selector emits its set hottest-first).
+    util::FlatIndex<uint8_t> incoming(
+            std::min<size_t>(new_set.size(), capacity_blocks));
+    std::vector<BlockId> install;
+    install.reserve(std::min<size_t>(new_set.size(), capacity_blocks));
     for (BlockId b : new_set) {
-        if (incoming.size() >= capacity_blocks)
+        if (install.size() >= capacity_blocks)
             break;
-        incoming.insert(b);
+        if (incoming.findOrInsert(b).second)
+            install.push_back(b);
     }
 
     // Evict residents that are not retained; retained blocks cancel
     // their replacement+allocation pair.
     std::vector<BlockId> to_evict;
-    to_evict.reserve(resident.size());
-    for (BlockId b : resident) {
-        if (incoming.count(b))
+    to_evict.reserve(index.size());
+    index.forEach([&](uint64_t key, const PolicyState &) {
+        if (incoming.contains(key))
             ++result.retained;
         else
-            to_evict.push_back(b);
-    }
-    for (BlockId b : to_evict) {
-        resident.erase(b);
-        repl->onErase(b);
-    }
+            to_evict.push_back(key);
+    });
+    for (BlockId b : to_evict)
+        eraseResident(b);
     result.evicted = to_evict.size();
 
-    for (BlockId b : incoming) {
-        if (resident.count(b))
-            continue;
-        resident.insert(b);
-        repl->onInsert(b);
+    for (BlockId b : install) {
+        const auto [st, inserted] = index.findOrInsert(b);
+        if (!inserted)
+            continue; // retained
+        if (custom)
+            custom->onInsert(b);
+        else
+            policyInsert(b, *st);
         ++result.allocated;
     }
     return result;
@@ -103,31 +154,245 @@ BlockCache::batchReplace(const std::vector<BlockId> &new_set)
 std::vector<BlockId>
 BlockCache::contents() const
 {
-    return std::vector<BlockId>(resident.begin(), resident.end());
+    std::vector<BlockId> blocks;
+    blocks.reserve(index.size());
+    index.forEach([&](uint64_t key, const PolicyState &) {
+        blocks.push_back(key);
+    });
+    return blocks;
+}
+
+const char *
+BlockCache::policyName() const
+{
+    return custom ? custom->name() : evictionKindName(spec.kind);
 }
 
 uint64_t
 BlockCache::memoryBytes() const
 {
-    return util::unorderedFootprintBytes(resident);
+    uint64_t total = index.memoryBytes();
+    if (custom)
+        return total + custom->memoryBytes();
+    return total + order.memoryBytes() + util::vectorFootprintBytes(pool);
+}
+
+void
+BlockCache::policyInsert(BlockId block, PolicyState &st)
+{
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+      case EvictionKind::Fifo:
+        st.primary = order.pushFront(block);
+        break;
+      case EvictionKind::Clock:
+        // Insert behind the hand so the new entry is inspected last
+        // (kNull appends at the tail, matching insert-before-end).
+        st.primary = order.insertBefore(clock_hand, block);
+        st.secondary = 1;
+        break;
+      case EvictionKind::Lfu:
+        st.primary = 1;
+        st.secondary = lfu_sequence++;
+        break;
+      case EvictionKind::Random:
+        st.primary = pool.size();
+        pool.push_back(block);
+        break;
+    }
+}
+
+void
+BlockCache::policyAccess(PolicyState &st)
+{
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+        order.moveToFront(static_cast<uint32_t>(st.primary));
+        break;
+      case EvictionKind::Fifo:
+        break; // insertion order is preserved: hits do not promote
+      case EvictionKind::Clock:
+        st.secondary = 1;
+        break;
+      case EvictionKind::Lfu:
+        ++st.primary;
+        break;
+      case EvictionKind::Random:
+        break;
+    }
+}
+
+void
+BlockCache::policyErase(BlockId block, const PolicyState &st)
+{
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+      case EvictionKind::Fifo:
+        order.erase(static_cast<uint32_t>(st.primary));
+        break;
+      case EvictionKind::Clock: {
+        const auto node = static_cast<uint32_t>(st.primary);
+        if (clock_hand == node)
+            clock_hand = order.next(node);
+        order.erase(node);
+        break;
+      }
+      case EvictionKind::Lfu:
+        break;
+      case EvictionKind::Random: {
+        // Swap-with-last keeps the pool dense.
+        const auto pos = static_cast<size_t>(st.primary);
+        const BlockId last = pool.back();
+        pool[pos] = last;
+        if (last != block) {
+            PolicyState *last_st = index.find(last);
+            SIEVE_DCHECK(last_st != nullptr);
+            last_st->primary = pos;
+        }
+        pool.pop_back();
+        break;
+      }
+    }
+}
+
+BlockId
+BlockCache::policyVictim()
+{
+    SIEVE_CHECK(!index.empty(), "victim() on empty cache");
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+      case EvictionKind::Fifo:
+        return order.value(order.tail());
+      case EvictionKind::Clock:
+        // Sweep the ring clearing reference bits until one is clear.
+        while (true) {
+            if (clock_hand == IndexList::kNull)
+                clock_hand = order.head();
+            const BlockId block = order.value(clock_hand);
+            PolicyState *st = index.find(block);
+            SIEVE_DCHECK(st != nullptr);
+            if (st->secondary != 0) {
+                st->secondary = 0;
+                clock_hand = order.next(clock_hand);
+            } else {
+                return block;
+            }
+        }
+      case EvictionKind::Lfu: {
+        // Linear scan for the unique (count, sequence) minimum.
+        bool found = false;
+        BlockId best_block = 0;
+        uint64_t best_count = 0;
+        uint64_t best_seq = 0;
+        index.forEach([&](uint64_t key, const PolicyState &st) {
+            if (!found || st.primary < best_count ||
+                (st.primary == best_count && st.secondary < best_seq)) {
+                found = true;
+                best_block = key;
+                best_count = st.primary;
+                best_seq = st.secondary;
+            }
+        });
+        return best_block;
+      }
+      case EvictionKind::Random:
+        return pool[rng.nextBelow(pool.size())];
+    }
+    SIEVE_UNREACHABLE("unknown EvictionKind");
+}
+
+void
+BlockCache::eraseResident(BlockId block)
+{
+    if (custom) {
+        custom->onErase(block);
+        const bool erased = index.erase(block);
+        SIEVE_CHECK(erased, "evicted block %llx was not resident",
+                    static_cast<unsigned long long>(block));
+        return;
+    }
+    const bool erased = index.eraseWith(block, [&](const PolicyState &st) {
+        policyErase(block, st);
+    });
+    SIEVE_CHECK(erased, "evicted block %llx was not resident",
+                static_cast<unsigned long long>(block));
 }
 
 void
 BlockCache::checkInvariants() const
 {
     SIEVE_CHECK(capacity_blocks >= 1);
-    SIEVE_CHECK(resident.size() <= capacity_blocks,
-                "resident set %zu exceeds capacity %llu",
-                resident.size(),
+    SIEVE_CHECK(index.size() <= capacity_blocks,
+                "resident set %zu exceeds capacity %llu", index.size(),
                 static_cast<unsigned long long>(capacity_blocks));
-    SIEVE_CHECK(repl != nullptr);
-    SIEVE_CHECK(repl->size() == resident.size(),
-                "replacement policy tracks %zu blocks, cache holds %zu",
-                repl->size(), resident.size());
-    for (BlockId b : resident)
-        SIEVE_CHECK(repl->contains(b),
-                    "resident block %llx unknown to the %s policy",
-                    static_cast<unsigned long long>(b), repl->name());
+    index.checkInvariants();
+
+    if (custom) {
+        SIEVE_CHECK(custom->size() == index.size(),
+                    "policy tracks %zu blocks, cache holds %zu",
+                    custom->size(), index.size());
+        index.forEach([&](uint64_t key, const PolicyState &) {
+            SIEVE_CHECK(custom->contains(key),
+                        "resident block %llx unknown to the %s policy",
+                        static_cast<unsigned long long>(key),
+                        custom->name());
+        });
+        return;
+    }
+
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+      case EvictionKind::Fifo:
+      case EvictionKind::Clock: {
+        order.checkInvariants();
+        SIEVE_CHECK(order.size() == index.size(),
+                    "order book tracks %zu blocks, cache holds %zu",
+                    order.size(), index.size());
+        bool hand_seen = clock_hand == IndexList::kNull;
+        for (uint32_t n = order.head(); n != IndexList::kNull;
+             n = order.next(n)) {
+            const PolicyState *st = index.find(order.value(n));
+            SIEVE_CHECK(st != nullptr,
+                        "order-book block %llx is not resident",
+                        static_cast<unsigned long long>(order.value(n)));
+            SIEVE_CHECK(static_cast<uint32_t>(st->primary) == n,
+                        "block %llx links node %llu, found at node %u",
+                        static_cast<unsigned long long>(order.value(n)),
+                        static_cast<unsigned long long>(st->primary), n);
+            if (spec.kind == EvictionKind::Clock)
+                SIEVE_CHECK(st->secondary <= 1,
+                            "CLOCK reference bit out of range");
+            hand_seen = hand_seen || n == clock_hand;
+        }
+        SIEVE_CHECK(hand_seen, "CLOCK hand points outside the ring");
+        break;
+      }
+      case EvictionKind::Lfu:
+        index.forEach([&](uint64_t key, const PolicyState &st) {
+            SIEVE_CHECK(st.primary >= 1,
+                        "LFU count for %llx below one",
+                        static_cast<unsigned long long>(key));
+            SIEVE_CHECK(st.secondary < lfu_sequence,
+                        "LFU sequence for %llx from the future",
+                        static_cast<unsigned long long>(key));
+        });
+        break;
+      case EvictionKind::Random:
+        SIEVE_CHECK(pool.size() == index.size(),
+                    "victim pool tracks %zu blocks, cache holds %zu",
+                    pool.size(), index.size());
+        for (size_t i = 0; i < pool.size(); ++i) {
+            const PolicyState *st = index.find(pool[i]);
+            SIEVE_CHECK(st != nullptr,
+                        "pooled block %llx is not resident",
+                        static_cast<unsigned long long>(pool[i]));
+            SIEVE_CHECK(st->primary == i,
+                        "block %llx records pool slot %llu, is at %zu",
+                        static_cast<unsigned long long>(pool[i]),
+                        static_cast<unsigned long long>(st->primary), i);
+        }
+        break;
+    }
 }
 
 } // namespace cache

@@ -1,12 +1,29 @@
 /**
  * @file
- * Fully-associative block cache (Section 4).
+ * Fully-associative block cache (Section 4) over one flat block index.
  *
- * Tracks residency at 512-byte block granularity with a pluggable
- * replacement policy. Capacity is expressed in blocks (a 16 GB SSD cache
- * holds 31.25 M blocks). Supports both the continuous model (insert with
- * eviction) and SieveStore-D's discrete model (batchReplace with
- * allocation/replacement cancellation at epoch boundaries).
+ * Tracks residency at 512-byte block granularity. Capacity is
+ * expressed in blocks (a 16 GB SSD cache holds 31.25 M blocks).
+ * Supports both the continuous model (insert with eviction) and
+ * SieveStore-D's discrete model (batchReplace with allocation/
+ * replacement cancellation at epoch boundaries).
+ *
+ * Hot-path layout: residency and replacement-policy state live in a
+ * single open-addressing FlatIndex slot per block (PolicyState
+ * payload), so a resident hit is one hash probe that both answers the
+ * residency test and reaches the policy's per-block state. The
+ * built-in policies (EvictionKind) keep their order books in an
+ * index-linked arena (LRU/FIFO/CLOCK) or a dense vector (Random)
+ * instead of pointer-linked std::lists. The table is pre-sized for
+ * `capacity_blocks` at construction, so steady-state replay never
+ * rehashes.
+ *
+ * Two engines share the index:
+ *  - flat (default): EvictionSpec selects a built-in policy whose
+ *    transitions are inlined switch dispatch — no virtual calls;
+ *  - custom: a virtual ReplacementPolicy (OracleRetain, or the
+ *    Reference* seed implementations used by the differential suite
+ *    and the SIEVE_FLAT_CACHE=OFF build) runs beside the index.
  */
 
 #ifndef SIEVESTORE_CACHE_BLOCK_CACHE_HPP
@@ -14,11 +31,12 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/replacement.hpp"
 #include "trace/block.hpp"
+#include "util/flat_index.hpp"
+#include "util/random.hpp"
 
 namespace sievestore {
 namespace cache {
@@ -38,23 +56,52 @@ struct BatchReplaceResult
     uint64_t evicted = 0;
 };
 
+/**
+ * Per-resident-block policy state, stored inline in the block index
+ * slot (16 bytes). Interpretation depends on the cache's
+ * EvictionKind:
+ *
+ *  kind     | primary                  | secondary
+ *  ---------+--------------------------+---------------------------
+ *  LRU/FIFO | IndexList node index     | unused
+ *  CLOCK    | IndexList node index     | reference bit (0/1)
+ *  LFU      | access count (init 1)    | insertion sequence number
+ *  Random   | position in victim pool  | unused
+ *
+ * Unused in custom-policy mode (the policy keeps its own state).
+ */
+struct PolicyState
+{
+    uint64_t primary;
+    uint64_t secondary;
+};
+
 /** Fully-associative set of resident blocks with bounded capacity. */
 class BlockCache
 {
   public:
     /**
+     * Flat-engine cache with a built-in policy.
      * @param capacity_blocks capacity in 512-byte blocks (>= 1)
-     * @param policy          replacement policy (defaults to LRU)
+     * @param spec            built-in policy selection (default LRU)
      */
-    explicit BlockCache(uint64_t capacity_blocks,
-                        std::unique_ptr<ReplacementPolicy> policy = nullptr);
+    explicit BlockCache(uint64_t capacity_blocks, EvictionSpec spec = {});
+
+    /**
+     * Custom-engine cache driving a virtual policy (OracleRetain or a
+     * Reference* seed implementation). A null policy falls back to
+     * the flat default (LRU), preserving the seed signature.
+     */
+    BlockCache(uint64_t capacity_blocks,
+               std::unique_ptr<ReplacementPolicy> policy);
 
     /** Residency test with no side effects. */
     bool contains(trace::BlockId block) const;
 
     /**
      * Access a block: if resident, notifies the replacement policy (LRU
-     * promotion) and returns true; otherwise returns false.
+     * promotion) and returns true; otherwise returns false. One hash
+     * probe in flat mode.
      */
     bool access(trace::BlockId block);
 
@@ -70,40 +117,71 @@ class BlockCache
 
     /**
      * Discrete-epoch replacement: make the cache hold exactly
-     * `new_set` (truncated to capacity if larger). Returns the move
-     * accounting used by SieveStore-D's allocation-write counts.
+     * `new_set` (first-come priority, deduplicated, truncated to
+     * capacity if larger). Returns the move accounting used by
+     * SieveStore-D's allocation-write counts.
      */
     BatchReplaceResult
     batchReplace(const std::vector<trace::BlockId> &new_set);
 
-    uint64_t size() const { return resident.size(); }
+    uint64_t size() const { return index.size(); }
     uint64_t capacity() const { return capacity_blocks; }
-    bool full() const { return resident.size() >= capacity_blocks; }
+    bool full() const { return index.size() >= capacity_blocks; }
 
-    ReplacementPolicy &policy() { return *repl; }
+    /** Active policy name ("LRU", "CLOCK", "OracleRetain", ...). */
+    const char *policyName() const;
+
+    /** The custom policy, or nullptr when the flat engine is active. */
+    ReplacementPolicy *customPolicy() { return custom.get(); }
 
     /** Snapshot of resident blocks (unordered). */
     std::vector<trace::BlockId> contents() const;
 
     /**
-     * Footprint of the residency set (util/footprint.hpp convention).
-     * Replacement-policy bookkeeping is excluded — cost reporting
-     * compares sieve metastate, and a deployed cache keeps residency
-     * metadata regardless of policy.
+     * Footprint of all per-block cache metadata — the shared
+     * residency+policy index plus the policy's order book
+     * (util/footprint.hpp convention). Replacement state is included:
+     * the flat engine stores it inline in the index slots, so it is
+     * not separable from residency.
      */
     uint64_t memoryBytes() const;
 
     /**
-     * Audit occupancy accounting: the resident set never exceeds
-     * capacity and the replacement policy mirrors it exactly (same
-     * size, same members). O(size); aborts on violation.
+     * Audit occupancy accounting: the block index is structurally
+     * sound, never exceeds capacity, and the policy state mirrors it
+     * exactly (order book / pool / custom policy track the same
+     * blocks). O(size); aborts on violation.
      */
     void checkInvariants() const;
 
   private:
+    using BlockIndex = util::FlatIndex<PolicyState>;
+
+    /** Flat-policy transition helpers (no-ops in custom mode). */
+    void policyInsert(trace::BlockId block, PolicyState &st);
+    void policyAccess(PolicyState &st);
+    void policyErase(trace::BlockId block, const PolicyState &st);
+    trace::BlockId policyVictim();
+
+    /** Evict `block`: policy bookkeeping plus index removal. */
+    void eraseResident(trace::BlockId block);
+
     uint64_t capacity_blocks;
-    std::unique_ptr<ReplacementPolicy> repl;
-    std::unordered_set<trace::BlockId> resident;
+    EvictionSpec spec;
+    /** Non-null selects the custom engine. */
+    std::unique_ptr<ReplacementPolicy> custom;
+
+    /** Residency + per-block policy state, one slot per block. */
+    BlockIndex index;
+    /** LRU/FIFO recency order (front = hottest) or CLOCK ring. */
+    util::IndexList order;
+    /** CLOCK hand: node index into `order`, kNull = wrapped. */
+    uint32_t clock_hand = util::IndexList::kNull;
+    /** Random: dense victim pool (swap-with-last on erase). */
+    std::vector<trace::BlockId> pool;
+    /** LFU insertion-sequence source. */
+    uint64_t lfu_sequence = 0;
+    util::Rng rng;
 };
 
 } // namespace cache

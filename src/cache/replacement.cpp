@@ -1,5 +1,7 @@
 #include "cache/replacement.hpp"
 
+#include "util/check.hpp"
+#include "util/footprint.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -7,8 +9,26 @@ namespace cache {
 
 using trace::BlockId;
 
+const char *
+evictionKindName(EvictionKind kind)
+{
+    switch (kind) {
+      case EvictionKind::Lru:
+        return "LRU";
+      case EvictionKind::Fifo:
+        return "FIFO";
+      case EvictionKind::Clock:
+        return "CLOCK";
+      case EvictionKind::Lfu:
+        return "LFU";
+      case EvictionKind::Random:
+        return "Random";
+    }
+    SIEVE_UNREACHABLE("unknown EvictionKind");
+}
+
 void
-LruPolicy::onInsert(BlockId block)
+ReferenceLruPolicy::onInsert(BlockId block)
 {
     order.push_front(block);
     if (!where.emplace(block, order.begin()).second)
@@ -17,7 +37,7 @@ LruPolicy::onInsert(BlockId block)
 }
 
 void
-LruPolicy::onAccess(BlockId block)
+ReferenceLruPolicy::onAccess(BlockId block)
 {
     const auto it = where.find(block);
     if (it == where.end())
@@ -26,7 +46,7 @@ LruPolicy::onAccess(BlockId block)
 }
 
 void
-LruPolicy::onErase(BlockId block)
+ReferenceLruPolicy::onErase(BlockId block)
 {
     const auto it = where.find(block);
     if (it == where.end())
@@ -36,28 +56,35 @@ LruPolicy::onErase(BlockId block)
 }
 
 BlockId
-LruPolicy::victim()
+ReferenceLruPolicy::victim()
 {
     if (order.empty())
         util::panic("LRU: victim() on empty cache");
     return order.back();
 }
 
+uint64_t
+ReferenceLruPolicy::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(where) +
+           util::listFootprintBytes(order);
+}
+
 void
-FifoPolicy::onAccess(BlockId block)
+ReferenceFifoPolicy::onAccess(BlockId block)
 {
     if (!where.count(block))
         util::panic("FIFO: access to non-resident block");
     // Insertion order is preserved: hits do not promote.
 }
 
-RandomPolicy::RandomPolicy(uint64_t seed)
+ReferenceRandomPolicy::ReferenceRandomPolicy(uint64_t seed)
     : rng(seed)
 {
 }
 
 void
-RandomPolicy::onInsert(BlockId block)
+ReferenceRandomPolicy::onInsert(BlockId block)
 {
     if (!index.emplace(block, pool.size()).second)
         util::panic("Random: duplicate insert");
@@ -65,14 +92,14 @@ RandomPolicy::onInsert(BlockId block)
 }
 
 void
-RandomPolicy::onAccess(BlockId block)
+ReferenceRandomPolicy::onAccess(BlockId block)
 {
     if (!index.count(block))
         util::panic("Random: access to non-resident block");
 }
 
 void
-RandomPolicy::onErase(BlockId block)
+ReferenceRandomPolicy::onErase(BlockId block)
 {
     const auto it = index.find(block);
     if (it == index.end())
@@ -86,22 +113,29 @@ RandomPolicy::onErase(BlockId block)
 }
 
 BlockId
-RandomPolicy::victim()
+ReferenceRandomPolicy::victim()
 {
     if (pool.empty())
         util::panic("Random: victim() on empty cache");
     return pool[rng.nextBelow(pool.size())];
 }
 
+uint64_t
+ReferenceRandomPolicy::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(index) +
+           util::vectorFootprintBytes(pool);
+}
+
 void
-LfuPolicy::onInsert(BlockId block)
+ReferenceLfuPolicy::onInsert(BlockId block)
 {
     if (!entries.emplace(block, Entry{1, next_sequence++}).second)
         util::panic("LFU: duplicate insert");
 }
 
 void
-LfuPolicy::onAccess(BlockId block)
+ReferenceLfuPolicy::onAccess(BlockId block)
 {
     const auto it = entries.find(block);
     if (it == entries.end())
@@ -110,14 +144,14 @@ LfuPolicy::onAccess(BlockId block)
 }
 
 void
-LfuPolicy::onErase(BlockId block)
+ReferenceLfuPolicy::onErase(BlockId block)
 {
     if (!entries.erase(block))
         util::panic("LFU: erase of non-resident block");
 }
 
 BlockId
-LfuPolicy::victim()
+ReferenceLfuPolicy::victim()
 {
     if (entries.empty())
         util::panic("LFU: victim() on empty cache");
@@ -133,8 +167,14 @@ LfuPolicy::victim()
     return best->first;
 }
 
+uint64_t
+ReferenceLfuPolicy::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(entries);
+}
+
 void
-ClockPolicy::onInsert(BlockId block)
+ReferenceClockPolicy::onInsert(BlockId block)
 {
     // Insert behind the hand so the new entry is inspected last.
     const auto pos = hand == ring.end() ? ring.end() : hand;
@@ -144,7 +184,7 @@ ClockPolicy::onInsert(BlockId block)
 }
 
 void
-ClockPolicy::onAccess(BlockId block)
+ReferenceClockPolicy::onAccess(BlockId block)
 {
     const auto it = where.find(block);
     if (it == where.end())
@@ -153,7 +193,7 @@ ClockPolicy::onAccess(BlockId block)
 }
 
 void
-ClockPolicy::onErase(BlockId block)
+ReferenceClockPolicy::onErase(BlockId block)
 {
     const auto it = where.find(block);
     if (it == where.end())
@@ -165,7 +205,7 @@ ClockPolicy::onErase(BlockId block)
 }
 
 BlockId
-ClockPolicy::victim()
+ReferenceClockPolicy::victim()
 {
     if (ring.empty())
         util::panic("CLOCK: victim() on empty cache");
@@ -179,6 +219,13 @@ ClockPolicy::victim()
             return hand->block;
         }
     }
+}
+
+uint64_t
+ReferenceClockPolicy::memoryBytes() const
+{
+    return util::unorderedFootprintBytes(where) +
+           util::listFootprintBytes(ring);
 }
 
 void
@@ -207,6 +254,31 @@ OracleRetainPolicy::victim()
     }
     // Everything is protected: fall back to plain LRU.
     return order.back();
+}
+
+uint64_t
+OracleRetainPolicy::memoryBytes() const
+{
+    return ReferenceLruPolicy::memoryBytes() +
+           util::unorderedFootprintBytes(protected_blocks);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReferencePolicy(EvictionSpec spec)
+{
+    switch (spec.kind) {
+      case EvictionKind::Lru:
+        return std::make_unique<ReferenceLruPolicy>();
+      case EvictionKind::Fifo:
+        return std::make_unique<ReferenceFifoPolicy>();
+      case EvictionKind::Clock:
+        return std::make_unique<ReferenceClockPolicy>();
+      case EvictionKind::Lfu:
+        return std::make_unique<ReferenceLfuPolicy>();
+      case EvictionKind::Random:
+        return std::make_unique<ReferenceRandomPolicy>(spec.seed);
+    }
+    SIEVE_UNREACHABLE("unknown EvictionKind");
 }
 
 } // namespace cache

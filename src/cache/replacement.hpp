@@ -4,11 +4,24 @@
  *
  * The paper's continuous configurations (SieveStore-C, AOD, WMNA) all
  * use a fully-associative LRU cache (Section 4); SieveStore-D performs
- * no within-epoch replacement. The extra policies here support the
- * Section 3.1 analysis: OracleRetain models the "ideal (oracle)
- * replacement policy [that] evicts only those blocks that are not in the
- * top 1% frequently accessed blocks" (the LTR-like policy of [15]), and
- * Belady MIN lives in belady.hpp.
+ * no within-epoch replacement. The hot path no longer lives here: the
+ * built-in policies (LRU, FIFO, CLOCK, LFU, Random) are implemented
+ * flat inside BlockCache, selected by EvictionSpec, with per-block
+ * state inline in the shared block index (util/flat_index.hpp).
+ *
+ * This header keeps two kinds of virtual policies:
+ *
+ *  - Reference* classes: the original node-based (std::list +
+ *    unordered_map) implementations, retained verbatim as the ground
+ *    truth for the differential suite (test_flat_cache_differential)
+ *    and selected cache-wide by the SIEVE_FLAT_CACHE=OFF build flag.
+ *  - OracleRetainPolicy: the Section 3.1 oracle, which needs per-day
+ *    protected-set state that does not fit a POD slot payload.
+ *
+ * The extra policies support the Section 3.1 analysis: OracleRetain
+ * models the "ideal (oracle) replacement policy [that] evicts only
+ * those blocks that are not in the top 1% frequently accessed blocks"
+ * (the LTR-like policy of [15]), and Belady MIN lives in belady.hpp.
  */
 
 #ifndef SIEVESTORE_CACHE_REPLACEMENT_HPP
@@ -25,6 +38,27 @@
 
 namespace sievestore {
 namespace cache {
+
+/** Built-in eviction policy, implemented flat inside BlockCache. */
+enum class EvictionKind
+{
+    Lru,
+    Fifo,
+    Clock,
+    Lfu,
+    Random,
+};
+
+/** Human-readable name ("LRU", "FIFO", ...). */
+const char *evictionKindName(EvictionKind kind);
+
+/** Selects and parameterizes a built-in eviction policy. */
+struct EvictionSpec
+{
+    EvictionKind kind = EvictionKind::Lru;
+    /** Rng seed; consumed by Random only. */
+    uint64_t seed = 1;
+};
 
 /**
  * Victim-selection strategy. The policy tracks exactly the set of
@@ -51,10 +85,21 @@ class ReplacementPolicy
     virtual size_t size() const = 0;
     /** True if the policy tracks `block` (audit hook). */
     virtual bool contains(trace::BlockId block) const = 0;
+
+    /**
+     * Policy bookkeeping footprint (util/footprint.hpp convention).
+     * BlockCache adds this to its residency-index cost so flat and
+     * reference builds report comparable totals.
+     */
+    virtual uint64_t memoryBytes() const = 0;
 };
 
-/** Least-recently-used (the paper's common policy). */
-class LruPolicy : public ReplacementPolicy
+/**
+ * Least-recently-used, node-based reference implementation (the
+ * paper's common policy; the flat engine in BlockCache is the
+ * production path).
+ */
+class ReferenceLruPolicy : public ReplacementPolicy
 {
   public:
     void onInsert(trace::BlockId block) override;
@@ -68,6 +113,7 @@ class LruPolicy : public ReplacementPolicy
     {
         return where.count(block) != 0;
     }
+    uint64_t memoryBytes() const override;
 
   protected:
     /** Recency list, most-recent at front. */
@@ -77,18 +123,18 @@ class LruPolicy : public ReplacementPolicy
 };
 
 /** First-in-first-out: insertion order, hits do not promote. */
-class FifoPolicy : public LruPolicy
+class ReferenceFifoPolicy : public ReferenceLruPolicy
 {
   public:
     void onAccess(trace::BlockId block) override;
     const char *name() const override { return "FIFO"; }
 };
 
-/** Uniform-random victim. */
-class RandomPolicy : public ReplacementPolicy
+/** Uniform-random victim (reference implementation). */
+class ReferenceRandomPolicy : public ReplacementPolicy
 {
   public:
-    explicit RandomPolicy(uint64_t seed = 1);
+    explicit ReferenceRandomPolicy(uint64_t seed = 1);
 
     void onInsert(trace::BlockId block) override;
     void onAccess(trace::BlockId block) override;
@@ -101,6 +147,7 @@ class RandomPolicy : public ReplacementPolicy
     {
         return index.count(block) != 0;
     }
+    uint64_t memoryBytes() const override;
 
   private:
     std::vector<trace::BlockId> pool;
@@ -108,8 +155,11 @@ class RandomPolicy : public ReplacementPolicy
     util::Rng rng;
 };
 
-/** Least-frequently-used with FIFO tie-break (reference counting). */
-class LfuPolicy : public ReplacementPolicy
+/**
+ * Least-frequently-used with FIFO tie-break (reference counting),
+ * reference implementation.
+ */
+class ReferenceLfuPolicy : public ReplacementPolicy
 {
   public:
     void onInsert(trace::BlockId block) override;
@@ -123,6 +173,7 @@ class LfuPolicy : public ReplacementPolicy
     {
         return entries.count(block) != 0;
     }
+    uint64_t memoryBytes() const override;
 
   private:
     struct Entry
@@ -139,9 +190,9 @@ class LfuPolicy : public ReplacementPolicy
  * production buffer caches. Blocks sit on a circular list with a
  * reference bit; the hand clears bits until it finds an unreferenced
  * victim. Included as a realistic deployment alternative to the
- * simulator's exact LRU.
+ * simulator's exact LRU. Reference implementation.
  */
-class ClockPolicy : public ReplacementPolicy
+class ReferenceClockPolicy : public ReplacementPolicy
 {
   public:
     void onInsert(trace::BlockId block) override;
@@ -155,6 +206,7 @@ class ClockPolicy : public ReplacementPolicy
     {
         return where.count(block) != 0;
     }
+    uint64_t memoryBytes() const override;
 
   private:
     struct Entry
@@ -176,7 +228,7 @@ class ClockPolicy : public ReplacementPolicy
  * set (e.g. the day's top-1 % blocks) is installed by the experiment
  * before replaying the day.
  */
-class OracleRetainPolicy : public LruPolicy
+class OracleRetainPolicy : public ReferenceLruPolicy
 {
   public:
     /** Replace the protected set. */
@@ -184,10 +236,17 @@ class OracleRetainPolicy : public LruPolicy
 
     trace::BlockId victim() override;
     const char *name() const override { return "OracleRetain"; }
+    uint64_t memoryBytes() const override;
 
   private:
     std::unordered_set<trace::BlockId> protected_blocks;
 };
+
+/**
+ * Reference (seed) implementation of a built-in policy, for the
+ * differential suite and the SIEVE_FLAT_CACHE=OFF build.
+ */
+std::unique_ptr<ReplacementPolicy> makeReferencePolicy(EvictionSpec spec);
 
 } // namespace cache
 } // namespace sievestore

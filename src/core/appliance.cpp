@@ -10,6 +10,20 @@ namespace core {
 
 using trace::BlockId;
 
+namespace {
+
+/** Pick the cache engine: custom policy if configured, else flat. */
+cache::BlockCache
+makeCache(const ApplianceConfig &config)
+{
+    if (config.replacement)
+        return cache::BlockCache(config.cache_blocks,
+                                 config.replacement());
+    return cache::BlockCache(config.cache_blocks, config.eviction);
+}
+
+} // namespace
+
 DailyReport
 sumReports(const std::vector<DailyReport> &days)
 {
@@ -31,9 +45,7 @@ sumReports(const std::vector<DailyReport> &days)
 
 Appliance::Appliance(ApplianceConfig config,
                      std::unique_ptr<AllocationPolicy> policy)
-    : cfg(config), policy_(std::move(policy)),
-      cache_(config.cache_blocks,
-             config.replacement ? config.replacement() : nullptr)
+    : cfg(config), policy_(std::move(policy)), cache_(makeCache(config))
 {
     if (!policy_)
         util::fatal("appliance requires an allocation policy");
@@ -45,8 +57,7 @@ Appliance::Appliance(ApplianceConfig config,
 Appliance::Appliance(ApplianceConfig config,
                      std::unique_ptr<DiscreteSelector> selector)
     : cfg(config), selector_(std::move(selector)),
-      cache_(config.cache_blocks,
-             config.replacement ? config.replacement() : nullptr)
+      cache_(makeCache(config))
 {
     if (!selector_)
         util::fatal("appliance requires a discrete selector");

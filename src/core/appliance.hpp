@@ -52,9 +52,14 @@ struct ApplianceConfig
     /** Charge discrete batch moves to drive occupancy (ablation). */
     bool charge_batch_to_occupancy = false;
     /**
-     * Replacement-policy factory; null selects the paper's LRU. Used by
-     * the Section 3.1 oracle-replacement experiments and the CLOCK
-     * deployment ablation.
+     * Built-in eviction policy for the cache's flat engine (defaults
+     * to the paper's LRU). Ignored when `replacement` is set.
+     */
+    cache::EvictionSpec eviction;
+    /**
+     * Custom replacement-policy factory; null selects the flat engine
+     * with `eviction`. Used by the Section 3.1 oracle-replacement
+     * experiments (OracleRetain needs per-day protected-set state).
      */
     std::function<std::unique_ptr<cache::ReplacementPolicy>()>
         replacement;

@@ -36,7 +36,7 @@ AdbaSelector::observe(const trace::BlockAccess &access)
     if (disk_log)
         disk_log->log(access.block);
     else
-        ++mem_counts[access.block];
+        mem_counts.observe(access.block);
 }
 
 std::vector<BlockId>
@@ -48,17 +48,8 @@ AdbaSelector::endOfEpoch()
             selected.push_back(bc.block);
         disk_log->beginEpoch();
     } else {
-        std::vector<analysis::BlockCount> qualifying;
-        for (const auto &kv : mem_counts)
-            if (kv.second >= threshold_)
-                qualifying.push_back({kv.first, kv.second});
-        std::sort(qualifying.begin(), qualifying.end(),
-                  [](const analysis::BlockCount &a,
-                     const analysis::BlockCount &b) {
-                      if (a.count != b.count)
-                          return a.count > b.count;
-                      return a.block < b.block;
-                  });
+        const std::vector<analysis::BlockCount> qualifying =
+            mem_counts.countsAtLeast(threshold_);
         selected.reserve(qualifying.size());
         for (const auto &bc : qualifying)
             selected.push_back(bc.block);
@@ -71,19 +62,27 @@ uint64_t
 AdbaSelector::metastateBytes() const
 {
     // The disk-backed variant keeps counts out of memory by design.
-    return disk_log ? 0 : util::unorderedFootprintBytes(mem_counts);
+    return disk_log ? 0 : mem_counts.memoryBytes();
+}
+
+void
+AdbaSelector::reserveEpochBlocks(size_t blocks)
+{
+    if (!disk_log)
+        mem_counts.reserve(blocks);
 }
 
 void
 AdbaSelector::checkInvariants() const
 {
     SIEVE_CHECK(threshold_ >= 1, "ADBA threshold must be >= 1");
+    mem_counts.checkInvariants();
     // The two counting backends are exclusive: a disk-backed selector
     // must never accumulate in-memory counts.
     if (disk_log)
         SIEVE_CHECK(mem_counts.empty(),
                     "disk-backed ADBA accumulated %zu in-memory counts",
-                    mem_counts.size());
+                    mem_counts.uniqueBlocks());
 }
 
 RandomBlockSelector::RandomBlockSelector(double fraction_, uint64_t seed)
@@ -96,17 +95,16 @@ RandomBlockSelector::RandomBlockSelector(double fraction_, uint64_t seed)
 void
 RandomBlockSelector::observe(const trace::BlockAccess &access)
 {
-    seen.insert(access.block);
+    seen.observe(access.block);
 }
 
 std::vector<BlockId>
 RandomBlockSelector::endOfEpoch()
 {
-    std::vector<BlockId> all(seen.begin(), seen.end());
-    seen.clear();
     // Deterministic ordering before sampling so results do not depend
     // on hash-table iteration order.
-    std::sort(all.begin(), all.end());
+    std::vector<BlockId> all = seen.sortedBlocks();
+    seen.clear();
     size_t k = static_cast<size_t>(fraction *
                                    static_cast<double>(all.size()));
     if (k == 0 && !all.empty())
@@ -124,7 +122,13 @@ RandomBlockSelector::endOfEpoch()
 uint64_t
 RandomBlockSelector::metastateBytes() const
 {
-    return util::unorderedFootprintBytes(seen);
+    return seen.memoryBytes();
+}
+
+void
+RandomBlockSelector::reserveEpochBlocks(size_t blocks)
+{
+    seen.reserve(blocks);
 }
 
 void
@@ -132,6 +136,7 @@ RandomBlockSelector::checkInvariants() const
 {
     SIEVE_CHECK(fraction > 0.0 && fraction <= 1.0,
                 "RandSieve-BlkD fraction %f out of (0, 1]", fraction);
+    seen.checkInvariants();
 }
 
 TopPercentSelector::TopPercentSelector(double fraction_)
@@ -144,13 +149,13 @@ TopPercentSelector::TopPercentSelector(double fraction_)
 void
 TopPercentSelector::observe(const trace::BlockAccess &access)
 {
-    ++counts[access.block];
+    counts.observe(access.block);
 }
 
 std::vector<BlockId>
 TopPercentSelector::endOfEpoch()
 {
-    analysis::PopularityProfile profile(counts, 1);
+    analysis::PopularityProfile profile(counts.sortedByCount(), 1);
     std::vector<BlockId> top = profile.topBlocks(fraction);
     counts.clear();
     return top;
@@ -159,7 +164,13 @@ TopPercentSelector::endOfEpoch()
 uint64_t
 TopPercentSelector::metastateBytes() const
 {
-    return util::unorderedFootprintBytes(counts);
+    return counts.memoryBytes();
+}
+
+void
+TopPercentSelector::reserveEpochBlocks(size_t blocks)
+{
+    counts.reserve(blocks);
 }
 
 void
@@ -167,6 +178,7 @@ TopPercentSelector::checkInvariants() const
 {
     SIEVE_CHECK(fraction > 0.0 && fraction <= 1.0,
                 "TopPercent fraction %f out of (0, 1]", fraction);
+    counts.checkInvariants();
 }
 
 OracleDaySelector::OracleDaySelector(

@@ -15,10 +15,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "analysis/access_counter.hpp"
 #include "analysis/access_log.hpp"
 #include "trace/request.hpp"
 #include "util/random.hpp"
@@ -48,6 +47,13 @@ class DiscreteSelector
      * (util/footprint.hpp convention; excludes on-disk logs). */
     virtual uint64_t metastateBytes() const { return 0; }
 
+    /**
+     * Pre-size epoch state for an expected per-epoch distinct-block
+     * population so steady-state observation never rehashes (the
+     * driver passes its hint through; default: no-op).
+     */
+    virtual void reserveEpochBlocks(size_t) {}
+
     /** Audit selector invariants; aborts on violation (default: none). */
     virtual void checkInvariants() const {}
 };
@@ -73,6 +79,7 @@ class AdbaSelector : public DiscreteSelector
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "SieveStore-D"; }
     uint64_t metastateBytes() const override;
+    void reserveEpochBlocks(size_t blocks) override;
     void checkInvariants() const override;
 
     uint64_t threshold() const { return threshold_; }
@@ -80,7 +87,8 @@ class AdbaSelector : public DiscreteSelector
   private:
     uint64_t threshold_;
     std::unique_ptr<analysis::AccessLog> disk_log;
-    analysis::BlockCounts mem_counts;
+    /** In-memory backend: flat per-block epoch counts. */
+    analysis::AccessCounter mem_counts;
 };
 
 /** RandSieve-BlkD: a uniformly random 1 % of the epoch's blocks. */
@@ -94,12 +102,14 @@ class RandomBlockSelector : public DiscreteSelector
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "RandSieve-BlkD"; }
     uint64_t metastateBytes() const override;
+    void reserveEpochBlocks(size_t blocks) override;
     void checkInvariants() const override;
 
   private:
     double fraction;
     util::Rng rng;
-    std::unordered_set<trace::BlockId> seen;
+    /** Epoch's distinct-block set (counts unused). */
+    analysis::AccessCounter seen;
 };
 
 /**
@@ -118,11 +128,12 @@ class TopPercentSelector : public DiscreteSelector
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "TopPercent-D"; }
     uint64_t metastateBytes() const override;
+    void reserveEpochBlocks(size_t blocks) override;
     void checkInvariants() const override;
 
   private:
     double fraction;
-    analysis::BlockCounts counts;
+    analysis::AccessCounter counts;
 };
 
 /**

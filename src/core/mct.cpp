@@ -15,33 +15,33 @@ Mct::Mct(WindowSpec window)
 bool
 Mct::contains(trace::BlockId block) const
 {
-    return entries.count(block) != 0;
+    return entries.contains(block);
 }
 
 void
 Mct::admit(trace::BlockId block, util::TimeUs t)
 {
-    const auto [it, inserted] = entries.try_emplace(block);
+    const auto [counter, inserted] = entries.findOrInsert(block);
     if (inserted)
-        it->second.touch(spec.subwindowOf(t), spec);
+        counter->touch(spec.subwindowOf(t), spec);
 }
 
 uint32_t
 Mct::recordMiss(trace::BlockId block, util::TimeUs t)
 {
-    const auto it = entries.find(block);
-    if (it == entries.end())
+    WindowedCounter *counter = entries.find(block);
+    if (!counter)
         util::panic("MCT: recordMiss for untracked block");
-    return it->second.record(spec.subwindowOf(t), spec);
+    return counter->record(spec.subwindowOf(t), spec);
 }
 
 uint32_t
 Mct::count(trace::BlockId block, util::TimeUs t) const
 {
-    const auto it = entries.find(block);
-    if (it == entries.end())
+    const WindowedCounter *counter = entries.find(block);
+    if (!counter)
         return 0;
-    return it->second.total(spec.subwindowOf(t), spec);
+    return counter->total(spec.subwindowOf(t), spec);
 }
 
 void
@@ -53,7 +53,7 @@ Mct::remove(trace::BlockId block)
 uint64_t
 Mct::memoryBytes() const
 {
-    return util::unorderedFootprintBytes(entries);
+    return entries.memoryBytes();
 }
 
 size_t
@@ -61,17 +61,20 @@ Mct::staleEntries(util::TimeUs t) const
 {
     const uint64_t cur_sub = spec.subwindowOf(t);
     size_t stale = 0;
-    for (const auto &kv : entries)
-        if (kv.second.stale(cur_sub, spec))
+    entries.forEach([&](uint64_t, const WindowedCounter &counter) {
+        if (counter.stale(cur_sub, spec))
             ++stale;
+    });
     return stale;
 }
 
 void
 Mct::checkInvariants() const
 {
-    for (const auto &kv : entries)
-        kv.second.checkInvariants(spec);
+    entries.checkInvariants();
+    entries.forEach([&](uint64_t, const WindowedCounter &counter) {
+        counter.checkInvariants(spec);
+    });
     SIEVE_CHECK(memoryBytes() >=
                 entries.size() * (sizeof(trace::BlockId) +
                                   sizeof(WindowedCounter)));
@@ -81,12 +84,9 @@ void
 Mct::prune(util::TimeUs t)
 {
     const uint64_t cur_sub = spec.subwindowOf(t);
-    for (auto it = entries.begin(); it != entries.end();) {
-        if (it->second.stale(cur_sub, spec))
-            it = entries.erase(it);
-        else
-            ++it;
-    }
+    entries.eraseIf([&](uint64_t, const WindowedCounter &counter) {
+        return counter.stale(cur_sub, spec);
+    });
 }
 
 } // namespace core

@@ -14,10 +14,10 @@
 #define SIEVESTORE_CORE_MCT_HPP
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/windowed_counter.hpp"
 #include "trace/block.hpp"
+#include "util/flat_index.hpp"
 
 namespace sievestore {
 namespace core {
@@ -80,7 +80,9 @@ class Mct
     const WindowSpec &window() const { return spec; }
 
   private:
-    std::unordered_map<trace::BlockId, WindowedCounter> entries;
+    /** Flat block index (util/flat_index.hpp): one probe per miss,
+     * tombstone-free erase keeps prune() from degrading probes. */
+    util::FlatIndex<WindowedCounter> entries;
     WindowSpec spec;
 };
 

@@ -10,6 +10,8 @@
 #define SIEVESTORE_SIEVESTORE_HPP
 
 // util: primitives
+#include "util/flat_index.hpp"
+#include "util/footprint.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"

@@ -40,24 +40,30 @@ makeAppliance(const PolicyConfig &policy,
       case PolicyKind::Ideal:
         util::fatal("PolicyKind::Ideal requires a profiling pass; "
                     "use makeIdealAppliance()");
-      case PolicyKind::SieveStoreD:
-        if (policy.adba_disk_log) {
-            return std::make_unique<Appliance>(
-                appliance,
-                std::make_unique<core::AdbaSelector>(
-                    policy.adba_threshold, policy.adba_log_dir));
-        }
-        return std::make_unique<Appliance>(
-            appliance,
-            std::make_unique<core::AdbaSelector>(policy.adba_threshold));
+      case PolicyKind::SieveStoreD: {
+        auto selector =
+            policy.adba_disk_log
+                ? std::make_unique<core::AdbaSelector>(
+                      policy.adba_threshold, policy.adba_log_dir)
+                : std::make_unique<core::AdbaSelector>(
+                      policy.adba_threshold);
+        if (policy.expected_epoch_blocks)
+            selector->reserveEpochBlocks(policy.expected_epoch_blocks);
+        return std::make_unique<Appliance>(appliance,
+                                           std::move(selector));
+      }
       case PolicyKind::SieveStoreC:
         return std::make_unique<Appliance>(
             appliance,
             std::make_unique<core::SieveStoreCPolicy>(policy.sieve_c));
-      case PolicyKind::RandSieveBlkD:
-        return std::make_unique<Appliance>(
-            appliance, std::make_unique<core::RandomBlockSelector>(
-                           policy.rand_fraction, policy.seed));
+      case PolicyKind::RandSieveBlkD: {
+        auto selector = std::make_unique<core::RandomBlockSelector>(
+            policy.rand_fraction, policy.seed);
+        if (policy.expected_epoch_blocks)
+            selector->reserveEpochBlocks(policy.expected_epoch_blocks);
+        return std::make_unique<Appliance>(appliance,
+                                           std::move(selector));
+      }
       case PolicyKind::RandSieveC:
         return std::make_unique<Appliance>(
             appliance, std::make_unique<core::RandSieveCPolicy>(

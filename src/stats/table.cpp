@@ -135,5 +135,48 @@ Table::printCsv(std::ostream &os) const
         emitRow(r);
 }
 
+void
+Table::printJson(std::ostream &os) const
+{
+    auto quote = [&](const std::string &v) {
+        os << '"';
+        for (const char ch : v) {
+            switch (ch) {
+              case '"':
+                os << "\\\"";
+                break;
+              case '\\':
+                os << "\\\\";
+                break;
+              case '\n':
+                os << "\\n";
+                break;
+              default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    os << buf;
+                } else {
+                    os << ch;
+                }
+            }
+        }
+        os << '"';
+    };
+    os << "[\n";
+    for (size_t r = 0; r < body.size(); ++r) {
+        os << "  {";
+        for (size_t c = 0; c < body[r].size(); ++c) {
+            if (c)
+                os << ", ";
+            quote(headers[c]);
+            os << ": ";
+            quote(body[r][c]);
+        }
+        os << (r + 1 < body.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
 } // namespace stats
 } // namespace sievestore

@@ -54,6 +54,14 @@ class Table
     /** Render as CSV (RFC-4180-style quoting for commas/quotes). */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Render as a JSON array of objects, one per row, keyed by the
+     * column headers. Cells are emitted as JSON strings verbatim
+     * (formatting such as thousands separators is preserved), so
+     * downstream tooling gets the same values a human sees.
+     */
+    void printJson(std::ostream &os) const;
+
   private:
     std::vector<std::string> headers;
     std::vector<std::vector<std::string>> body;

@@ -11,9 +11,22 @@
  *  - an unordered container node costs its value_type plus one forward
  *    pointer, and the bucket array costs one pointer per bucket.
  *
+ *  - a doubly-linked list node costs its value_type plus two pointers;
+ *  - a flat open-addressing table (util/flat_index.hpp) costs its
+ *    allocated slot count times (slot bytes + one metadata byte) —
+ *    unlike the node-based formulas this charges *allocated* slots,
+ *    not live entries, because the slot array is the whole footprint.
+ *
  * Per-malloc allocator overhead and the (type-dependent) cached hash
  * code are deliberately excluded: the goal is a stable, conservative
  * convention for cost *comparisons*, not a byte-exact heap profile.
+ *
+ * Scope note (updated with the flat-index refactor): a structure's
+ * memoryBytes() reports *all* per-entry bookkeeping it owns. In
+ * particular BlockCache::memoryBytes() now covers residency AND
+ * replacement-policy state — the flat cache stores both in one slot,
+ * so they are no longer separable, and the reference build adds the
+ * policy's node-based containers to stay comparable.
  */
 
 #ifndef SIEVESTORE_UTIL_FOOTPRINT_HPP
@@ -27,6 +40,9 @@ namespace util {
 
 /** Per-node overhead of an unordered container: the forward pointer. */
 constexpr uint64_t kUnorderedNodeOverheadBytes = sizeof(void *);
+
+/** Per-node overhead of a std::list: the prev/next pointers. */
+constexpr uint64_t kListNodeOverheadBytes = 2 * sizeof(void *);
 
 /** Footprint of an unordered_map / unordered_set per the convention. */
 template <typename UnorderedContainer>
@@ -45,6 +61,26 @@ uint64_t
 vectorFootprintBytes(const std::vector<T> &v)
 {
     return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+/** Footprint of a std::list per the convention. */
+template <typename List>
+uint64_t
+listFootprintBytes(const List &l)
+{
+    return static_cast<uint64_t>(l.size()) *
+           (sizeof(typename List::value_type) + kListNodeOverheadBytes);
+}
+
+/**
+ * Footprint of a flat open-addressing table: `slot_count` allocated
+ * slots of `slot_bytes` each plus one displacement-metadata byte per
+ * slot. Charged on allocation, not occupancy (see the header comment).
+ */
+constexpr uint64_t
+flatIndexFootprintBytes(uint64_t slot_count, uint64_t slot_bytes)
+{
+    return slot_count * (slot_bytes + 1);
 }
 
 } // namespace util

@@ -87,20 +87,20 @@ makePolicy(int kind)
     }
 }
 
-std::unique_ptr<cache::ReplacementPolicy>
-makeReplacement(int kind)
+cache::EvictionSpec
+makeEviction(int kind)
 {
     switch (kind) {
       case 0:
-        return std::make_unique<cache::LruPolicy>();
+        return {cache::EvictionKind::Lru, 7};
       case 1:
-        return std::make_unique<cache::FifoPolicy>();
+        return {cache::EvictionKind::Fifo, 7};
       case 2:
-        return std::make_unique<cache::RandomPolicy>(7);
+        return {cache::EvictionKind::Random, 7};
       case 3:
-        return std::make_unique<cache::LfuPolicy>();
+        return {cache::EvictionKind::Lfu, 7};
       default:
-        return std::make_unique<cache::ClockPolicy>();
+        return {cache::EvictionKind::Clock, 7};
     }
 }
 
@@ -114,9 +114,7 @@ TEST_P(ApplianceProperties, AccountingInvariantsHold)
     ApplianceConfig cfg;
     cfg.cache_blocks = 512;
     cfg.track_occupancy = true;
-    cfg.replacement = [&combo]() {
-        return makeReplacement(combo.replacement);
-    };
+    cfg.eviction = makeEviction(combo.replacement);
     Appliance app(cfg, makePolicy(combo.policy));
 
     auto reqs = randomTrace(combo.seed, 3000);

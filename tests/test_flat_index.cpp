@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Unit and property tests for the flat open-addressing block index
+ * and the index-linked list arena behind the flat cache engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_index.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using sievestore::util::FlatIndex;
+using sievestore::util::IndexList;
+using sievestore::util::Rng;
+
+// ---- FlatIndex ----------------------------------------------------
+
+TEST(FlatIndex, EmptyTableFindsNothing)
+{
+    FlatIndex<uint64_t> idx;
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.size(), 0u);
+    EXPECT_EQ(idx.slotCount(), 0u);
+    EXPECT_EQ(idx.find(42), nullptr);
+    EXPECT_FALSE(idx.contains(42));
+    EXPECT_FALSE(idx.erase(42));
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, InsertFindErase)
+{
+    FlatIndex<uint64_t> idx;
+    auto [p, inserted] = idx.findOrInsert(7);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*p, 0u); // value-initialized
+    *p = 99;
+    EXPECT_EQ(idx.size(), 1u);
+
+    auto [q, again] = idx.findOrInsert(7);
+    EXPECT_FALSE(again);
+    EXPECT_EQ(*q, 99u);
+    EXPECT_EQ(*idx.find(7), 99u);
+
+    EXPECT_TRUE(idx.erase(7));
+    EXPECT_FALSE(idx.contains(7));
+    EXPECT_TRUE(idx.empty());
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, ReserveAvoidsRehash)
+{
+    FlatIndex<uint32_t> idx;
+    idx.reserve(1000);
+    const size_t slots = idx.slotCount();
+    EXPECT_GE(slots, 1024u);
+    for (uint64_t k = 0; k < 1000; ++k)
+        idx.findOrInsert(k);
+    EXPECT_EQ(idx.slotCount(), slots) << "reserve(1000) must admit "
+                                         "1000 entries without growth";
+    EXPECT_LE(idx.loadFactor(), 7.0 / 8.0);
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, GrowthPreservesEntries)
+{
+    FlatIndex<uint64_t> idx; // starts at the 16-slot minimum
+    for (uint64_t k = 0; k < 5000; ++k)
+        *idx.findOrInsert(k * 2654435761).first = k;
+    EXPECT_EQ(idx.size(), 5000u);
+    for (uint64_t k = 0; k < 5000; ++k) {
+        const uint64_t *p = idx.find(k * 2654435761);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(*p, k);
+    }
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, ClearKeepsSlots)
+{
+    FlatIndex<uint8_t> idx(500);
+    for (uint64_t k = 0; k < 500; ++k)
+        idx.findOrInsert(k);
+    const size_t slots = idx.slotCount();
+    const uint64_t bytes = idx.memoryBytes();
+    idx.clear();
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.slotCount(), slots);
+    EXPECT_EQ(idx.memoryBytes(), bytes);
+    EXPECT_FALSE(idx.contains(3));
+    // The arena is immediately reusable.
+    for (uint64_t k = 1000; k < 1500; ++k)
+        idx.findOrInsert(k);
+    EXPECT_EQ(idx.size(), 500u);
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, EraseIfRemovesExactlyMatches)
+{
+    FlatIndex<uint64_t> idx;
+    for (uint64_t k = 0; k < 1000; ++k)
+        *idx.findOrInsert(k).first = k;
+    const size_t removed =
+        idx.eraseIf([](uint64_t key, const uint64_t &) {
+            return key % 3 == 0;
+        });
+    EXPECT_EQ(removed, 334u); // 0, 3, ..., 999
+    EXPECT_EQ(idx.size(), 666u);
+    for (uint64_t k = 0; k < 1000; ++k)
+        EXPECT_EQ(idx.contains(k), k % 3 != 0) << k;
+    idx.checkInvariants();
+}
+
+TEST(FlatIndex, EraseWithSeesFinalPayload)
+{
+    FlatIndex<uint64_t> idx;
+    *idx.findOrInsert(5).first = 123;
+    uint64_t seen = 0;
+    EXPECT_TRUE(idx.eraseWith(5, [&](const uint64_t &v) { seen = v; }));
+    EXPECT_EQ(seen, 123u);
+    EXPECT_FALSE(idx.eraseWith(5, [&](const uint64_t &) {
+        ADD_FAILURE() << "callback on absent key";
+    }));
+}
+
+TEST(FlatIndex, ForEachVisitsEveryEntryOnce)
+{
+    FlatIndex<uint64_t> idx;
+    for (uint64_t k = 10; k < 60; ++k)
+        *idx.findOrInsert(k).first = k + 1;
+    std::vector<uint64_t> keys;
+    idx.forEach([&](uint64_t key, uint64_t &payload) {
+        EXPECT_EQ(payload, key + 1);
+        keys.push_back(key);
+    });
+    std::sort(keys.begin(), keys.end());
+    ASSERT_EQ(keys.size(), 50u);
+    for (uint64_t k = 0; k < 50; ++k)
+        EXPECT_EQ(keys[k], k + 10);
+}
+
+TEST(FlatIndex, FootprintMatchesConvention)
+{
+    FlatIndex<uint64_t> idx;
+    EXPECT_EQ(idx.memoryBytes(), 0u);
+    idx.findOrInsert(1);
+    // 16 slots x (16-byte slot + 1 dib byte).
+    EXPECT_EQ(idx.memoryBytes(),
+              sievestore::util::flatIndexFootprintBytes(16, 16));
+}
+
+/**
+ * Churn property test: the table must stay in lockstep with
+ * std::unordered_map through a long random mix of inserts, erases,
+ * lookups, and payload updates — the backward-shift deletion path is
+ * the part most worth hammering.
+ */
+TEST(FlatIndex, ChurnMatchesUnorderedMap)
+{
+    FlatIndex<uint64_t> idx;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    Rng rng(1234);
+    for (int op = 0; op < 200000; ++op) {
+        const uint64_t key = rng.nextBelow(512); // dense → collisions
+        switch (rng.nextBelow(4)) {
+          case 0: { // insert or touch
+            auto [p, inserted] = idx.findOrInsert(key);
+            auto [it, ref_inserted] = ref.try_emplace(key, 0);
+            ASSERT_EQ(inserted, ref_inserted);
+            *p += 1;
+            it->second += 1;
+            break;
+          }
+          case 1: // erase
+            ASSERT_EQ(idx.erase(key), ref.erase(key) > 0);
+            break;
+          case 2: { // lookup
+            const uint64_t *p = idx.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(p != nullptr, it != ref.end());
+            if (p) {
+                ASSERT_EQ(*p, it->second);
+            }
+            break;
+          }
+          default:
+            ASSERT_EQ(idx.contains(key), ref.count(key) > 0);
+        }
+        ASSERT_EQ(idx.size(), ref.size());
+    }
+    idx.checkInvariants();
+    // Full-content audit at the end.
+    size_t visited = 0;
+    idx.forEach([&](uint64_t key, uint64_t &payload) {
+        auto it = ref.find(key);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(payload, it->second);
+        ++visited;
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatIndex, EraseIfUnderChurnKeepsInvariants)
+{
+    FlatIndex<uint64_t> idx;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    Rng rng(9);
+    for (int round = 0; round < 30; ++round) {
+        for (int i = 0; i < 2000; ++i) {
+            const uint64_t key = rng.next();
+            *idx.findOrInsert(key).first = key / 2;
+            ref[key] = key / 2;
+        }
+        const uint64_t pivot = rng.next();
+        const size_t removed = idx.eraseIf(
+            [&](uint64_t key, const uint64_t &) { return key < pivot; });
+        size_t ref_removed = 0;
+        for (auto it = ref.begin(); it != ref.end();)
+            if (it->first < pivot) {
+                it = ref.erase(it);
+                ++ref_removed;
+            } else {
+                ++it;
+            }
+        ASSERT_EQ(removed, ref_removed);
+        ASSERT_EQ(idx.size(), ref.size());
+        idx.checkInvariants();
+    }
+}
+
+// ---- IndexList ----------------------------------------------------
+
+/** Collect values front to back. */
+std::vector<uint64_t>
+toVector(const IndexList &list)
+{
+    std::vector<uint64_t> out;
+    for (uint32_t n = list.head(); n != IndexList::kNull;
+         n = list.next(n))
+        out.push_back(list.value(n));
+    return out;
+}
+
+TEST(IndexList, EmptyList)
+{
+    IndexList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.head(), IndexList::kNull);
+    EXPECT_EQ(list.tail(), IndexList::kNull);
+    list.checkInvariants();
+}
+
+TEST(IndexList, PushFrontOrdersLikeAStack)
+{
+    IndexList list;
+    list.pushFront(1);
+    list.pushFront(2);
+    list.pushFront(3);
+    EXPECT_EQ(toVector(list), (std::vector<uint64_t>{3, 2, 1}));
+    EXPECT_EQ(list.value(list.tail()), 1u);
+    list.checkInvariants();
+}
+
+TEST(IndexList, InsertBeforeNullAppends)
+{
+    IndexList list;
+    list.insertBefore(IndexList::kNull, 1);
+    list.insertBefore(IndexList::kNull, 2);
+    const uint32_t mid = list.insertBefore(list.tail(), 9);
+    EXPECT_EQ(toVector(list), (std::vector<uint64_t>{1, 9, 2}));
+    EXPECT_EQ(list.value(mid), 9u);
+    list.checkInvariants();
+}
+
+TEST(IndexList, MoveToFrontPromotes)
+{
+    IndexList list;
+    list.insertBefore(IndexList::kNull, 1);
+    const uint32_t two = list.insertBefore(IndexList::kNull, 2);
+    list.insertBefore(IndexList::kNull, 3);
+    list.moveToFront(two);
+    EXPECT_EQ(toVector(list), (std::vector<uint64_t>{2, 1, 3}));
+    list.moveToFront(list.head()); // no-op on the head
+    EXPECT_EQ(toVector(list), (std::vector<uint64_t>{2, 1, 3}));
+    list.checkInvariants();
+}
+
+TEST(IndexList, EraseRecyclesNodes)
+{
+    IndexList list;
+    const uint32_t a = list.pushFront(1);
+    list.pushFront(2);
+    list.erase(a);
+    EXPECT_EQ(list.size(), 1u);
+    list.checkInvariants();
+    // The freed index is reused before the arena grows.
+    const uint32_t b = list.pushFront(3);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(toVector(list), (std::vector<uint64_t>{3, 2}));
+    list.checkInvariants();
+}
+
+TEST(IndexList, EraseHeadAndTail)
+{
+    IndexList list;
+    const uint32_t a = list.insertBefore(IndexList::kNull, 1);
+    list.insertBefore(IndexList::kNull, 2);
+    const uint32_t c = list.insertBefore(IndexList::kNull, 3);
+    list.erase(a);
+    EXPECT_EQ(list.value(list.head()), 2u);
+    list.erase(c);
+    EXPECT_EQ(list.value(list.tail()), 2u);
+    EXPECT_EQ(list.head(), list.tail());
+    list.checkInvariants();
+    list.erase(list.head());
+    EXPECT_TRUE(list.empty());
+    list.checkInvariants();
+}
+
+TEST(IndexList, ChurnMatchesStdList)
+{
+    // Random interleaving of append / promote / erase against the
+    // obvious reference; order must match exactly after every step.
+    IndexList list;
+    std::vector<uint64_t> ref; // front = index 0
+    std::vector<uint32_t> nodes;
+    Rng rng(77);
+    uint64_t next_value = 0;
+    for (int op = 0; op < 20000; ++op) {
+        const uint64_t choice = rng.nextBelow(3);
+        if (choice == 0 || ref.empty()) {
+            nodes.push_back(
+                list.insertBefore(IndexList::kNull, next_value));
+            ref.push_back(next_value);
+            ++next_value;
+        } else if (choice == 1) {
+            const size_t i = rng.nextBelow(ref.size());
+            list.moveToFront(nodes[i]);
+            const uint64_t v = ref[i];
+            const uint32_t n = nodes[i];
+            ref.erase(ref.begin() + static_cast<ptrdiff_t>(i));
+            nodes.erase(nodes.begin() + static_cast<ptrdiff_t>(i));
+            ref.insert(ref.begin(), v);
+            nodes.insert(nodes.begin(), n);
+        } else {
+            const size_t i = rng.nextBelow(ref.size());
+            list.erase(nodes[i]);
+            ref.erase(ref.begin() + static_cast<ptrdiff_t>(i));
+            nodes.erase(nodes.begin() + static_cast<ptrdiff_t>(i));
+        }
+        ASSERT_EQ(list.size(), ref.size());
+    }
+    list.checkInvariants();
+    EXPECT_EQ(toVector(list), ref);
+}
+
+TEST(IndexList, FootprintIsSixteenBytesPerArenaNode)
+{
+    IndexList list;
+    EXPECT_EQ(list.memoryBytes(), 0u);
+    list.reserve(4);
+    for (int i = 0; i < 4; ++i)
+        list.pushFront(static_cast<uint64_t>(i));
+    EXPECT_EQ(list.memoryBytes(), 4u * 16u);
+    // Erasing recycles: the arena (and footprint) does not shrink.
+    list.erase(list.head());
+    EXPECT_EQ(list.memoryBytes(), 4u * 16u);
+}
+
+} // namespace

@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit tests for replacement policies.
+ * Unit tests for replacement policies, run against BOTH cache engines:
+ * the flat block-index engine (EvictionSpec) and the node-based
+ * Reference* policies it must match.
  */
 
 #include <gtest/gtest.h>
@@ -15,79 +17,102 @@ namespace {
 using namespace sievestore::cache;
 using sievestore::trace::BlockId;
 
+/** Both engines for one built-in policy kind. */
+std::vector<BlockCache>
+bothEngines(uint64_t capacity, EvictionKind kind, uint64_t seed = 1)
+{
+    std::vector<BlockCache> caches;
+    caches.emplace_back(capacity, EvictionSpec{kind, seed});
+    caches.emplace_back(capacity,
+                        makeReferencePolicy(EvictionSpec{kind, seed}));
+    return caches;
+}
+
 TEST(Fifo, HitsDoNotPromote)
 {
-    BlockCache cache(3, std::make_unique<FifoPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    cache.access(1); // must not rescue 1 under FIFO
-    const auto evicted = cache.insert(4);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 1u);
+    for (BlockCache &cache : bothEngines(3, EvictionKind::Fifo)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        cache.access(1); // must not rescue 1 under FIFO
+        const auto evicted = cache.insert(4);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 1u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(Lru, HitsPromote)
 {
-    BlockCache cache(3, std::make_unique<LruPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    cache.access(1);
-    const auto evicted = cache.insert(4);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 2u);
+    for (BlockCache &cache : bothEngines(3, EvictionKind::Lru)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        cache.access(1);
+        const auto evicted = cache.insert(4);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 2u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(Random, EvictsOnlyResidentBlocks)
 {
-    BlockCache cache(8, std::make_unique<RandomPolicy>(3));
-    for (BlockId b = 0; b < 8; ++b)
-        cache.insert(b);
-    for (BlockId b = 100; b < 200; ++b) {
-        const auto evicted = cache.insert(b);
-        ASSERT_TRUE(evicted.has_value());
-        ASSERT_LT(cache.size(), 9u);
-        ASSERT_FALSE(cache.contains(*evicted));
+    for (BlockCache &cache : bothEngines(8, EvictionKind::Random, 3)) {
+        for (BlockId b = 0; b < 8; ++b)
+            cache.insert(b);
+        for (BlockId b = 100; b < 200; ++b) {
+            const auto evicted = cache.insert(b);
+            ASSERT_TRUE(evicted.has_value());
+            ASSERT_LT(cache.size(), 9u);
+            ASSERT_FALSE(cache.contains(*evicted));
+        }
+        cache.checkInvariants();
     }
 }
 
 TEST(Random, EventuallyEvictsEveryone)
 {
     // With 2 slots and many inserts, both original blocks should go.
-    BlockCache cache(2, std::make_unique<RandomPolicy>(7));
-    cache.insert(1);
-    cache.insert(2);
-    for (BlockId b = 10; b < 60; ++b)
-        if (!cache.contains(b))
-            cache.insert(b);
-    EXPECT_FALSE(cache.contains(1));
-    EXPECT_FALSE(cache.contains(2));
+    for (BlockCache &cache : bothEngines(2, EvictionKind::Random, 7)) {
+        cache.insert(1);
+        cache.insert(2);
+        for (BlockId b = 10; b < 60; ++b)
+            if (!cache.contains(b))
+                cache.insert(b);
+        EXPECT_FALSE(cache.contains(1));
+        EXPECT_FALSE(cache.contains(2));
+        cache.checkInvariants();
+    }
 }
 
 TEST(Lfu, EvictsLeastFrequentlyUsed)
 {
-    BlockCache cache(3, std::make_unique<LfuPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    cache.access(1);
-    cache.access(1);
-    cache.access(3);
-    // Counts: 1->3, 2->1, 3->2.
-    const auto evicted = cache.insert(4);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 2u);
+    for (BlockCache &cache : bothEngines(3, EvictionKind::Lfu)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        cache.access(1);
+        cache.access(1);
+        cache.access(3);
+        // Counts: 1->3, 2->1, 3->2.
+        const auto evicted = cache.insert(4);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 2u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(Lfu, TieBreaksByInsertionOrder)
 {
-    BlockCache cache(2, std::make_unique<LfuPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    const auto evicted = cache.insert(3);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 1u);
+    for (BlockCache &cache : bothEngines(2, EvictionKind::Lfu)) {
+        cache.insert(1);
+        cache.insert(2);
+        const auto evicted = cache.insert(3);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 1u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(OracleRetain, ProtectedBlocksSurvive)
@@ -127,20 +152,61 @@ TEST(OracleRetain, FallsBackToLruWhenAllProtected)
 
 TEST(Policies, NamesAreStable)
 {
-    EXPECT_STREQ(LruPolicy().name(), "LRU");
-    EXPECT_STREQ(FifoPolicy().name(), "FIFO");
-    EXPECT_STREQ(RandomPolicy().name(), "Random");
-    EXPECT_STREQ(LfuPolicy().name(), "LFU");
+    EXPECT_STREQ(ReferenceLruPolicy().name(), "LRU");
+    EXPECT_STREQ(ReferenceFifoPolicy().name(), "FIFO");
+    EXPECT_STREQ(ReferenceRandomPolicy().name(), "Random");
+    EXPECT_STREQ(ReferenceLfuPolicy().name(), "LFU");
     EXPECT_STREQ(OracleRetainPolicy().name(), "OracleRetain");
+    EXPECT_STREQ(evictionKindName(EvictionKind::Lru), "LRU");
+    EXPECT_STREQ(evictionKindName(EvictionKind::Fifo), "FIFO");
+    EXPECT_STREQ(evictionKindName(EvictionKind::Clock), "CLOCK");
+    EXPECT_STREQ(evictionKindName(EvictionKind::Lfu), "LFU");
+    EXPECT_STREQ(evictionKindName(EvictionKind::Random), "Random");
+    // The flat engine reports the same names through the cache.
+    EXPECT_STREQ(
+        BlockCache(2, EvictionSpec{EvictionKind::Clock}).policyName(),
+        "CLOCK");
+    EXPECT_STREQ(
+        BlockCache(2, makeReferencePolicy({EvictionKind::Lfu}))
+            .policyName(),
+        "LFU");
+}
+
+TEST(Policies, ReferenceNamesMatchKindNames)
+{
+    for (const EvictionKind kind :
+         {EvictionKind::Lru, EvictionKind::Fifo, EvictionKind::Clock,
+          EvictionKind::Lfu, EvictionKind::Random}) {
+        EXPECT_STREQ(makeReferencePolicy({kind, 1})->name(),
+                     evictionKindName(kind));
+    }
 }
 
 TEST(Policies, MisuseIsPanic)
 {
-    LruPolicy lru;
+    ReferenceLruPolicy lru;
     EXPECT_DEATH(lru.victim(), "empty");
     EXPECT_DEATH(lru.onAccess(42), "non-resident");
     lru.onInsert(1);
     EXPECT_DEATH(lru.onErase(2), "non-resident");
+}
+
+TEST(Policies, FlatMemoryNeverAboveReference)
+{
+    // The acceptance bar for the refactor: total per-block metadata of
+    // the flat engine at or below the node-based reference, per
+    // policy, at a realistic fill.
+    for (const EvictionKind kind :
+         {EvictionKind::Lru, EvictionKind::Fifo, EvictionKind::Clock,
+          EvictionKind::Lfu, EvictionKind::Random}) {
+        auto caches = bothEngines(4096, kind);
+        for (BlockCache &cache : caches)
+            for (BlockId b = 0; b < 4096; ++b)
+                cache.insert(b);
+        EXPECT_LE(caches[0].memoryBytes(), caches[1].memoryBytes())
+            << "flat engine out-sizes reference for "
+            << evictionKindName(kind);
+    }
 }
 
 } // namespace
@@ -150,67 +216,85 @@ namespace clock_tests {
 using namespace sievestore::cache;
 using sievestore::trace::BlockId;
 
+/** Both engines for CLOCK. */
+std::vector<BlockCache>
+bothClocks(uint64_t capacity)
+{
+    std::vector<BlockCache> caches;
+    caches.emplace_back(capacity, EvictionSpec{EvictionKind::Clock});
+    caches.emplace_back(
+        capacity, makeReferencePolicy(EvictionSpec{EvictionKind::Clock}));
+    return caches;
+}
+
 TEST(Clock, SecondChancePprotectsReferencedBlocks)
 {
-    BlockCache cache(3, std::make_unique<ClockPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    // All reference bits are set on insert; the hand clears 1, 2, 3
-    // then evicts the first unreferenced block it re-reaches: 1.
-    auto evicted = cache.insert(4);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 1u);
+    for (BlockCache &cache : bothClocks(3)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        // All reference bits are set on insert; the hand clears 1, 2, 3
+        // then evicts the first unreferenced block it re-reaches: 1.
+        auto evicted = cache.insert(4);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 1u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(Clock, AccessGrantsSecondChance)
 {
-    BlockCache cache(3, std::make_unique<ClockPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    cache.insert(4); // evicts 1, clears bits of 2, 3
-    cache.access(2); // re-reference 2
-    auto evicted = cache.insert(5);
-    ASSERT_TRUE(evicted.has_value());
-    EXPECT_EQ(*evicted, 3u); // 2 was saved by its reference bit
-    EXPECT_TRUE(cache.contains(2));
+    for (BlockCache &cache : bothClocks(3)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        cache.insert(4); // evicts 1, clears bits of 2, 3
+        cache.access(2); // re-reference 2
+        auto evicted = cache.insert(5);
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, 3u); // 2 was saved by its reference bit
+        EXPECT_TRUE(cache.contains(2));
+        cache.checkInvariants();
+    }
 }
 
 TEST(Clock, ApproximatesLruOnLoopingScan)
 {
     // A cyclic scan over N+1 blocks with an N-block cache: CLOCK, like
     // LRU, misses every access after warmup.
-    BlockCache cache(4, std::make_unique<ClockPolicy>());
-    uint64_t hits = 0;
-    for (int round = 0; round < 50; ++round)
-        for (BlockId b = 0; b < 5; ++b) {
-            if (cache.access(b))
-                ++hits;
-            else
-                cache.insert(b);
-        }
-    EXPECT_LT(hits, 25u); // far below the 200 a hot-loop would give
+    for (BlockCache &cache : bothClocks(4)) {
+        uint64_t hits = 0;
+        for (int round = 0; round < 50; ++round)
+            for (BlockId b = 0; b < 5; ++b) {
+                if (cache.access(b))
+                    ++hits;
+                else
+                    cache.insert(b);
+            }
+        EXPECT_LT(hits, 25u); // far below the 200 a hot-loop would give
+    }
 }
 
 TEST(Clock, EraseUnderTheHandIsSafe)
 {
-    BlockCache cache(3, std::make_unique<ClockPolicy>());
-    cache.insert(1);
-    cache.insert(2);
-    cache.insert(3);
-    cache.insert(4); // hand is now parked inside the ring
-    EXPECT_TRUE(cache.erase(2) || cache.erase(3) || cache.erase(4));
-    // Ring stays consistent: we can keep inserting/evicting.
-    for (BlockId b = 10; b < 30; ++b)
-        if (!cache.contains(b))
-            cache.insert(b);
-    EXPECT_LE(cache.size(), 3u);
+    for (BlockCache &cache : bothClocks(3)) {
+        cache.insert(1);
+        cache.insert(2);
+        cache.insert(3);
+        cache.insert(4); // hand is now parked inside the ring
+        EXPECT_TRUE(cache.erase(2) || cache.erase(3) || cache.erase(4));
+        // Ring stays consistent: we can keep inserting/evicting.
+        for (BlockId b = 10; b < 30; ++b)
+            if (!cache.contains(b))
+                cache.insert(b);
+        EXPECT_LE(cache.size(), 3u);
+        cache.checkInvariants();
+    }
 }
 
 TEST(Clock, Name)
 {
-    EXPECT_STREQ(ClockPolicy().name(), "CLOCK");
+    EXPECT_STREQ(ReferenceClockPolicy().name(), "CLOCK");
 }
 
 } // namespace clock_tests
