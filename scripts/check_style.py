@@ -35,6 +35,13 @@ def projectPrefixes():
         if os.path.isdir(os.path.join(src, name)):
             prefixes.add(name)
     prefixes.add("bench_common.hpp")
+    # Test-only header trees (tests/modelcheck/...) are included as
+    # "modelcheck/sched.hpp" from test sources.
+    tests = os.path.join(REPO, "tests")
+    if os.path.isdir(tests):
+        for name in os.listdir(tests):
+            if os.path.isdir(os.path.join(tests, name)):
+                prefixes.add(name)
     return prefixes
 
 
@@ -158,7 +165,9 @@ def collectFiles(dirs, exts):
 def main():
     prefixes = projectPrefixes()
     errors = []
-    headers = collectFiles(SOURCE_DIRS, {".hpp"})
+    # Test headers carry guards too (tests/modelcheck/sched.hpp ->
+    # SIEVESTORE_TESTS_MODELCHECK_SCHED_HPP).
+    headers = collectFiles(SOURCE_DIRS + TEST_DIRS, {".hpp"})
     sources = collectFiles(SOURCE_DIRS, {".hpp", ".cpp"})
     # Tests keep gtest idiom but still obey include hygiene + assert ban.
     test_sources = collectFiles(TEST_DIRS, {".hpp", ".cpp"})

@@ -75,9 +75,19 @@ if TIDY=$(find_tool clang-tidy); then
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
         DB_DIR=build/tidy
     fi
-    if git ls-files -- 'src/**.cpp' |
+    # Tidy all compiled trees: src/, bench/, tests/. Filter to files
+    # the compile database actually knows — bench/ and tests/ targets
+    # are skipped when Google Benchmark / GTest are not installed.
+    TIDY_FILES=$(git ls-files -- 'src/**.cpp' 'bench/**.cpp' \
+            'tests/**.cpp' | while read -r f; do
+        grep -q "$PWD/$f\"" "$DB_DIR/compile_commands.json" && echo "$f"
+    done)
+    if [[ -z "$TIDY_FILES" ]]; then
+        echo "   SKIPPED: compile database has no lintable files"
+        SKIPPED=1
+    elif echo "$TIDY_FILES" |
             xargs -P "$(nproc)" -n 4 "$TIDY" -p "$DB_DIR" --quiet; then
-        echo "   OK"
+        echo "   OK ($(echo "$TIDY_FILES" | wc -l) files)"
     else
         FAILED=1
     fi
@@ -89,6 +99,15 @@ fi
 # ---- 3. custom style checker --------------------------------------
 step "check_style.py"
 if python3 scripts/check_style.py; then
+    :
+else
+    FAILED=1
+fi
+
+# ---- 4. project invariant linter ----------------------------------
+step "sieve_lint.py"
+if python3 scripts/sieve_lint.py --self-test &&
+        python3 scripts/sieve_lint.py; then
     :
 else
     FAILED=1

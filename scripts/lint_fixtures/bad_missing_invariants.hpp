@@ -1,0 +1,23 @@
+// Fixture: a class on the invariant audit list (Mct) that fails to
+// declare checkInvariants().
+// lint-expect: invariants
+
+#ifndef SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_MISSING_INVARIANTS_HPP
+#define SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_MISSING_INVARIANTS_HPP
+
+#include <cstdint>
+
+namespace fixture {
+
+class Mct
+{
+  public:
+    uint64_t count() const { return hits; }
+
+  private:
+    uint64_t hits = 0;
+};
+
+} // namespace fixture
+
+#endif // SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_MISSING_INVARIANTS_HPP

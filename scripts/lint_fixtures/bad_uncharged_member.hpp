@@ -1,0 +1,30 @@
+// Fixture: a class whose memoryBytes() forgets one container member.
+// The footprint it reports silently understates the real cost.
+// lint-expect: mem-charge
+
+#ifndef SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_UNCHARGED_MEMBER_HPP
+#define SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_UNCHARGED_MEMBER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class LeakyFootprint
+{
+  public:
+    uint64_t
+    memoryBytes() const
+    {
+        return static_cast<uint64_t>(values.capacity()) *
+               sizeof(uint64_t);
+    }
+
+  private:
+    std::vector<uint64_t> values;
+    std::vector<uint8_t> flags; // never charged above
+};
+
+} // namespace fixture
+
+#endif // SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_UNCHARGED_MEMBER_HPP

@@ -1,0 +1,30 @@
+// Fixture: report rows emitted straight from an unordered_map walk —
+// the row order changes across standard libraries and runs.
+// lint-expect: unordered-report
+
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<uint64_t, uint64_t> g_counts;
+
+void
+reportCounts()
+{
+    for (const auto &kv : g_counts)
+        std::cout << kv.first << "," << kv.second << "\n";
+}
+
+uint64_t
+sumCounts()
+{
+    // Aggregation is order-independent: must NOT be flagged.
+    uint64_t total = 0;
+    for (const auto &kv : g_counts)
+        total += kv.second;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: nondeterministic seeding and a wall-clock read; both
+// break seeded replay. One line opts out via allow().
+// lint-expect: wall-clock
+// lint-expect: wall-clock
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+uint64_t
+entropySeed()
+{
+    std::random_device rd;
+    return rd();
+}
+
+int64_t
+wallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch()
+        .count();
+}
+
+int64_t
+sanctionedWallNow()
+{
+    // sieve-lint: allow(wall-clock)
+    return std::chrono::steady_clock::now().time_since_epoch()
+        .count();
+}
+
+} // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: every container member is either charged by name in
+// memoryBytes() or carries a charged() directive. Must lint clean.
+
+#ifndef SIEVESTORE_SCRIPTS_LINT_FIXTURES_GOOD_CHARGED_MEMBER_HPP
+#define SIEVESTORE_SCRIPTS_LINT_FIXTURES_GOOD_CHARGED_MEMBER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class HonestFootprint
+{
+  public:
+    uint64_t memoryBytes() const;
+
+  private:
+    std::vector<uint64_t> values;
+    // sieve-lint: charged(shares the allocation charged via values)
+    std::vector<uint8_t> flags;
+};
+
+// Out-of-line definition: the linter must find it in this file scan.
+inline uint64_t
+HonestFootprint::memoryBytes() const
+{
+    return static_cast<uint64_t>(values.capacity()) *
+           sizeof(uint64_t);
+}
+
+struct NoFootprintApi
+{
+    // No memoryBytes() at all: members are out of the rule's scope.
+    std::string label;
+};
+
+} // namespace fixture
+
+#endif // SIEVESTORE_SCRIPTS_LINT_FIXTURES_GOOD_CHARGED_MEMBER_HPP

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/alloc_guard.hpp"
+
 namespace sievestore {
 namespace analysis {
 
@@ -60,6 +62,10 @@ AccessCounter::reserve(size_t expected_blocks)
 void
 AccessCounter::observe(trace::BlockId block)
 {
+    // A driver that called reserveEpochBlocks() sized the table for
+    // the epoch population; while that headroom lasts, observation
+    // must be a pure probe. Unreserved use may still grow the table.
+    SIEVE_ASSERT_NO_ALLOC_WHEN(counts_.hasCapacityFor(1));
     ++*counts_.findOrInsert(block).first;
 }
 

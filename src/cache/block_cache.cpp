@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/alloc_guard.hpp"
 #include "util/check.hpp"
 #include "util/footprint.hpp"
 #include "util/logging.hpp"
@@ -61,6 +62,10 @@ BlockCache::contains(BlockId block) const
 bool
 BlockCache::access(BlockId block)
 {
+    // Flat engine: a resident hit is one probe plus inline policy
+    // state; arena splices never allocate. Custom policies own their
+    // state and make no such promise.
+    SIEVE_ASSERT_NO_ALLOC_WHEN(!custom);
     PolicyState *st = index.find(block);
     if (!st)
         return false;
@@ -74,6 +79,13 @@ BlockCache::access(BlockId block)
 std::optional<BlockId>
 BlockCache::insert(BlockId block)
 {
+    // Steady state (cache full) recycles: the victim's index slot and
+    // order-book node are released before the insert reuses them, and
+    // the pre-reserved table never rehashes. Warmup below capacity
+    // may still grow the order arena, so the region engages only once
+    // the cache is full.
+    SIEVE_ASSERT_NO_ALLOC_WHEN(!custom &&
+                               index.size() >= capacity_blocks);
     std::optional<BlockId> evicted;
     if (index.size() >= capacity_blocks) {
         // Pre-check the contract here: below capacity findOrInsert
@@ -100,6 +112,9 @@ BlockCache::insert(BlockId block)
 bool
 BlockCache::erase(BlockId block)
 {
+    // Backward-shift deletion and freelist recycling: never allocates
+    // in the flat engine.
+    SIEVE_ASSERT_NO_ALLOC_WHEN(!custom);
     if (!index.contains(block))
         return false;
     eraseResident(block);

@@ -1,5 +1,6 @@
 #include "core/imct.hpp"
 
+#include "util/alloc_guard.hpp"
 #include "util/check.hpp"
 #include "util/footprint.hpp"
 #include "util/hashing.hpp"
@@ -26,12 +27,16 @@ Imct::slotOf(trace::BlockId block) const
 uint32_t
 Imct::recordMiss(trace::BlockId block, util::TimeUs t)
 {
+    // The IMCT is the bounded-metastate tier: a fixed array indexed
+    // by a hash. Every miss is O(1) with zero allocation, enforced.
+    SIEVE_ASSERT_NO_ALLOC;
     return table[slotOf(block)].record(spec.subwindowOf(t), spec);
 }
 
 uint32_t
 Imct::count(trace::BlockId block, util::TimeUs t) const
 {
+    SIEVE_ASSERT_NO_ALLOC;
     return table[slotOf(block)].total(spec.subwindowOf(t), spec);
 }
 

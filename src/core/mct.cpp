@@ -1,5 +1,6 @@
 #include "core/mct.hpp"
 
+#include "util/alloc_guard.hpp"
 #include "util/check.hpp"
 #include "util/footprint.hpp"
 #include "util/logging.hpp"
@@ -15,12 +16,17 @@ Mct::Mct(WindowSpec window)
 bool
 Mct::contains(trace::BlockId block) const
 {
+    SIEVE_ASSERT_NO_ALLOC;
     return entries.contains(block);
 }
 
 void
 Mct::admit(trace::BlockId block, util::TimeUs t)
 {
+    // Admission may legitimately grow the table; the region engages
+    // only when the slot array already has room, in which case the
+    // insert must be a pure probe.
+    SIEVE_ASSERT_NO_ALLOC_WHEN(entries.hasCapacityFor(1));
     const auto [counter, inserted] = entries.findOrInsert(block);
     if (inserted)
         counter->touch(spec.subwindowOf(t), spec);
@@ -29,6 +35,9 @@ Mct::admit(trace::BlockId block, util::TimeUs t)
 uint32_t
 Mct::recordMiss(trace::BlockId block, util::TimeUs t)
 {
+    // One probe per miss — the MCT's whole cost argument. panic()
+    // disarms the guard itself if the precondition fails.
+    SIEVE_ASSERT_NO_ALLOC;
     WindowedCounter *counter = entries.find(block);
     if (!counter)
         util::panic("MCT: recordMiss for untracked block");
@@ -38,6 +47,7 @@ Mct::recordMiss(trace::BlockId block, util::TimeUs t)
 uint32_t
 Mct::count(trace::BlockId block, util::TimeUs t) const
 {
+    SIEVE_ASSERT_NO_ALLOC;
     const WindowedCounter *counter = entries.find(block);
     if (!counter)
         return 0;
@@ -83,6 +93,9 @@ Mct::checkInvariants() const
 void
 Mct::prune(util::TimeUs t)
 {
+    // Tombstone-free backward-shift erase: pruning thousands of stale
+    // entries per subwindow frees nothing and allocates nothing.
+    SIEVE_ASSERT_NO_ALLOC;
     const uint64_t cur_sub = spec.subwindowOf(t);
     entries.eraseIf([&](uint64_t, const WindowedCounter &counter) {
         return counter.stale(cur_sub, spec);

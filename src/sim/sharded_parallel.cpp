@@ -39,6 +39,7 @@
 
 #include "sim/driver.hpp"
 #include "sim/sharded.hpp"
+#include "util/alloc_guard.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
@@ -120,16 +121,25 @@ pollShard(ItemQueue &queue, core::Appliance &node, int *day_out)
 {
     Item item;
     for (;;) {
-        if (!queue.tryPop(item)) {
-            if (!queue.closed())
-                return Phase::Running;
-            // Re-check after observing the close flag: items pushed
-            // before close() may race with the flag's visibility.
-            if (!queue.tryPop(item)) {
-                node.finishTrace();
-                return Phase::Closed;
+        bool got;
+        {
+            // Queue hand-off is the per-request cost of the parallel
+            // engine: one POD move out of a pre-sized ring, nothing
+            // heap-touching. (processRequest below may grow sieve
+            // tables and is deliberately outside the region.)
+            SIEVE_ASSERT_NO_ALLOC;
+            got = queue.tryPop(item);
+            if (!got && queue.closed()) {
+                // Re-check after observing the close flag: items
+                // pushed before close() may race with the flag's
+                // visibility.
+                got = queue.tryPop(item);
+                if (!got)
+                    break;
             }
         }
+        if (!got)
+            return Phase::Running;
         if (item.kind == Item::Kind::Request) {
             node.processRequest(item.req);
             continue;
@@ -138,6 +148,8 @@ pollShard(ItemQueue &queue, core::Appliance &node, int *day_out)
         *day_out = item.day;
         return Phase::AtDayEnd;
     }
+    node.finishTrace();
+    return Phase::Closed;
 }
 
 void
@@ -276,6 +288,10 @@ runShardedParallel(trace::TraceReader &reader,
             Item marker;
             marker.kind = Item::Kind::DayEnd;
             marker.day = current_day;
+            // Markers and subrequests alike are POD moves into a
+            // pre-sized ring: the reader's steady state never touches
+            // the heap, even while blocked on a full queue.
+            SIEVE_ASSERT_NO_ALLOC;
             for (ItemQueue *q : queue_ptrs)
                 q->push(marker);
             ++current_day;
@@ -286,6 +302,7 @@ runShardedParallel(trace::TraceReader &reader,
             [&queue_ptrs](size_t shard, const trace::Request &sub) {
                 Item item;
                 item.req = sub;
+                SIEVE_ASSERT_NO_ALLOC;
                 queue_ptrs[shard]->push(std::move(item));
             });
     }

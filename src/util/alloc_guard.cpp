@@ -1,0 +1,275 @@
+/**
+ * @file
+ * AllocGuard state and the replaced global allocation functions.
+ *
+ * This translation unit is pulled into every binary that opens a
+ * guard region (the region macros reference the out-of-line
+ * enter/exit functions), which is exactly what drags the replaced
+ * operator new / delete definitions into the link. Binaries that
+ * never open a region may link the stock allocator; their guard depth
+ * would always be zero anyway.
+ *
+ * The wrappers cost one thread-local read per allocation. Sanitizers
+ * still interpose the underlying malloc/free, so ASan/TSan coverage
+ * of guarded binaries is unchanged.
+ */
+
+#include "util/alloc_guard.hpp"
+
+#ifndef SIEVE_ALLOC_GUARD_DISABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace sievestore {
+namespace util {
+namespace alloc_guard_detail {
+
+namespace {
+
+thread_local int no_alloc_depth = 0;
+thread_local int allow_depth = 0;
+thread_local uint64_t allocation_count = 0;
+
+[[noreturn]] void
+violation(std::size_t bytes) noexcept
+{
+    // Disarm before reporting: fprintf, stack unwinding, and abort
+    // handlers may themselves allocate on this thread.
+    no_alloc_depth = 0;
+    std::fprintf(stderr,
+                 "AllocGuard: operator new(%zu) inside a "
+                 "SIEVE_ASSERT_NO_ALLOC region\n",
+                 bytes);
+    std::fflush(stderr);
+    std::abort();
+}
+
+/** Malloc with the region check; returns nullptr on exhaustion. */
+void *
+guardedAlloc(std::size_t bytes) noexcept
+{
+    ++allocation_count;
+    if (no_alloc_depth > 0 && allow_depth == 0)
+        violation(bytes);
+    return std::malloc(bytes != 0 ? bytes : 1);
+}
+
+/** Aligned variant (posix_memalign requires pointer-sized minimum). */
+void *
+guardedAlignedAlloc(std::size_t bytes, std::size_t alignment) noexcept
+{
+    ++allocation_count;
+    if (no_alloc_depth > 0 && allow_depth == 0)
+        violation(bytes);
+    if (alignment < sizeof(void *))
+        alignment = sizeof(void *);
+    void *ptr = nullptr;
+    if (posix_memalign(&ptr, alignment, bytes != 0 ? bytes : 1) != 0)
+        return nullptr;
+    return ptr;
+}
+
+/** Standard throwing-new protocol around a failable allocator. */
+template <typename Alloc>
+void *
+allocOrThrow(std::size_t bytes, Alloc &&alloc)
+{
+    for (;;) {
+        void *ptr = alloc(bytes);
+        if (ptr)
+            return ptr;
+        std::new_handler handler = std::get_new_handler();
+        if (!handler)
+            throw std::bad_alloc();
+        handler();
+    }
+}
+
+} // namespace
+
+void
+enterNoAlloc() noexcept
+{
+    ++no_alloc_depth;
+}
+
+void
+exitNoAlloc() noexcept
+{
+    --no_alloc_depth;
+}
+
+void
+enterAllow() noexcept
+{
+    ++allow_depth;
+}
+
+void
+exitAllow() noexcept
+{
+    --allow_depth;
+}
+
+bool
+inNoAllocRegion() noexcept
+{
+    return no_alloc_depth > 0 && allow_depth == 0;
+}
+
+uint64_t
+threadAllocationCount() noexcept
+{
+    return allocation_count;
+}
+
+} // namespace alloc_guard_detail
+} // namespace util
+} // namespace sievestore
+
+namespace ssag = sievestore::util::alloc_guard_detail;
+
+// ---- replaced global allocation functions -------------------------
+// The full replaceable set (plain, array, nothrow, aligned) so every
+// allocation in a guarded binary funnels through the region check and
+// new/delete stay a matched malloc/free pair.
+
+void *
+operator new(std::size_t bytes)
+{
+    return ssag::allocOrThrow(bytes, [](std::size_t b) {
+        return ssag::guardedAlloc(b);
+    });
+}
+
+void *
+operator new[](std::size_t bytes)
+{
+    return ssag::allocOrThrow(bytes, [](std::size_t b) {
+        return ssag::guardedAlloc(b);
+    });
+}
+
+void *
+operator new(std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    return ssag::guardedAlloc(bytes);
+}
+
+void *
+operator new[](std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    return ssag::guardedAlloc(bytes);
+}
+
+void *
+operator new(std::size_t bytes, std::align_val_t alignment)
+{
+    return ssag::allocOrThrow(bytes, [alignment](std::size_t b) {
+        return ssag::guardedAlignedAlloc(
+            b, static_cast<std::size_t>(alignment));
+    });
+}
+
+void *
+operator new[](std::size_t bytes, std::align_val_t alignment)
+{
+    return ssag::allocOrThrow(bytes, [alignment](std::size_t b) {
+        return ssag::guardedAlignedAlloc(
+            b, static_cast<std::size_t>(alignment));
+    });
+}
+
+void *
+operator new(std::size_t bytes, std::align_val_t alignment,
+             const std::nothrow_t &) noexcept
+{
+    return ssag::guardedAlignedAlloc(
+        bytes, static_cast<std::size_t>(alignment));
+}
+
+void *
+operator new[](std::size_t bytes, std::align_val_t alignment,
+               const std::nothrow_t &) noexcept
+{
+    return ssag::guardedAlignedAlloc(
+        bytes, static_cast<std::size_t>(alignment));
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t,
+                const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+#endif // SIEVE_ALLOC_GUARD_DISABLED

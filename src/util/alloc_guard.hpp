@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Allocation guards: mechanically enforce the "zero-allocation hot
+ * path" claim.
+ *
+ * The flat-index refactor (DESIGN.md section 7) made the cache,
+ * sieve, and replay hot paths allocation-free *by construction*:
+ * capacity-reserved tables, index-linked arenas with freelists, POD
+ * hand-off slots. Nothing enforced it — a future std::string in a
+ * policy transition or an accidental rehash would silently regress
+ * the measured numbers. AllocGuard turns the claim into a checked
+ * property:
+ *
+ *  - alloc_guard.cpp replaces the global allocation functions
+ *    (operator new / delete, array, nothrow, and aligned forms) with
+ *    thin wrappers that consult a thread-local region depth;
+ *  - SIEVE_ASSERT_NO_ALLOC opens a scoped region on the current
+ *    thread; any allocation before scope exit reports the size and
+ *    aborts (usable from gtest death tests, like SIEVE_CHECK);
+ *  - SIEVE_ASSERT_NO_ALLOC_WHEN(cond) engages only when `cond` holds,
+ *    for paths that are allocation-free conditionally (e.g. the flat
+ *    cache engine but not the node-based reference policies);
+ *  - AllocGuardDisarm re-permits allocation inside a region; the
+ *    failure-reporting paths (checkFailed, fatal, panic) use it so a
+ *    contract violation inside a region still prints its message.
+ *
+ * The guard is thread-local throughout: regions on one thread never
+ * constrain allocation on another (the parallel replay reader guards
+ * its push loop while workers construct reports freely). Deallocation
+ * is deliberately *not* policed — the hot structures recycle via
+ * freelists, and a stray free indicates churn, not a footprint
+ * regression.
+ *
+ * Configure with -DSIEVE_ALLOC_GUARD=OFF to compile the regions out
+ * and leave the global allocation functions untouched.
+ */
+
+#ifndef SIEVESTORE_UTIL_ALLOC_GUARD_HPP
+#define SIEVESTORE_UTIL_ALLOC_GUARD_HPP
+
+#include <cstdint>
+
+namespace sievestore {
+namespace util {
+
+#ifndef SIEVE_ALLOC_GUARD_DISABLED
+
+namespace alloc_guard_detail {
+
+/** Raise / lower the calling thread's no-alloc region depth. */
+void enterNoAlloc() noexcept;
+void exitNoAlloc() noexcept;
+
+/** Raise / lower the calling thread's disarm depth. */
+void enterAllow() noexcept;
+void exitAllow() noexcept;
+
+/** True when an armed no-alloc region covers the calling thread. */
+bool inNoAllocRegion() noexcept;
+
+/** Allocations observed on the calling thread since it started. */
+uint64_t threadAllocationCount() noexcept;
+
+} // namespace alloc_guard_detail
+
+/**
+ * Scoped no-alloc region. Prefer the SIEVE_ASSERT_NO_ALLOC /
+ * SIEVE_ASSERT_NO_ALLOC_WHEN macros, which compile out with
+ * SIEVE_ALLOC_GUARD=OFF.
+ */
+class AllocGuard
+{
+  public:
+    explicit AllocGuard(bool engage = true) noexcept : engaged(engage)
+    {
+        if (engaged)
+            alloc_guard_detail::enterNoAlloc();
+    }
+
+    ~AllocGuard()
+    {
+        if (engaged)
+            alloc_guard_detail::exitNoAlloc();
+    }
+
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+
+    /** True when an armed region covers the calling thread. */
+    static bool
+    active() noexcept
+    {
+        return alloc_guard_detail::inNoAllocRegion();
+    }
+
+    /** Allocations observed on the calling thread so far. */
+    static uint64_t
+    allocationCount() noexcept
+    {
+        return alloc_guard_detail::threadAllocationCount();
+    }
+
+  private:
+    const bool engaged;
+};
+
+/**
+ * Scoped exemption: allocation inside an enclosing no-alloc region is
+ * permitted again until scope exit. For failure reporting and other
+ * cold paths that legitimately allocate while a region is open.
+ */
+class AllocGuardDisarm
+{
+  public:
+    AllocGuardDisarm() noexcept { alloc_guard_detail::enterAllow(); }
+    ~AllocGuardDisarm() { alloc_guard_detail::exitAllow(); }
+
+    AllocGuardDisarm(const AllocGuardDisarm &) = delete;
+    AllocGuardDisarm &operator=(const AllocGuardDisarm &) = delete;
+};
+
+#else // SIEVE_ALLOC_GUARD_DISABLED
+
+/** Guard disabled: keep the API shape, enforce nothing. */
+class AllocGuard
+{
+  public:
+    explicit AllocGuard(bool = true) noexcept {}
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+    static bool active() noexcept { return false; }
+    static uint64_t allocationCount() noexcept { return 0; }
+};
+
+class AllocGuardDisarm
+{
+  public:
+    // User-provided (not defaulted) so disabled-build locals do not
+    // trip -Wunused-variable.
+    AllocGuardDisarm() noexcept {}
+    ~AllocGuardDisarm() {}
+    AllocGuardDisarm(const AllocGuardDisarm &) = delete;
+    AllocGuardDisarm &operator=(const AllocGuardDisarm &) = delete;
+};
+
+#endif // SIEVE_ALLOC_GUARD_DISABLED
+
+} // namespace util
+} // namespace sievestore
+
+#define SIEVE_ALLOC_GUARD_CONCAT2(a, b) a##b
+#define SIEVE_ALLOC_GUARD_CONCAT(a, b) SIEVE_ALLOC_GUARD_CONCAT2(a, b)
+
+#ifndef SIEVE_ALLOC_GUARD_DISABLED
+
+/**
+ * Open a no-alloc region on the calling thread until the end of the
+ * enclosing scope; any allocation inside reports and aborts.
+ */
+#define SIEVE_ASSERT_NO_ALLOC                                             \
+    ::sievestore::util::AllocGuard SIEVE_ALLOC_GUARD_CONCAT(              \
+        sieve_no_alloc_region_, __LINE__)
+
+/** As SIEVE_ASSERT_NO_ALLOC, but engaged only when `cond` holds. */
+#define SIEVE_ASSERT_NO_ALLOC_WHEN(cond)                                  \
+    ::sievestore::util::AllocGuard SIEVE_ALLOC_GUARD_CONCAT(              \
+        sieve_no_alloc_region_, __LINE__)((cond))
+
+#else
+
+#define SIEVE_ASSERT_NO_ALLOC static_cast<void>(0)
+#define SIEVE_ASSERT_NO_ALLOC_WHEN(cond)                                  \
+    static_cast<void>(sizeof(!(cond)))
+
+#endif // SIEVE_ALLOC_GUARD_DISABLED
+
+#endif // SIEVESTORE_UTIL_ALLOC_GUARD_HPP

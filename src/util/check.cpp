@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/alloc_guard.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -13,6 +14,9 @@ void
 checkFailed(const char *file, int line, const char *macro_name,
             const char *expr, const char *msg_fmt, ...)
 {
+    // A contract can fail inside a SIEVE_ASSERT_NO_ALLOC region; the
+    // report (vformat, std::string) must still be allowed to allocate.
+    AllocGuardDisarm disarm;
     std::string message;
     if (msg_fmt) {
         va_list ap;

@@ -71,6 +71,18 @@ class FlatIndex
     /** Allocated slot count (power of two; 0 before first use). */
     size_t slotCount() const { return slots_.size(); }
 
+    /**
+     * True when `extra` more entries fit without growing the table
+     * (the exact complement of findOrInsert's rehash trigger). Lets
+     * callers engage SIEVE_ASSERT_NO_ALLOC regions precisely: a
+     * pre-reserved table keeps this true for its whole working set.
+     */
+    bool
+    hasCapacityFor(size_t extra) const
+    {
+        return (count_ + extra) * 8 <= slots_.size() * 7;
+    }
+
     /** Entries per slot, in [0, 7/8]. */
     double
     loadFactor() const
@@ -366,6 +378,8 @@ class FlatIndex
     }
 
     std::vector<Slot> slots_;
+    // sieve-lint: charged(flatIndexFootprintBytes adds one metadata
+    // byte per slot for this array)
     std::vector<uint8_t> dib_;
     size_t count_ = 0;
 };

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "util/alloc_guard.hpp"
+
 namespace sievestore {
 namespace util {
 
@@ -64,6 +66,9 @@ warn(const char *fmt, ...)
 void
 fatal(const char *fmt, ...)
 {
+    // Failure paths may fire inside a SIEVE_ASSERT_NO_ALLOC region;
+    // building and throwing the message must stay permitted.
+    AllocGuardDisarm disarm;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
@@ -74,6 +79,7 @@ fatal(const char *fmt, ...)
 void
 panic(const char *fmt, ...)
 {
+    AllocGuardDisarm disarm;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Deterministic schedule explorer for concurrent model checking.
+ *
+ * A System models a small concurrent program as N virtual threads,
+ * each advanced one atomic micro-step at a time by step(tid). The
+ * explorer owns the interleaving: it enumerates (exhaustively, via
+ * stateless replay DFS) or samples (randomly, from a seeded Rng)
+ * schedules, rebuilding the system from a factory for every schedule
+ * so each run starts from the identical initial state.
+ *
+ * Blocking is modeled omnisciently: runnable(tid) may consult ground
+ * truth a real thread could not see, and a thread whose progress
+ * condition is false is simply never scheduled. That prunes the
+ * unbounded spin-retry schedules a busy-waiting loop would otherwise
+ * generate, while preserving every distinguishable interleaving of
+ * the steps that do change state. A state where no thread is done()
+ * yet none is runnable() is a deadlock and reported as a violation.
+ *
+ * The exploration is sequentially consistent: one step executes at a
+ * time, fully, in program order. That is exactly the right tool for
+ * the logic bugs this harness hunts (off-by-one occupancy tests,
+ * publish/write reordering at the algorithm level, missed post-close
+ * re-checks, stale-cache livelocks); weak-memory bugs are out of
+ * scope here and covered by the tsan preset instead.
+ */
+
+#ifndef SIEVESTORE_TESTS_MODELCHECK_SCHED_HPP
+#define SIEVESTORE_TESTS_MODELCHECK_SCHED_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace sievestore {
+namespace modelcheck {
+
+/**
+ * A concurrent program under test. Implementations must be
+ * deterministic: the same sequence of step(tid) calls from a fresh
+ * instance must reproduce the same states, or DFS replay diverges.
+ */
+class System
+{
+  public:
+    virtual ~System() = default;
+
+    /** Number of virtual threads; at most 64. */
+    virtual size_t numThreads() const = 0;
+
+    /** True once thread `tid` has no further steps. */
+    virtual bool done(size_t tid) const = 0;
+
+    /**
+     * True when thread `tid` could make progress if scheduled. May
+     * consult omniscient ground truth (see file comment).
+     */
+    virtual bool runnable(size_t tid) const = 0;
+
+    /** Execute one atomic micro-step of thread `tid`. */
+    virtual void step(size_t tid) = 0;
+
+    /** End-of-schedule invariants (e.g. nothing was lost). */
+    virtual void checkFinal() = 0;
+
+    /** First recorded violation, empty if the run is clean so far. */
+    virtual const std::string &violation() const = 0;
+};
+
+/** Convenience base: violation recording shared by all models. */
+class SystemBase : public System
+{
+  public:
+    const std::string &violation() const override { return violation_; }
+
+  protected:
+    /** Record the first violation; later ones are dropped. */
+    void
+    fail(const std::string &message)
+    {
+        if (violation_.empty())
+            violation_ = message;
+    }
+
+  private:
+    std::string violation_;
+};
+
+using SystemFactory = std::function<std::unique_ptr<System>()>;
+
+/** Outcome of one exploration campaign. */
+struct ExploreResult
+{
+    /** Schedules fully executed (including the violating one). */
+    uint64_t schedules = 0;
+    /** Exhaustive only: the whole schedule tree was covered. */
+    bool complete = false;
+    /** Exhaustive only: stopped early on the schedule budget. */
+    bool budget_exhausted = false;
+    /** Some schedule exceeded the step bound (model likely livelocks). */
+    bool depth_exceeded = false;
+    /** First violation message; empty means none found. */
+    std::string violation;
+    /** Thread-choice sequence reproducing the violation. */
+    std::vector<uint32_t> trace;
+
+    /** Render the violating schedule for a failure message. */
+    std::string
+    traceString() const
+    {
+        std::string out;
+        for (uint32_t tid : trace) {
+            if (!out.empty())
+                out += ',';
+            out += std::to_string(tid);
+        }
+        return out;
+    }
+};
+
+namespace detail {
+
+inline uint64_t
+enabledMask(const System &sys)
+{
+    uint64_t mask = 0;
+    for (size_t t = 0; t < sys.numThreads(); ++t)
+        if (!sys.done(t) && sys.runnable(t))
+            mask |= uint64_t(1) << t;
+    return mask;
+}
+
+inline bool
+allDone(const System &sys)
+{
+    for (size_t t = 0; t < sys.numThreads(); ++t)
+        if (!sys.done(t))
+            return false;
+    return true;
+}
+
+inline uint32_t
+lowestBit(uint64_t mask)
+{
+    SIEVE_DCHECK(mask != 0, "no enabled thread to pick");
+    uint32_t i = 0;
+    while (!(mask & (uint64_t(1) << i)))
+        ++i;
+    return i;
+}
+
+inline uint32_t
+randomBit(uint64_t mask, util::Rng &rng)
+{
+    uint32_t count = 0;
+    for (uint64_t m = mask; m; m &= m - 1)
+        ++count;
+    uint64_t pick = rng.nextBelow(count);
+    for (uint32_t i = 0;; ++i) {
+        if (!(mask & (uint64_t(1) << i)))
+            continue;
+        if (pick-- == 0)
+            return i;
+    }
+}
+
+/**
+ * Run one schedule to completion. `choose` maps (step index, enabled
+ * mask) to the thread to run. Returns true if a violation or deadlock
+ * was found (recorded into `res`); the executed choice sequence is
+ * left in `res.trace` either way.
+ */
+template <typename ChooseFn>
+bool
+runSchedule(System &sys, size_t max_depth, ChooseFn &&choose,
+            ExploreResult &res)
+{
+    res.trace.clear();
+    for (;;) {
+        if (!sys.violation().empty()) {
+            res.violation = sys.violation();
+            return true;
+        }
+        if (allDone(sys)) {
+            sys.checkFinal();
+            res.violation = sys.violation();
+            return !res.violation.empty();
+        }
+        const uint64_t enabled = enabledMask(sys);
+        if (enabled == 0) {
+            res.violation =
+                "deadlock: no runnable thread before completion";
+            return true;
+        }
+        if (res.trace.size() >= max_depth) {
+            res.depth_exceeded = true;
+            res.violation = "step bound exceeded: model does not "
+                            "terminate under this schedule";
+            return true;
+        }
+        const uint32_t tid = choose(res.trace.size(), enabled);
+        sys.step(tid);
+        res.trace.push_back(tid);
+    }
+}
+
+} // namespace detail
+
+/**
+ * Stateless-replay depth-first search over every schedule, bounded by
+ * `max_schedules` runs and `max_depth` steps per run. Each iteration
+ * rebuilds the system and replays the current choice prefix, then
+ * extends it first-enabled-thread-first; backtracking resumes at the
+ * deepest choice point with an untried alternative.
+ */
+inline ExploreResult
+exploreExhaustive(const SystemFactory &make, uint64_t max_schedules,
+                  size_t max_depth)
+{
+    struct ChoiceRec
+    {
+        uint64_t enabled;
+        uint64_t tried;
+        uint32_t chosen;
+    };
+    std::vector<ChoiceRec> stack;
+    ExploreResult res;
+    for (;;) {
+        auto sys = make();
+        const bool bad = detail::runSchedule(
+            *sys, max_depth,
+            [&stack](size_t pos, uint64_t enabled) {
+                if (pos < stack.size()) {
+                    // Replay the prefix under exploration.
+                    const ChoiceRec &rec = stack[pos];
+                    SIEVE_CHECK(enabled ==
+                                    rec.enabled,
+                                "model is nondeterministic: enabled "
+                                "mask changed on replay");
+                    return rec.chosen;
+                }
+                const uint32_t tid = detail::lowestBit(enabled);
+                stack.push_back(
+                    ChoiceRec{enabled, uint64_t(1) << tid, tid});
+                return tid;
+            },
+            res);
+        ++res.schedules;
+        if (bad)
+            return res;
+        // Backtrack to the deepest untried alternative.
+        while (!stack.empty()) {
+            ChoiceRec &rec = stack.back();
+            const uint64_t untried = rec.enabled & ~rec.tried;
+            if (untried) {
+                rec.chosen = detail::lowestBit(untried);
+                rec.tried |= uint64_t(1) << rec.chosen;
+                break;
+            }
+            stack.pop_back();
+        }
+        if (stack.empty()) {
+            res.complete = true;
+            return res;
+        }
+        if (res.schedules >= max_schedules) {
+            res.budget_exhausted = true;
+            return res;
+        }
+    }
+}
+
+/**
+ * Sample `schedules` random interleavings from a seeded Rng. Far
+ * shallower than DFS per schedule-count, but scales to instances the
+ * exhaustive tree cannot reach.
+ */
+inline ExploreResult
+exploreRandom(const SystemFactory &make, uint64_t schedules,
+              uint64_t seed, size_t max_depth)
+{
+    util::Rng rng(seed);
+    ExploreResult res;
+    for (uint64_t s = 0; s < schedules; ++s) {
+        auto sys = make();
+        const bool bad = detail::runSchedule(
+            *sys, max_depth,
+            [&rng](size_t, uint64_t enabled) {
+                return detail::randomBit(enabled, rng);
+            },
+            res);
+        ++res.schedules;
+        if (bad)
+            return res;
+    }
+    return res;
+}
+
+} // namespace modelcheck
+} // namespace sievestore
+
+#endif // SIEVESTORE_TESTS_MODELCHECK_SCHED_HPP

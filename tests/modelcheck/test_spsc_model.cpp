@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Model-checker campaign for the SPSC queue (see spsc_model.hpp).
+ *
+ * The correct mirror and the real queue must survive every explored
+ * schedule; every seeded bug variant must be caught. Budgets scale
+ * with SIEVE_MODELCHECK_BUDGET (an integer multiplier, default 1) so
+ * the nightly deep-verify job explores far more randomized schedules
+ * than the per-PR smoke run without touching the code.
+ */
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "modelcheck/sched.hpp"
+#include "modelcheck/spsc_model.hpp"
+
+namespace mc = sievestore::modelcheck;
+
+namespace {
+
+uint64_t
+budgetMultiplier()
+{
+    const char *env = std::getenv("SIEVE_MODELCHECK_BUDGET");
+    if (!env || !*env)
+        return 1;
+    const long value = std::atol(env);
+    return value >= 1 ? static_cast<uint64_t>(value) : 1;
+}
+
+/** Generous step bound: the models take well under this per run. */
+constexpr size_t kMaxDepth = 4096;
+
+/** Exhaustive tree budget; the small instances complete well inside. */
+constexpr uint64_t kMaxSchedules = 4u * 1000 * 1000;
+
+mc::SystemFactory
+mirrorFactory(size_t capacity, uint32_t items, mc::SpscBug bug)
+{
+    return [=] {
+        return std::make_unique<mc::ModelSpscSystem>(capacity, items,
+                                                     bug);
+    };
+}
+
+mc::SystemFactory
+realFactory(size_t capacity, uint32_t items)
+{
+    return [=] {
+        return std::make_unique<mc::RealSpscSystem>(capacity, items);
+    };
+}
+
+void
+expectClean(const mc::ExploreResult &res)
+{
+    EXPECT_EQ(res.violation, "")
+        << "violating schedule (thread ids): " << res.traceString();
+    EXPECT_FALSE(res.depth_exceeded);
+}
+
+void
+expectCaught(const mc::ExploreResult &res, const char *needle)
+{
+    ASSERT_NE(res.violation, "")
+        << "explored " << res.schedules
+        << " schedules without finding the seeded bug";
+    EXPECT_NE(res.violation.find(needle), std::string::npos)
+        << "caught the wrong violation: " << res.violation;
+}
+
+} // namespace
+
+TEST(SpscModel, ExhaustiveMirrorIsClean)
+{
+    const auto res = mc::exploreExhaustive(
+        mirrorFactory(2, 3, mc::SpscBug::None), kMaxSchedules,
+        kMaxDepth);
+    expectClean(res);
+    EXPECT_TRUE(res.complete) << "schedule budget too small: "
+                              << res.schedules;
+    // The instance is small but genuinely concurrent: the tree must
+    // branch into a nontrivial number of distinct interleavings.
+    EXPECT_GT(res.schedules, 1000u);
+}
+
+TEST(SpscModel, ExhaustiveMirrorCleanAcrossCapacities)
+{
+    for (const size_t capacity : {size_t(2), size_t(4)}) {
+        const auto res = mc::exploreExhaustive(
+            mirrorFactory(capacity, 4, mc::SpscBug::None),
+            kMaxSchedules, kMaxDepth);
+        expectClean(res);
+        EXPECT_TRUE(res.complete) << "capacity " << capacity;
+    }
+}
+
+TEST(SpscModel, CatchesCapacityOffByOne)
+{
+    const auto res = mc::exploreExhaustive(
+        mirrorFactory(2, 3, mc::SpscBug::CapacityOffByOne),
+        kMaxSchedules, kMaxDepth);
+    expectCaught(res, "unconsumed slot");
+}
+
+TEST(SpscModel, CatchesPublishBeforeWrite)
+{
+    const auto res = mc::exploreExhaustive(
+        mirrorFactory(2, 3, mc::SpscBug::PublishBeforeWrite),
+        kMaxSchedules, kMaxDepth);
+    expectCaught(res, "never written");
+}
+
+TEST(SpscModel, CatchesMissingCloseRecheck)
+{
+    const auto res = mc::exploreExhaustive(
+        mirrorFactory(2, 3, mc::SpscBug::NoCloseRecheck),
+        kMaxSchedules, kMaxDepth);
+    expectCaught(res, "lost items");
+}
+
+TEST(SpscModel, CatchesStaleHeadCacheDeadlock)
+{
+    const auto res = mc::exploreExhaustive(
+        mirrorFactory(2, 3, mc::SpscBug::NeverRefreshHeadCache),
+        kMaxSchedules, kMaxDepth);
+    expectCaught(res, "deadlock");
+}
+
+TEST(SpscModel, RandomizedMirrorLargeInstanceIsClean)
+{
+    // Too big for the exhaustive tree; sample seeded schedules
+    // instead. Distinct seeds give decorrelated walks.
+    const uint64_t rounds = 400 * budgetMultiplier();
+    for (const uint64_t seed : {1u, 2u, 3u}) {
+        const auto res = mc::exploreRandom(
+            mirrorFactory(4, 16, mc::SpscBug::None), rounds, seed,
+            kMaxDepth);
+        expectClean(res);
+        EXPECT_EQ(res.schedules, rounds);
+    }
+}
+
+TEST(SpscModel, RandomizedFindsEverySeededBug)
+{
+    // Random walks must also land on each bug quickly — a regression
+    // here means the sampler lost schedule diversity.
+    const mc::SpscBug bugs[] = {
+        mc::SpscBug::CapacityOffByOne,
+        mc::SpscBug::PublishBeforeWrite,
+        mc::SpscBug::NoCloseRecheck,
+        mc::SpscBug::NeverRefreshHeadCache,
+    };
+    for (const mc::SpscBug bug : bugs) {
+        const auto res = mc::exploreRandom(
+            mirrorFactory(2, 4, bug), 20000, 0x5eed, kMaxDepth);
+        EXPECT_NE(res.violation, "")
+            << "bug " << static_cast<int>(bug) << " not found in "
+            << res.schedules << " random schedules";
+    }
+}
+
+TEST(SpscModel, ExhaustiveRealQueueOps)
+{
+    // The real ring, every interleaving of whole operations,
+    // including wraparound (items > capacity) and the close/drain
+    // race.
+    const auto res =
+        mc::exploreExhaustive(realFactory(2, 5), kMaxSchedules,
+                              kMaxDepth);
+    expectClean(res);
+    EXPECT_TRUE(res.complete);
+    EXPECT_GT(res.schedules, 100u);
+}
+
+TEST(SpscModel, RandomizedRealQueueOps)
+{
+    const uint64_t rounds = 400 * budgetMultiplier();
+    for (const uint64_t seed : {11u, 22u, 33u}) {
+        const auto res = mc::exploreRandom(realFactory(4, 32), rounds,
+                                           seed, kMaxDepth);
+        expectClean(res);
+    }
+}
