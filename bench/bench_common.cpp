@@ -41,6 +41,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.csv = true;
         } else if (arg == "--json") {
             opts.json = true;
+        } else if (arg == "--batch") {
+            opts.batch = std::strtoull(value("--batch"), nullptr, 0);
+            if (opts.batch == 0)
+                util::fatal("--batch must be >= 1");
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options:\n"
@@ -49,7 +53,9 @@ BenchOptions::parse(int argc, char **argv)
                 "  --seed S               generator seed\n"
                 "  --csv                  CSV output\n"
                 "  --json                 JSON output (suppresses "
-                "banners)\n");
+                "banners)\n"
+                "  --batch N              requests per replay batch "
+                "(default 64; results are batch-invariant)\n");
             std::exit(0);
         } else {
             util::fatal("unknown option '%s' (try --help)", arg.c_str());
@@ -140,7 +146,9 @@ runPolicy(const PolicyRun &run, const BenchOptions &opts,
         gen.reset();
         app = sim::makeAppliance(pc, ac);
     }
-    sim::runTrace(gen, *app);
+    sim::DriverOptions dopts;
+    dopts.batch = opts.batch;
+    sim::runTrace(gen, *app, dopts);
     gen.reset();
     return app;
 }

@@ -37,8 +37,12 @@ struct BenchOptions
     /** Emit JSON instead of aligned tables (takes precedence over
      * csv; machine-readable output for the CI perf-smoke job). */
     bool json = false;
+    /** Requests per replay batch (see sim/batch.hpp). A pure
+     * performance knob: results are independent of it. */
+    size_t batch = trace::kDefaultBatchRequests;
 
-    /** Parse --scale-denominator/--seed/--csv/--json; exits on --help. */
+    /** Parse --scale-denominator/--seed/--csv/--json/--batch; exits
+     * on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Synthetic generator configuration at this scale. */

@@ -18,6 +18,7 @@
 #include "analysis/access_log.hpp"
 #include "cache/block_cache.hpp"
 #include "cache/replacement.hpp"
+#include "core/appliance.hpp"
 #include "core/imct.hpp"
 #include "core/mct.hpp"
 #include "core/sievestore_c.hpp"
@@ -220,6 +221,50 @@ BM_SyntheticDayGeneration(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(requests));
 }
 BENCHMARK(BM_SyntheticDayGeneration);
+
+/**
+ * The appliance's batched entry point at varying batch sizes: how
+ * much per-request overhead (virtual decode, day detection, guard
+ * arming) the batch refactor amortizes. One calendar day of the
+ * synthetic workload replays repeatedly through a flat SieveStore-C
+ * appliance; batch=1 reproduces the per-request path.
+ */
+void
+BM_ApplianceProcessBatch(benchmark::State &state)
+{
+    const size_t batch = static_cast<size_t>(state.range(0));
+    const auto ensemble = trace::EnsembleConfig::paperEnsemble();
+    trace::SyntheticConfig cfg;
+    cfg.scale = 1.0 / 65536.0;
+    auto gen = trace::SyntheticEnsembleGenerator::paper(ensemble, cfg);
+    const auto reqs = gen.generateDay(3); // one day: no epoch churn
+
+    core::ApplianceConfig ac;
+    ac.cache_blocks = 1 << 14;
+    ac.track_occupancy = false;
+    ac.sieve.kind = core::SieveKind::SieveStoreC;
+    ac.sieve.sieve_c.imct_slots = 1 << 16;
+    core::Appliance app(ac);
+
+    uint64_t requests = 0;
+    for (auto _ : state) {
+        size_t i = 0;
+        while (i < reqs.size()) {
+            const size_t n = std::min(batch, reqs.size() - i);
+            app.processBatch(std::span<const trace::Request>(
+                reqs.data() + i, n));
+            i += n;
+        }
+        requests += reqs.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_ApplianceProcessBatch)
+    ->ArgName("batch")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256);
 
 } // namespace
 

@@ -48,6 +48,7 @@ shardedConfig(const BenchOptions &opts, size_t shards)
     cfg.node.cache_blocks = std::max<uint64_t>(
         64, opts.scaledCacheBlocks(16ULL << 30) / shards);
     cfg.node.track_occupancy = false;
+    cfg.batch = opts.batch;
     return cfg;
 }
 
@@ -144,5 +145,63 @@ main(int argc, char **argv)
                 "shard's share of the block-space and by reader "
                 "throughput; on a >= 4-core host 4 shards should "
                 "clear 2.5x serial]\n");
+
+    // Batch-size sweep at a fixed shard count: how much of the
+    // replay throughput comes from batching the decode, the per-shard
+    // accumulation, and the SPSC hand-off. batch=1 reproduces the
+    // per-request hand-off (one queue item per subrequest).
+    const size_t sweep_shards = 4;
+    note("\nbatch-size sweep at %zu shards (results are "
+         "batch-invariant; only throughput moves):\n",
+         sweep_shards);
+    stats::Table sweep({"Batch", "Serial req/s", "Parallel req/s",
+                        "Parallel vs batch=1", "Identical"});
+    double parallel_b1 = 0.0;
+    uint64_t golden_hits = 0, golden_accesses = 0;
+    bool have_golden = false;
+    for (const size_t batch :
+         {size_t(1), size_t(8), size_t(64), size_t(256)}) {
+        sim::ShardedConfig cfg = shardedConfig(opts, sweep_shards);
+        cfg.batch = batch;
+        std::fprintf(stderr, "  batch %zu: serial...\n", batch);
+
+        tracev.reset();
+        auto start = std::chrono::steady_clock::now();
+        const auto serial = runSharded(tracev, cfg);
+        const double serial_s = secondsSince(start);
+
+        std::fprintf(stderr, "  batch %zu: parallel...\n", batch);
+        tracev.reset();
+        start = std::chrono::steady_clock::now();
+        const auto parallel = runShardedParallel(tracev, cfg);
+        const double parallel_s = secondsSince(start);
+
+        const auto st = serial.totals();
+        const auto pt = parallel.totals();
+        if (!have_golden) {
+            golden_hits = st.hits;
+            golden_accesses = st.accesses;
+            parallel_b1 = requests / parallel_s;
+            have_golden = true;
+        }
+        const bool identical =
+            st.accesses == pt.accesses && st.hits == pt.hits &&
+            st.allocation_write_blocks ==
+                pt.allocation_write_blocks &&
+            st.ssd_alloc_ios == pt.ssd_alloc_ios &&
+            st.hits == golden_hits && st.accesses == golden_accesses;
+        SIEVE_CHECK(identical,
+                    "batched replay diverged at batch %zu", batch);
+        sweep.row()
+            .cell(uint64_t(batch))
+            .cell(requests / serial_s, 0)
+            .cell(requests / parallel_s, 0)
+            .cell((requests / parallel_s) / parallel_b1, 2)
+            .cell(identical ? "yes" : "NO");
+    }
+    emit(sweep, opts);
+    note("[one SPSC push per batch instead of per subrequest; the "
+         "hand-off cap is %zu requests per queue item]\n",
+         sim::kQueueBatchRequests);
     return 0;
 }

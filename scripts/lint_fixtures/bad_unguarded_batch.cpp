@@ -1,0 +1,60 @@
+// Fixture: batched hot-path entry points must arm an allocation
+// guard over their body. processBatch() below forgets the guard and
+// must be flagged; the guarded nextBatch() and the annotated
+// line-parsing reader must not.
+// lint-expect: batch-guard
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#define SIEVE_ASSERT_NO_ALLOC
+
+struct Request
+{
+    unsigned long long time = 0;
+};
+
+class BadBatchedAppliance
+{
+  public:
+    void
+    processBatch(std::span<const Request> batch)
+    {
+        for (const Request &req : batch)
+            processOne(req);
+    }
+
+  private:
+    void processOne(const Request &req) { (void)req; }
+};
+
+class GoodBatchedReader
+{
+  public:
+    size_t
+    nextBatch(std::span<Request> out)
+    {
+        SIEVE_ASSERT_NO_ALLOC;
+        size_t n = 0;
+        while (n < out.size() && n < pending.size())
+            out[n] = pending[n++];
+        return n;
+    }
+
+    /** Parsing decoders allocate per line; exempted explicitly. */
+    size_t
+    nextBatch(std::span<Request> out, const std::string &line)
+    {
+        // Line parsing allocates. // sieve-lint: allow(batch-guard)
+        (void)line;
+        return out.empty() ? 0 : 1;
+    }
+
+    /** Declarations are out of scope for the rule. */
+    size_t nextBatch(std::span<Request> out, int);
+
+  private:
+    std::vector<Request> pending;
+};

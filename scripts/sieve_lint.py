@@ -21,6 +21,15 @@ linter knows about; this tool makes them machine-checked:
                     util/random: every experiment must replay from a
                     seed. steady_clock is allowed in bench/ and
                     examples/ where wall-time is the measurement.
+  batch-guard       Batched hot-path entry points (processBatch,
+                    nextBatch definitions under src/) must arm
+                    SIEVE_ASSERT_NO_ALLOC (or the _WHEN form) over
+                    their body — the batch refactor's whole point is
+                    amortizing per-request costs, so an allocating
+                    batch loop silently regresses the replay numbers.
+                    Readers that legitimately allocate (line-parsing
+                    decoders) annotate with
+                    // sieve-lint: allow(batch-guard).
 
 Suppressions:
   // sieve-lint: charged(<reason>)   on or above a member declaration
@@ -44,7 +53,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCAN_DIRS = ("src", "bench", "examples", "tests")
 FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 
-RULES = ("mem-charge", "invariants", "unordered-report", "wall-clock")
+RULES = ("mem-charge", "invariants", "unordered-report", "wall-clock",
+         "batch-guard")
 
 # Classes the runtime contract layer audits; each must expose a
 # checkInvariants() hook (any signature).
@@ -53,6 +63,7 @@ AUDIT_CLASSES = (
     "Appliance",
     "BlockCache",
     "FlatIndex",
+    "FlatSieve",
     "Imct",
     "IndexList",
     "Mct",
@@ -468,6 +479,53 @@ def checkWallClock(src, findings):
             f"only under bench/ and examples/)"))
 
 
+BATCH_ENTRY_RE = re.compile(
+    r"\b(?:[A-Za-z_]\w*\s*::\s*)?(processBatch|nextBatch)\s*\(")
+
+
+def checkBatchGuard(src, findings):
+    top = src.relpath.split(os.sep)[0]
+    if top not in ("src", "scripts"):
+        return
+    for m in BATCH_ENTRY_RE.finditer(src.text):
+        # Closing paren of the parameter list.
+        i = src.text.index("(", m.start())
+        depth = 0
+        while i < len(src.text):
+            if src.text[i] == "(":
+                depth += 1
+            elif src.text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= len(src.text):
+            continue
+        # A definition continues with optional qualifiers then '{';
+        # declarations (';') and calls are not in scope.
+        tail = src.text[i + 1:i + 120]
+        tm = re.match(
+            r"\s*(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?"
+            r"(?:final\s*)?\{", tail)
+        if not tm:
+            continue
+        open_pos = i + 1 + tm.end() - 1
+        close = matchBrace(src.text, open_pos)
+        if "SIEVE_ASSERT_NO_ALLOC" in src.text[open_pos:close]:
+            continue
+        line = src.lineOf(m.start())
+        body_last = src.lineOf(close)
+        if any("batch-guard" in src.allow.get(l, set())
+               for l in range(line - 1, body_last + 1)):
+            continue
+        findings.append(Finding(
+            src.relpath, line, "batch-guard",
+            f"batched hot-path entry point {m.group(1)}() does not "
+            f"arm SIEVE_ASSERT_NO_ALLOC over its body; guard the "
+            f"batch loop (the _WHEN form counts) or annotate with "
+            f"// sieve-lint: allow(batch-guard)"))
+
+
 def collectCppFiles(root, dirs):
     out = []
     for d in dirs:
@@ -596,6 +654,7 @@ def runLint(root, relpaths, backend, check_missing):
     for src in sources:
         checkUnorderedReport(src, findings)
         checkWallClock(src, findings)
+        checkBatchGuard(src, findings)
     return findings
 
 

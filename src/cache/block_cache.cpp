@@ -84,10 +84,15 @@ BlockCache::insert(BlockId block)
     // the pre-reserved table never rehashes. Warmup below capacity
     // may still grow the order arena, so the region engages only once
     // the cache is full.
-    SIEVE_ASSERT_NO_ALLOC_WHEN(!custom &&
-                               index.size() >= capacity_blocks);
+    const bool steady = index.size() >= capacity_blocks;
+    SIEVE_ASSERT_NO_ALLOC_WHEN(!custom && steady);
+    // Warmup growth is amortized and legitimate even when a caller
+    // (Appliance::processBatch) holds a batch-wide no-alloc region.
+    std::optional<util::AllocGuardDisarm> warmup_growth;
+    if (!steady)
+        warmup_growth.emplace();
     std::optional<BlockId> evicted;
-    if (index.size() >= capacity_blocks) {
+    if (steady) {
         // Pre-check the contract here: below capacity findOrInsert
         // detects duplicates for free, but at capacity the victim
         // could be the duplicate itself and mask the misuse.

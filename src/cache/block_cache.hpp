@@ -133,6 +133,7 @@ class BlockCache
 
     /** The custom policy, or nullptr when the flat engine is active. */
     ReplacementPolicy *customPolicy() { return custom.get(); }
+    const ReplacementPolicy *customPolicy() const { return custom.get(); }
 
     /** Snapshot of resident blocks (unordered). */
     std::vector<trace::BlockId> contents() const;

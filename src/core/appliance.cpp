@@ -1,6 +1,10 @@
 #include "core/appliance.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "trace/expand.hpp"
+#include "util/alloc_guard.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
@@ -21,6 +25,9 @@ makeCache(const ApplianceConfig &config)
                                  config.replacement());
     return cache::BlockCache(config.cache_blocks, config.eviction);
 }
+
+/** Initial capacity of the in-flight allocation structures. */
+constexpr size_t kPendingReserve = 1024;
 
 } // namespace
 
@@ -43,27 +50,53 @@ sumReports(const std::vector<DailyReport> &days)
     return sum;
 }
 
-Appliance::Appliance(ApplianceConfig config,
-                     std::unique_ptr<AllocationPolicy> policy)
-    : cfg(config), policy_(std::move(policy)), cache_(makeCache(config))
+void
+Appliance::initOccupancy()
 {
-    if (!policy_)
-        util::fatal("appliance requires an allocation policy");
     if (cfg.track_occupancy)
         occupancy_ =
             std::make_unique<ssd::DriveOccupancyTracker>(cfg.ssd);
+    alloc_queue.reserve(kPendingReserve);
+    pending.reserve(kPendingReserve);
+}
+
+Appliance::Appliance(ApplianceConfig config)
+    : cfg(std::move(config)), cache_(makeCache(cfg))
+{
+    if (cfg.allocation) {
+        policy_ = cfg.allocation();
+        if (!policy_)
+            util::fatal("appliance allocation factory returned null");
+    } else {
+#ifdef SIEVE_REFERENCE_SIEVE
+        // Reference build: run the spec through the virtual seed
+        // policies so the flat engine has something to differ from.
+        policy_ = makeReferenceSievePolicy(cfg.sieve);
+#else
+        fsieve_.emplace(cfg.sieve);
+#endif
+    }
+    initOccupancy();
+}
+
+Appliance::Appliance(ApplianceConfig config,
+                     std::unique_ptr<AllocationPolicy> policy)
+    : cfg(std::move(config)), policy_(std::move(policy)),
+      cache_(makeCache(cfg))
+{
+    if (!policy_)
+        util::fatal("appliance requires an allocation policy");
+    initOccupancy();
 }
 
 Appliance::Appliance(ApplianceConfig config,
                      std::unique_ptr<DiscreteSelector> selector)
-    : cfg(config), selector_(std::move(selector)),
-      cache_(makeCache(config))
+    : cfg(std::move(config)), selector_(std::move(selector)),
+      cache_(makeCache(cfg))
 {
     if (!selector_)
         util::fatal("appliance requires a discrete selector");
-    if (cfg.track_occupancy)
-        occupancy_ =
-            std::make_unique<ssd::DriveOccupancyTracker>(cfg.ssd);
+    initOccupancy();
 }
 
 DailyReport &
@@ -75,13 +108,49 @@ Appliance::reportFor(util::TimeUs t)
     return reports[day];
 }
 
+bool
+Appliance::flatEnginesOnly() const
+{
+    return fsieve_.has_value() && !selector_ && !occupancy_ &&
+           cache_.customPolicy() == nullptr;
+}
+
+void
+Appliance::pushAlloc(const PendingAlloc &ev)
+{
+    if (alloc_queue.size() == alloc_queue.capacity()) {
+        // Amortized heap growth is the one legitimate allocation
+        // here; exempt it so the batch-level no-alloc region stays
+        // armed across it.
+        util::AllocGuardDisarm growth;
+        alloc_queue.reserve(
+            std::max<size_t>(kPendingReserve, alloc_queue.capacity() * 2));
+    }
+    alloc_queue.push_back(ev);
+    std::push_heap(alloc_queue.begin(), alloc_queue.end(),
+                   std::greater<PendingAlloc>());
+}
+
+void
+Appliance::notePending(BlockId block)
+{
+    if (!pending.hasCapacityFor(1)) {
+        util::AllocGuardDisarm growth; // amortized table growth
+        pending.reserve(std::max<size_t>(kPendingReserve,
+                                         pending.size() * 2));
+    }
+    pending.findOrInsert(block);
+}
+
 void
 Appliance::drainAllocations(util::TimeUs up_to)
 {
     while (!alloc_queue.empty() &&
-           alloc_queue.top().completion <= up_to) {
-        const PendingAlloc ev = alloc_queue.top();
-        alloc_queue.pop();
+           alloc_queue.front().completion <= up_to) {
+        const PendingAlloc ev = alloc_queue.front();
+        std::pop_heap(alloc_queue.begin(), alloc_queue.end(),
+                      std::greater<PendingAlloc>());
+        alloc_queue.pop_back();
         pending.erase(ev.block);
         if (cache_.contains(ev.block))
             continue; // raced with a batch install
@@ -107,11 +176,8 @@ Appliance::preload(const std::vector<BlockId> &blocks, int serve_day)
 }
 
 void
-Appliance::processRequest(const trace::Request &req)
+Appliance::processRequestInto(const trace::Request &req, DailyReport &rep)
 {
-    drainAllocations(req.time);
-
-    DailyReport &rep = reportFor(req.time);
     const bool is_read = req.op == trace::Op::Read;
 
     // Page-coalescing state: contiguous blocks of the same request that
@@ -153,7 +219,9 @@ Appliance::processRequest(const trace::Request &req)
                         occupancy_->recordWrites(req.time, 1);
                 }
             }
-            if (policy_)
+            if (fsieve_)
+                fsieve_->onHit(access);
+            else if (policy_)
                 policy_->onHit(access);
             if (selector_)
                 selector_->observe(access);
@@ -166,15 +234,48 @@ Appliance::processRequest(const trace::Request &req)
             selector_->observe(access);
             continue;
         }
-        if (pending.count(block))
+        if (pending.contains(block))
             continue; // allocation already in flight
-        if (policy_->onMiss(access) == AllocDecision::Allocate) {
-            pending.insert(block);
+        const AllocDecision decision =
+            fsieve_ ? fsieve_->onMiss(access) : policy_->onMiss(access);
+        if (decision == AllocDecision::Allocate) {
+            notePending(block);
             const bool new_unit = page != last_alloc_page;
             last_alloc_page = page;
-            alloc_queue.push(
-                PendingAlloc{access.completion, block, new_unit});
+            pushAlloc(PendingAlloc{access.completion, block, new_unit});
         }
+    }
+}
+
+void
+Appliance::processRequest(const trace::Request &req)
+{
+    // Size the report vector before draining so the reference stays
+    // valid: every drained completion is <= req.time, so the drain's
+    // own reportFor never resizes past this one.
+    DailyReport &rep = reportFor(req.time);
+    drainAllocations(req.time);
+    processRequestInto(req, rep);
+}
+
+void
+Appliance::processBatch(std::span<const trace::Request> batch)
+{
+    if (batch.empty())
+        return;
+    // One day-report lookup per batch: the sim:: facade slices batches
+    // at calendar-day boundaries, so every request lands in one day.
+    DailyReport &rep = reportFor(batch.front().time);
+    SIEVE_DCHECK(util::dayOf(batch.front().time) ==
+                     util::dayOf(batch.back().time),
+                 "processBatch: batch straddles a calendar-day boundary");
+    // The flat hot path is claimed allocation-free per batch; the only
+    // exemptions are the explicit amortized-growth points (sieve
+    // tables, the pending set, the allocation heap).
+    SIEVE_ASSERT_NO_ALLOC_WHEN(flatEnginesOnly());
+    for (const trace::Request &req : batch) {
+        drainAllocations(req.time);
+        processRequestInto(req, rep);
     }
 }
 
@@ -235,12 +336,16 @@ Appliance::occupancy() const
 const char *
 Appliance::policyName() const
 {
+    if (fsieve_)
+        return fsieve_->name();
     return policy_ ? policy_->name() : selector_->name();
 }
 
 uint64_t
 Appliance::metastateBytes() const
 {
+    if (fsieve_)
+        return fsieve_->metastateBytes();
     return policy_ ? policy_->metastateBytes()
                    : selector_->metastateBytes();
 }
@@ -249,8 +354,11 @@ void
 Appliance::checkInvariants() const
 {
     // Exactly one allocation mechanism.
-    SIEVE_CHECK((policy_ != nullptr) != (selector_ != nullptr),
-                "appliance must have exactly one of policy/selector");
+    const int engines = (fsieve_.has_value() ? 1 : 0) +
+                        (policy_ ? 1 : 0) + (selector_ ? 1 : 0);
+    SIEVE_CHECK(engines == 1,
+                "appliance must have exactly one of sieve spec / "
+                "policy / selector, has %d", engines);
     cache_.checkInvariants();
 
     // Every in-flight allocation is tracked in both structures, and
@@ -258,6 +366,10 @@ Appliance::checkInvariants() const
     SIEVE_CHECK(pending.size() == alloc_queue.size(),
                 "%zu pending blocks vs %zu queued allocations",
                 pending.size(), alloc_queue.size());
+    SIEVE_CHECK(std::is_heap(alloc_queue.begin(), alloc_queue.end(),
+                             std::greater<PendingAlloc>()),
+                "allocation queue lost its heap ordering");
+    pending.checkInvariants();
 
     for (const DailyReport &rep : reports) {
         SIEVE_CHECK(rep.hits <= rep.accesses,
@@ -273,6 +385,8 @@ Appliance::checkInvariants() const
         SIEVE_CHECK(rep.ssd_alloc_ios <= rep.allocation_write_blocks);
     }
 
+    if (fsieve_)
+        fsieve_->checkInvariants();
     if (policy_)
         policy_->checkInvariants();
     if (selector_)

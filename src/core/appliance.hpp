@@ -27,15 +27,17 @@
 #include <climits>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/block_cache.hpp"
 #include "core/alloc_policy.hpp"
 #include "core/discrete.hpp"
+#include "core/sieve_spec.hpp"
 #include "ssd/occupancy.hpp"
 #include "trace/request.hpp"
+#include "util/flat_index.hpp"
 
 namespace sievestore {
 namespace core {
@@ -63,6 +65,21 @@ struct ApplianceConfig
      */
     std::function<std::unique_ptr<cache::ReplacementPolicy>()>
         replacement;
+    /**
+     * Built-in continuous sieve for the spec-driven constructor
+     * (defaults to AOD). The flat build runs it through the
+     * switch-dispatch FlatSieve engine; -DSIEVE_FLAT_SIEVE=OFF routes
+     * it to the virtual reference policies instead. Ignored when
+     * `allocation` is set or when a policy/selector is passed
+     * explicitly.
+     */
+    SievePolicySpec sieve;
+    /**
+     * Custom allocation-policy factory; null selects `sieve` above.
+     * Mirrors `replacement`: the flat-vs-reference differential suite
+     * uses it to pin the virtual engine per appliance.
+     */
+    std::function<std::unique_ptr<AllocationPolicy>()> allocation;
 };
 
 /** Per-calendar-day accounting (Figures 5, 6, 7). */
@@ -119,7 +136,15 @@ DailyReport sumReports(const std::vector<DailyReport> &days);
 class Appliance
 {
   public:
-    /** Continuous-allocation appliance. */
+    /**
+     * Continuous-allocation appliance driven by config.sieve (or the
+     * config.allocation factory when set). This is the hot-path
+     * constructor: with the flat build the sieve consultation is
+     * switch dispatch with all policy state held by value.
+     */
+    explicit Appliance(ApplianceConfig config);
+
+    /** Continuous-allocation appliance with an explicit policy. */
     Appliance(ApplianceConfig config,
               std::unique_ptr<AllocationPolicy> policy);
 
@@ -135,6 +160,17 @@ class Appliance
 
     /** Process one multi-block request (time-ordered). */
     void processRequest(const trace::Request &req);
+
+    /**
+     * Process a time-ordered run of requests that all fall inside one
+     * calendar day (the sim:: batching facade slices batches at day
+     * boundaries). Semantically identical to calling processRequest on
+     * each element; the batch form hoists the day-report lookup out of
+     * the per-request path and, when every engine on the path is flat
+     * (spec sieve + flat cache, no selector, no occupancy tracker),
+     * arms SIEVE_ASSERT_NO_ALLOC over the whole batch.
+     */
+    void processBatch(std::span<const trace::Request> batch);
 
     /**
      * Close calendar day `day`: drain allocations due within it and,
@@ -189,8 +225,21 @@ class Appliance
   private:
     DailyReport &reportFor(util::TimeUs t);
     void drainAllocations(util::TimeUs up_to);
+    /** Shared per-request hot loop; `rep` is the request's day report. */
+    void processRequestInto(const trace::Request &req, DailyReport &rep);
+    /**
+     * True when every engine on the request path is flat (spec-driven
+     * sieve, flat cache, no discrete selector, no occupancy tracker):
+     * the configurations whose hot loop is claimed — and then
+     * enforced — to be allocation-free per batch.
+     */
+    bool flatEnginesOnly() const;
+    void initOccupancy();
 
     ApplianceConfig cfg;
+    /** Spec-driven sieve engine (flat build; exactly one of these
+     * three allocation mechanisms is active). */
+    std::optional<FlatSieve> fsieve_;
     std::unique_ptr<AllocationPolicy> policy_;
     std::unique_ptr<DiscreteSelector> selector_;
     cache::BlockCache cache_;
@@ -209,10 +258,24 @@ class Appliance
             return completion > o.completion;
         }
     };
-    std::priority_queue<PendingAlloc, std::vector<PendingAlloc>,
-                        std::greater<PendingAlloc>>
-        alloc_queue;
-    std::unordered_set<trace::BlockId> pending;
+    /** Schedule an allocation (min-heap push with growth exemption). */
+    void pushAlloc(const PendingAlloc &ev);
+    /** Track `block` as in flight (set insert with growth exemption). */
+    void notePending(trace::BlockId block);
+
+    /**
+     * Min-heap on completion time, kept as a raw vector driven by
+     * std::push_heap/pop_heap with the same std::greater comparator a
+     * std::priority_queue would use — the standard specifies
+     * priority_queue in terms of exactly these algorithms, so the
+     * element order (including equal-completion ties, which feed LRU
+     * recency) is bit-identical to the former priority_queue member.
+     * A raw vector exposes capacity, letting the batch-level no-alloc
+     * regions exempt only genuine growth.
+     */
+    std::vector<PendingAlloc> alloc_queue;
+    /** In-flight allocation guard set (payload unused). */
+    util::FlatIndex<uint8_t> pending;
 
     /** Epoch cursor: last day closed by finishDay(). */
     int last_finished_day = INT_MIN;

@@ -23,10 +23,19 @@ Mct::contains(trace::BlockId block) const
 void
 Mct::admit(trace::BlockId block, util::TimeUs t)
 {
-    // Admission may legitimately grow the table; the region engages
-    // only when the slot array already has room, in which case the
-    // insert must be a pure probe.
-    SIEVE_ASSERT_NO_ALLOC_WHEN(entries.hasCapacityFor(1));
+    if (!entries.hasCapacityFor(1)) {
+        // Amortized table growth is admission's one legitimate
+        // allocation. It must be exempted explicitly: admit() now runs
+        // inside Appliance::processBatch's batch-wide no-alloc region,
+        // which would otherwise flag the rehash.
+        util::AllocGuardDisarm growth;
+        const auto [counter, inserted] = entries.findOrInsert(block);
+        if (inserted)
+            counter->touch(spec.subwindowOf(t), spec);
+        return;
+    }
+    // With room already reserved the insert must be a pure probe.
+    SIEVE_ASSERT_NO_ALLOC;
     const auto [counter, inserted] = entries.findOrInsert(block);
     if (inserted)
         counter->touch(spec.subwindowOf(t), spec);

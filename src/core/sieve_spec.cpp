@@ -1,0 +1,92 @@
+#include "core/sieve_spec.hpp"
+
+#include "core/unsieved.hpp"
+
+namespace sievestore {
+namespace core {
+
+namespace {
+
+/**
+ * SieveStore-C state for specs that do not select it: a 1-slot IMCT
+ * so the embedded value member costs nothing when inactive.
+ */
+SieveStoreCConfig
+inactiveSieveC()
+{
+    SieveStoreCConfig cfg;
+    cfg.imct_slots = 1;
+    return cfg;
+}
+
+} // namespace
+
+const char *
+sieveKindName(SieveKind kind)
+{
+    switch (kind) {
+      case SieveKind::Aod: return "AOD";
+      case SieveKind::Wmna: return "WMNA";
+      case SieveKind::SieveStoreC: return "SieveStore-C";
+      case SieveKind::RandSieveC: return "RandSieve-C";
+    }
+    util::fatal("sieveKindName: unknown sieve kind %d",
+                static_cast<int>(kind));
+}
+
+std::unique_ptr<AllocationPolicy>
+makeReferenceSievePolicy(const SievePolicySpec &spec)
+{
+    switch (spec.kind) {
+      case SieveKind::Aod:
+        return std::make_unique<AodPolicy>();
+      case SieveKind::Wmna:
+        return std::make_unique<WmnaPolicy>();
+      case SieveKind::SieveStoreC:
+        return std::make_unique<SieveStoreCPolicy>(spec.sieve_c);
+      case SieveKind::RandSieveC:
+        return std::make_unique<RandSieveCPolicy>(spec.rand_probability,
+                                                  spec.rand_seed);
+    }
+    util::fatal("makeReferenceSievePolicy: unknown sieve kind %d",
+                static_cast<int>(spec.kind));
+}
+
+FlatSieve::FlatSieve(const SievePolicySpec &spec)
+    : kind_(spec.kind),
+      sieve_c_(spec.kind == SieveKind::SieveStoreC ? spec.sieve_c
+                                                   : inactiveSieveC()),
+      rand_(spec.rand_probability, spec.rand_seed)
+{
+}
+
+const char *
+FlatSieve::name() const
+{
+    // SieveStore-C owns its name so the ablation suffixes
+    // ("/imct-only", "/mct-only") stay in one place.
+    if (kind_ == SieveKind::SieveStoreC)
+        return sieve_c_.SieveStoreCPolicy::name();
+    return sieveKindName(kind_);
+}
+
+uint64_t
+FlatSieve::metastateBytes() const
+{
+    // AOD/WMNA/RandSieve-C report zero like their reference policies;
+    // the inactive embedded SieveStore-C state must not leak into
+    // cost reports.
+    if (kind_ == SieveKind::SieveStoreC)
+        return sieve_c_.SieveStoreCPolicy::metastateBytes();
+    return 0;
+}
+
+void
+FlatSieve::checkInvariants() const
+{
+    if (kind_ == SieveKind::SieveStoreC)
+        sieve_c_.SieveStoreCPolicy::checkInvariants();
+}
+
+} // namespace core
+} // namespace sievestore

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Value-type continuous-sieve engine: switch dispatch over the
+ * built-in allocation policies.
+ *
+ * The paper's hot loop consults the sieve once per missed block access
+ * (Section 3.2). The virtual AllocationPolicy hierarchy models that
+ * cleanly but pays an indirect call per miss; after PR 3 flattened the
+ * cache side, the sieve consultation became the last indirect branch
+ * on the request path. SievePolicySpec names one of the continuous
+ * policies (AOD, WMNA, SieveStore-C, RandSieve-C) as plain data —
+ * exactly like cache::EvictionSpec names a replacement policy — and
+ * FlatSieve executes it with a switch over the kind, holding the
+ * policy state by value.
+ *
+ * Decision parity is by construction, not by reimplementation: the
+ * stateful kinds (SieveStore-C, RandSieve-C) are embedded as value
+ * members and consulted through qualified (statically bound) calls
+ * into the *same* implementation the virtual engine runs. The virtual
+ * hierarchy survives as the reference engine behind
+ * -DSIEVE_FLAT_SIEVE=OFF (macro SIEVE_REFERENCE_SIEVE), selected via
+ * ApplianceConfig exactly like `replacement`, and the differential
+ * suite proves the two engines bit-identical per day and per field.
+ */
+
+#ifndef SIEVESTORE_CORE_SIEVE_SPEC_HPP
+#define SIEVESTORE_CORE_SIEVE_SPEC_HPP
+
+#include <memory>
+
+#include "core/alloc_policy.hpp"
+#include "core/rand_sieve.hpp"
+#include "core/sievestore_c.hpp"
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace core {
+
+/** Built-in continuous allocation policies (Section 3, Table 2). */
+enum class SieveKind : uint8_t {
+    /** Allocate-on-demand: every miss allocates. */
+    Aod,
+    /** Write-miss no-allocate: only read misses allocate. */
+    Wmna,
+    /** Two-tier hysteresis sieve (IMCT -> MCT, Section 3.3). */
+    SieveStoreC,
+    /** Allocate a random fraction of misses (Section 5.1). */
+    RandSieveC,
+};
+
+/** Policy name as used in reports ("AOD", "SieveStore-C", ...). */
+const char *sieveKindName(SieveKind kind);
+
+/**
+ * Plain-data selection of a continuous sieve, the allocation-side
+ * analogue of cache::EvictionSpec. Fields beyond `kind` configure the
+ * stateful kinds and are ignored by the stateless ones.
+ */
+struct SievePolicySpec
+{
+    SieveKind kind = SieveKind::Aod;
+    /** RandSieve-C allocation probability. */
+    double rand_probability = 0.01;
+    /** RandSieve-C RNG seed. */
+    uint64_t rand_seed = 7;
+    /** SieveStore-C tunables (used only when kind == SieveStoreC). */
+    SieveStoreCConfig sieve_c;
+};
+
+/**
+ * The virtual-engine counterpart of a spec: the seed AllocationPolicy
+ * implementation making identical decisions. Used by the
+ * SIEVE_FLAT_SIEVE=OFF build and pinned explicitly by the
+ * flat-vs-reference differential tests.
+ */
+std::unique_ptr<AllocationPolicy>
+makeReferenceSievePolicy(const SievePolicySpec &spec);
+
+/**
+ * Switch-dispatch executor for a SievePolicySpec. All policy state
+ * lives inline (by value), so a sieve consultation is a predictable
+ * branch plus a direct call — no vtable load, no pointer chase — and
+ * the stateless kinds (AOD, WMNA) fold into the caller entirely.
+ */
+class FlatSieve
+{
+  public:
+    explicit FlatSieve(const SievePolicySpec &spec);
+
+    /** Consulted on every miss; see AllocationPolicy::onMiss. */
+    AllocDecision
+    onMiss(const trace::BlockAccess &access)
+    {
+        switch (kind_) {
+          case SieveKind::Aod:
+            return AllocDecision::Allocate;
+          case SieveKind::Wmna:
+            return access.op == trace::Op::Read ? AllocDecision::Allocate
+                                                : AllocDecision::Bypass;
+          case SieveKind::SieveStoreC:
+            // Qualified call: statically bound into the shared
+            // implementation, so the flat engine cannot drift from the
+            // reference policy's decisions.
+            return sieve_c_.SieveStoreCPolicy::onMiss(access);
+          case SieveKind::RandSieveC:
+            return rand_.RandSieveCPolicy::onMiss(access);
+        }
+        util::fatal("FlatSieve: unknown sieve kind %d",
+                    static_cast<int>(kind_));
+    }
+
+    /**
+     * Observe a hit. None of the built-in continuous policies keep
+     * hit-side state (SieveStore-C's windows advance on misses only),
+     * so this is a no-op kept for interface symmetry with
+     * AllocationPolicy.
+     */
+    void onHit(const trace::BlockAccess &access) { (void)access; }
+
+    /** Matches the reference policy's name() for every kind. */
+    const char *name() const;
+
+    /** Metastate footprint; matches the reference policy per kind. */
+    uint64_t metastateBytes() const;
+
+    /**
+     * Audit the active kind's invariants (delegates to the embedded
+     * SieveStore-C state when that kind is selected; the other kinds
+     * are stateless or opaque-RNG and have nothing to audit). Aborts
+     * on violation.
+     */
+    void checkInvariants() const;
+
+    SieveKind kind() const { return kind_; }
+
+    /** Embedded SieveStore-C state (valid when kind()==SieveStoreC). */
+    const SieveStoreCPolicy &sieveC() const { return sieve_c_; }
+
+  private:
+    SieveKind kind_;
+    /** SieveStore-C state; 1-slot IMCT when another kind is active. */
+    SieveStoreCPolicy sieve_c_;
+    RandSieveCPolicy rand_;
+};
+
+} // namespace core
+} // namespace sievestore
+
+#endif // SIEVESTORE_CORE_SIEVE_SPEC_HPP

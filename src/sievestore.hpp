@@ -59,12 +59,14 @@
 #include "core/imct.hpp"
 #include "core/mct.hpp"
 #include "core/rand_sieve.hpp"
+#include "core/sieve_spec.hpp"
 #include "core/sievestore_c.hpp"
 #include "core/unsieved.hpp"
 #include "core/windowed_counter.hpp"
 
 // sim: experiment drivers
 #include "sim/analytic.hpp"
+#include "sim/batch.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/per_server.hpp"

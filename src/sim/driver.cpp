@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/batch.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
@@ -22,26 +23,19 @@ void
 runTrace(trace::TraceReader &reader, core::Appliance &appliance,
          const DriverOptions &options)
 {
-    trace::Request req;
-    bool any = false;
-    int current_day = 0;
-    while (reader.next(req)) {
-        const int day = static_cast<int>(util::dayOf(req.time));
-        if (!any) {
-            current_day = day;
-            any = true;
-        } else if (day < current_day) {
-            util::fatal("trace is not time-ordered (day %d after %d)",
-                        day, current_day);
-        }
-        while (current_day < day) {
-            appliance.finishDay(current_day);
+    // pumpBatches slices decode batches at day boundaries, so each
+    // slice feeds processBatch directly — no re-accumulation needed
+    // for a single appliance.
+    pumpBatches(
+        reader, options.batch,
+        [&](std::span<const trace::Request> slice) {
+            appliance.processBatch(slice);
+        },
+        [&](int day) {
+            appliance.finishDay(day);
             if (options.check_invariants)
                 appliance.checkInvariants();
-            ++current_day;
-        }
-        appliance.processRequest(req);
-    }
+        });
     appliance.finishTrace();
     if (options.check_invariants)
         appliance.checkInvariants();

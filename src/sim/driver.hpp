@@ -36,6 +36,12 @@ struct DriverOptions
     /** Audit Appliance::checkInvariants() at every day boundary and
      * at end of trace. */
     bool check_invariants = defaultCheckInvariants();
+    /**
+     * Requests per decode batch (see sim/batch.hpp). Batch size never
+     * changes replay results — only the grouping of the request
+     * stream; 1 reproduces the historical per-request path.
+     */
+    size_t batch = trace::kDefaultBatchRequests;
 };
 
 /**

@@ -52,10 +52,16 @@ makeAppliance(const PolicyConfig &policy,
         return std::make_unique<Appliance>(appliance,
                                            std::move(selector));
       }
-      case PolicyKind::SieveStoreC:
-        return std::make_unique<Appliance>(
-            appliance,
-            std::make_unique<core::SieveStoreCPolicy>(policy.sieve_c));
+      case PolicyKind::SieveStoreC: {
+        // Continuous kinds go through the spec-driven constructor:
+        // the flat build runs them on the switch-dispatch FlatSieve
+        // engine, the SIEVE_FLAT_SIEVE=OFF build (or an explicit
+        // appliance.allocation factory) on the virtual references.
+        core::ApplianceConfig cfg = appliance;
+        cfg.sieve.kind = core::SieveKind::SieveStoreC;
+        cfg.sieve.sieve_c = policy.sieve_c;
+        return std::make_unique<Appliance>(std::move(cfg));
+      }
       case PolicyKind::RandSieveBlkD: {
         auto selector = std::make_unique<core::RandomBlockSelector>(
             policy.rand_fraction, policy.seed);
@@ -64,16 +70,23 @@ makeAppliance(const PolicyConfig &policy,
         return std::make_unique<Appliance>(appliance,
                                            std::move(selector));
       }
-      case PolicyKind::RandSieveC:
-        return std::make_unique<Appliance>(
-            appliance, std::make_unique<core::RandSieveCPolicy>(
-                           policy.rand_fraction, policy.seed));
-      case PolicyKind::AOD:
-        return std::make_unique<Appliance>(
-            appliance, std::make_unique<core::AodPolicy>());
-      case PolicyKind::WMNA:
-        return std::make_unique<Appliance>(
-            appliance, std::make_unique<core::WmnaPolicy>());
+      case PolicyKind::RandSieveC: {
+        core::ApplianceConfig cfg = appliance;
+        cfg.sieve.kind = core::SieveKind::RandSieveC;
+        cfg.sieve.rand_probability = policy.rand_fraction;
+        cfg.sieve.rand_seed = policy.seed;
+        return std::make_unique<Appliance>(std::move(cfg));
+      }
+      case PolicyKind::AOD: {
+        core::ApplianceConfig cfg = appliance;
+        cfg.sieve.kind = core::SieveKind::Aod;
+        return std::make_unique<Appliance>(std::move(cfg));
+      }
+      case PolicyKind::WMNA: {
+        core::ApplianceConfig cfg = appliance;
+        cfg.sieve.kind = core::SieveKind::Wmna;
+        return std::make_unique<Appliance>(std::move(cfg));
+      }
     }
     util::panic("unknown policy kind");
 }

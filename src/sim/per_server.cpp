@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "sim/batch.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 
@@ -29,25 +30,31 @@ runPerServer(trace::TraceReader &reader, const PerServerConfig &config)
         appliances.push_back(makeAppliance(pc, ac));
     }
 
-    trace::Request req;
-    bool any = false;
-    int current_day = 0;
-    while (reader.next(req)) {
-        if (req.server >= n)
-            util::fatal("request from server %u but only %zu capacities",
+    // Per-server accumulation through the shared batching facade:
+    // whole requests route by server, bins flush into processBatch at
+    // the same points the per-request loop would have processed them.
+    auto deliver = [&appliances](size_t server,
+                                 std::span<const trace::Request> reqs) {
+        appliances[server]->processBatch(reqs);
+    };
+    RequestBatcher<decltype(deliver)> batcher(n, config.batch, deliver);
+    pumpBatches(
+        reader, config.batch,
+        [&](std::span<const trace::Request> slice) {
+            for (const trace::Request &req : slice) {
+                if (req.server >= n)
+                    util::fatal(
+                        "request from server %u but only %zu capacities",
                         unsigned(req.server), n);
-        const int day = static_cast<int>(util::dayOf(req.time));
-        if (!any) {
-            current_day = day;
-            any = true;
-        }
-        while (current_day < day) {
+                batcher.add(req.server, req);
+            }
+        },
+        [&](int day) {
+            batcher.flushAll();
             for (auto &a : appliances)
-                a->finishDay(current_day);
-            ++current_day;
-        }
-        appliances[req.server]->processRequest(req);
-    }
+                a->finishDay(day);
+        });
+    batcher.flushAll();
 
     PerServerResult result;
     result.per_server.resize(n);

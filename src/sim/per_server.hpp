@@ -31,6 +31,9 @@ struct PerServerConfig
     PolicyConfig policy;
     /** Appliance template (cache_blocks is overridden per server). */
     core::ApplianceConfig base;
+    /** Requests per replay batch (see sim/batch.hpp); results are
+     * independent of this value. */
+    size_t batch = trace::kDefaultBatchRequests;
 };
 
 /** Outcome of a per-server simulation. */

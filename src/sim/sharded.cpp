@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/batch.hpp"
 #include "sim/driver.hpp"
 #include "util/check.hpp"
 #include "util/hashing.hpp"
@@ -114,29 +115,35 @@ runSharded(trace::TraceReader &reader, const ShardedConfig &config)
 
     const bool audit = defaultCheckInvariants();
 
-    trace::Request req;
-    bool any = false;
-    int current_day = 0;
-    while (reader.next(req)) {
-        const int day = static_cast<int>(util::dayOf(req.time));
-        if (!any) {
-            current_day = day;
-            any = true;
-        }
-        while (current_day < day) {
+    // Per-shard accumulation: subrequests buffer until a shard's bin
+    // fills or a day ends, then hit that node as one processBatch.
+    // Each node still consumes exactly the subrequest stream the
+    // per-request driver would feed it, in the same order.
+    auto deliver = [&result](size_t shard,
+                             std::span<const trace::Request> reqs) {
+        result.nodes[shard]->processBatch(reqs);
+    };
+    RequestBatcher<decltype(deliver)> batcher(config.shards,
+                                              config.batch, deliver);
+
+    pumpBatches(
+        reader, config.batch,
+        [&](std::span<const trace::Request> slice) {
+            for (const trace::Request &req : slice)
+                forEachSubrequest(
+                    req, config.shards, config.seed,
+                    [&batcher](size_t shard, const trace::Request &sub) {
+                        batcher.add(shard, sub);
+                    });
+        },
+        [&](int day) {
+            batcher.flushAll();
             for (auto &node : result.nodes)
-                node->finishDay(current_day);
+                node->finishDay(day);
             if (audit)
                 result.checkInvariants();
-            ++current_day;
-        }
-
-        forEachSubrequest(
-            req, config.shards, config.seed,
-            [&result](size_t shard, const trace::Request &sub) {
-                result.nodes[shard]->processRequest(sub);
-            });
-    }
+        });
+    batcher.flushAll();
     for (auto &node : result.nodes)
         node->finishTrace();
     if (audit)

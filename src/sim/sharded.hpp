@@ -27,6 +27,14 @@
 namespace sievestore {
 namespace sim {
 
+/**
+ * Compile-time cap on requests carried per parallel-replay queue item
+ * (the SPSC hand-off batch). The runtime ShardedConfig::batch knob is
+ * clamped to it on the queue path; larger decode batches simply span
+ * several queue items.
+ */
+inline constexpr size_t kQueueBatchRequests = 64;
+
 /** Options for the parallel replay engine (runShardedParallel). */
 struct ParallelOptions
 {
@@ -36,7 +44,12 @@ struct ParallelOptions
      * round-robin and each worker multiplexes its queues.
      */
     size_t threads = 0;
-    /** Per-shard SPSC queue capacity (rounded up to a power of two). */
+    /**
+     * Requests buffered per shard queue. Divided by the hand-off
+     * batch size to get the ring's item capacity (at least 2 items,
+     * rounded up to a power of two), so backpressure semantics track
+     * requests regardless of batching.
+     */
     size_t queue_depth = 4096;
     /**
      * Lockstep mode: calendar-day barriers hold every shard at the
@@ -64,6 +77,14 @@ struct ShardedConfig
     core::ApplianceConfig node;
     /** Hash seed for the page -> shard mapping. */
     uint64_t seed = 0;
+    /**
+     * Requests per batch on the replay path (decode, per-shard
+     * accumulation, and — in the parallel driver — SPSC hand-off,
+     * where it is capped at kQueueBatchRequests per queue item).
+     * Results are independent of this value; 1 reproduces the
+     * per-request hand-off.
+     */
+    size_t batch = trace::kDefaultBatchRequests;
     /** Parallel replay knobs (used by runShardedParallel only). */
     ParallelOptions parallel;
 };

@@ -12,11 +12,16 @@
  * uses — into a bounded SPSC queue per shard, interleaved with
  * day-end markers pushed to *every* queue at each calendar-day
  * crossing (a shard can be idle for a day yet must still run its
- * epoch boundary). Each worker consumes its queues strictly in order,
- * so every node observes the identical processRequest/finishDay
- * sequence runSharded would have issued, and the per-node reports are
- * bit-identical by construction — the differential tests assert it
- * field-for-field.
+ * epoch boundary). Subrequests travel in fixed-size batches (one
+ * queue item carries up to kQueueBatchRequests of them, accumulated
+ * via the sim/batch.hpp facade), so the per-request cost of the
+ * hand-off — one push/pop and one atomic release — is paid once per
+ * batch; day-end markers flush every partial batch first, so batching
+ * never reorders a shard's stream or lets a batch straddle a day.
+ * Each worker consumes its queues strictly in order, so every node
+ * observes the identical request/finishDay sequence runSharded would
+ * have issued, and the per-node reports are bit-identical by
+ * construction — the differential tests assert it field-for-field.
  *
  * Determinism therefore needs no barriers at all; the calendar-day
  * barrier of deterministic mode exists to keep the *deployment*
@@ -32,11 +37,14 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "sim/batch.hpp"
 #include "sim/driver.hpp"
 #include "sim/sharded.hpp"
 #include "util/alloc_guard.hpp"
@@ -50,14 +58,24 @@ namespace sim {
 
 namespace {
 
-/** One queue entry: a routed subrequest or a calendar-day boundary. */
+/**
+ * One queue entry: a batch of routed subrequests, or a calendar-day
+ * boundary. The request payload is a fixed POD array so the ring
+ * stays pre-sized; items are written into and consumed out of the
+ * ring slots in place (pushWith / tryConsumeWith), so only the
+ * count-prefix of `reqs` is ever copied. Partial batches (flushed at
+ * day ends and end of trace) just carry a smaller count. All requests
+ * in one item belong to one calendar day.
+ */
 struct Item
 {
-    enum class Kind : uint8_t { Request, DayEnd };
-    Kind kind = Kind::Request;
+    enum class Kind : uint8_t { Requests, DayEnd };
+    Kind kind = Kind::Requests;
+    /** Valid entries in `reqs` (Requests only). */
+    uint16_t count = 0;
     /** Day being closed (DayEnd only). */
     int day = 0;
-    trace::Request req;
+    std::array<trace::Request, kQueueBatchRequests> reqs;
 };
 
 using ItemQueue = util::SpscQueue<Item>;
@@ -119,34 +137,39 @@ struct WorkerArgs
 Phase
 pollShard(ItemQueue &queue, core::Appliance &node, int *day_out)
 {
-    Item item;
     for (;;) {
-        bool got;
-        {
-            // Queue hand-off is the per-request cost of the parallel
-            // engine: one POD move out of a pre-sized ring, nothing
-            // heap-touching. (processRequest below may grow sieve
-            // tables and is deliberately outside the region.)
-            SIEVE_ASSERT_NO_ALLOC;
-            got = queue.tryPop(item);
-            if (!got && queue.closed()) {
-                // Re-check after observing the close flag: items
-                // pushed before close() may race with the flag's
-                // visibility.
-                got = queue.tryPop(item);
-                if (!got)
-                    break;
+        // Items are consumed *in place*: the node processes the batch
+        // straight out of the ring slot, and only then is the slot
+        // released back to the producer — zero copies and one atomic
+        // release per batch. Holding the slot through processBatch is
+        // safe because the ring always has >= 2 slots, so the reader
+        // keeps staging the next item concurrently.
+        bool day_end = false;
+        auto consume = [&](const Item &item) {
+            if (item.kind == Item::Kind::Requests) {
+                // One appliance entry per batch: day-report lookup
+                // and (on flat configurations) the no-alloc region
+                // are amortized over the whole item.
+                node.processBatch(std::span<const trace::Request>(
+                    item.reqs.data(), item.count));
+            } else {
+                node.finishDay(item.day);
+                *day_out = item.day;
+                day_end = true;
             }
+        };
+        bool got = queue.tryConsumeWith(consume);
+        if (!got && queue.closed()) {
+            // Re-check after observing the close flag: items pushed
+            // before close() may race with the flag's visibility.
+            got = queue.tryConsumeWith(consume);
+            if (!got)
+                break;
         }
         if (!got)
             return Phase::Running;
-        if (item.kind == Item::Kind::Request) {
-            node.processRequest(item.req);
-            continue;
-        }
-        node.finishDay(item.day);
-        *day_out = item.day;
-        return Phase::AtDayEnd;
+        if (day_end)
+            return Phase::AtDayEnd;
     }
     node.finishTrace();
     return Phase::Closed;
@@ -243,15 +266,25 @@ runShardedParallel(trace::TraceReader &reader,
     const ParallelOptions &popt = config.parallel;
     if (popt.queue_depth == 0)
         util::fatal("parallel replay requires queue_depth >= 1");
+    if (config.batch == 0)
+        util::fatal("batched replay requires a batch size >= 1");
     const size_t workers = std::min(
         popt.threads == 0 ? config.shards : popt.threads,
         config.shards);
+
+    // Hand-off batch: the runtime knob clamped to the queue item's
+    // fixed capacity. queue_depth counts buffered *requests*, so the
+    // ring's item capacity shrinks as batches grow.
+    const size_t queue_batch =
+        std::min(config.batch, kQueueBatchRequests);
+    const size_t item_depth =
+        std::max<size_t>(2, popt.queue_depth / queue_batch);
 
     std::vector<std::unique_ptr<ItemQueue>> queues;
     std::vector<ItemQueue *> queue_ptrs;
     queues.reserve(config.shards);
     for (size_t s = 0; s < config.shards; ++s) {
-        queues.push_back(std::make_unique<ItemQueue>(popt.queue_depth));
+        queues.push_back(std::make_unique<ItemQueue>(item_depth));
         queue_ptrs.push_back(queues.back().get());
     }
 
@@ -273,38 +306,60 @@ runShardedParallel(trace::TraceReader &reader,
     for (size_t w = 0; w < workers; ++w)
         threads.emplace_back(runWorker, std::cref(args[w]));
 
-    // Reader: identical day/split logic to runSharded, but routed
-    // into the queues instead of the appliances.
-    trace::Request req;
-    bool any = false;
-    int current_day = 0;
-    while (reader.next(req)) {
-        const int day = static_cast<int>(util::dayOf(req.time));
-        if (!any) {
-            current_day = day;
-            any = true;
-        }
-        while (current_day < day) {
-            Item marker;
-            marker.kind = Item::Kind::DayEnd;
-            marker.day = current_day;
-            // Markers and subrequests alike are POD moves into a
-            // pre-sized ring: the reader's steady state never touches
-            // the heap, even while blocked on a full queue.
-            SIEVE_ASSERT_NO_ALLOC;
-            for (ItemQueue *q : queue_ptrs)
-                q->push(marker);
-            ++current_day;
-        }
-
-        forEachSubrequest(
-            req, config.shards, config.seed,
-            [&queue_ptrs](size_t shard, const trace::Request &sub) {
-                Item item;
-                item.req = sub;
+    // Reader: identical day/split logic to runSharded (the shared
+    // sim/batch.hpp facade), but routed into the queues instead of
+    // the appliances. Items are staged directly into the ring slots
+    // (pushWith), so a batch is copied exactly once — batcher bin to
+    // slot, count-prefix only — and the steady state never touches
+    // the heap, even while blocked on a full queue.
+    auto deliver = [&](size_t shard,
+                       std::span<const trace::Request> reqs) {
+        queue_ptrs[shard]->pushWith([&reqs](Item &slot) {
+            slot.kind = Item::Kind::Requests;
+            slot.count = static_cast<uint16_t>(reqs.size());
+            std::copy(reqs.begin(), reqs.end(), slot.reqs.begin());
+        });
+    };
+    RequestBatcher<decltype(deliver)> batcher(config.shards,
+                                              queue_batch, deliver);
+    try {
+        pumpBatches(
+            reader, config.batch,
+            [&](std::span<const trace::Request> slice) {
                 SIEVE_ASSERT_NO_ALLOC;
-                queue_ptrs[shard]->push(std::move(item));
+                for (const trace::Request &req : slice)
+                    forEachSubrequest(
+                        req, config.shards, config.seed,
+                        [&batcher](size_t shard,
+                                   const trace::Request &sub) {
+                            batcher.add(shard, sub);
+                        });
+            },
+            [&](int day) {
+                SIEVE_ASSERT_NO_ALLOC;
+                // Flush every partial batch before the marker so no
+                // request is delivered after its day's boundary.
+                batcher.flushAll();
+                for (ItemQueue *q : queue_ptrs)
+                    q->pushWith([day](Item &slot) {
+                        slot.kind = Item::Kind::DayEnd;
+                        slot.day = day;
+                        slot.count = 0;
+                    });
             });
+        {
+            SIEVE_ASSERT_NO_ALLOC;
+            batcher.flushAll();
+        }
+    } catch (...) {
+        // A malformed trace (fatal in the pump) must still close the
+        // queues and join the workers before unwinding, or ~thread()
+        // would terminate the process.
+        for (ItemQueue *q : queue_ptrs)
+            q->close();
+        for (std::thread &t : threads)
+            t.join();
+        throw;
     }
     for (ItemQueue *q : queue_ptrs)
         q->close();

@@ -1,7 +1,9 @@
 #include "trace/binary_trace.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "util/alloc_guard.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -140,6 +142,34 @@ BinaryTraceReader::next(Request &out)
     unpack(buf, out);
     ++consumed;
     return true;
+}
+
+size_t
+BinaryTraceReader::nextBatch(std::span<Request> out)
+{
+    // One read() per up-to-64-record chunk instead of one per record;
+    // decoding out of the stack buffer is allocation-free.
+    constexpr size_t kChunkRecords = 64;
+    char buf[kRecordBytes * kChunkRecords];
+    size_t produced = 0;
+    while (produced < out.size() && consumed < total) {
+        const size_t want =
+            std::min({out.size() - produced, kChunkRecords,
+                      static_cast<size_t>(total - consumed)});
+        in.read(buf, static_cast<std::streamsize>(want * kRecordBytes));
+        if (!in)
+            util::fatal(
+                "'%s': truncated binary trace (%llu of %llu records)",
+                path.c_str(),
+                static_cast<unsigned long long>(consumed),
+                static_cast<unsigned long long>(total));
+        SIEVE_ASSERT_NO_ALLOC;
+        for (size_t i = 0; i < want; ++i)
+            unpack(buf + i * kRecordBytes, out[produced + i]);
+        produced += want;
+        consumed += want;
+    }
+    return produced;
 }
 
 void

@@ -55,6 +55,8 @@ class BinaryTraceReader : public TraceReader
     explicit BinaryTraceReader(const std::string &path);
 
     bool next(Request &out) override;
+    /** Bulk decode: one file read per chunk instead of per record. */
+    size_t nextBatch(std::span<Request> out) override;
     void reset() override;
 
     /** Record count from the header. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/alloc_guard.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
@@ -608,6 +609,34 @@ SyntheticEnsembleGenerator::next(Request &out)
     }
     out = stream_buffer[stream_pos++];
     return true;
+}
+
+size_t
+SyntheticEnsembleGenerator::nextBatch(std::span<Request> out)
+{
+    size_t filled = 0;
+    while (filled < out.size()) {
+        if (stream_pos >= stream_buffer.size()) {
+            // Refill materializes the next calendar day; that
+            // allocation is per-day, not per-batch.
+            if (stream_day >= days())
+                break;
+            stream_buffer = generateDay(stream_day++);
+            stream_pos = 0;
+            continue;
+        }
+        // Steady state: one bulk copy out of the materialized day
+        // instead of a virtual call per request.
+        SIEVE_ASSERT_NO_ALLOC;
+        const size_t n = std::min(out.size() - filled,
+                                  stream_buffer.size() - stream_pos);
+        std::copy_n(stream_buffer.begin() +
+                        static_cast<ptrdiff_t>(stream_pos),
+                    n, out.begin() + static_cast<ptrdiff_t>(filled));
+        stream_pos += n;
+        filled += n;
+    }
+    return filled;
 }
 
 void

@@ -200,6 +200,7 @@ class SyntheticEnsembleGenerator : public TraceReader
 
     // TraceReader interface: streams day 0, day 1, ... transparently.
     bool next(Request &out) override;
+    size_t nextBatch(std::span<Request> out) override;
     void reset() override;
 
   private:

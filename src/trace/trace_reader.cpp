@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "util/alloc_guard.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
 namespace trace {
+
+size_t
+TraceReader::nextBatch(std::span<Request> out)
+{
+    // Generic fallback: per-request virtual decode. Streaming parsers
+    // (msr_csv) allocate per line, so no batch-wide no-alloc claim is
+    // made here. // sieve-lint: allow(batch-guard)
+    size_t produced = 0;
+    while (produced < out.size() && next(out[produced]))
+        ++produced;
+    return produced;
+}
 
 VectorTrace::VectorTrace(std::vector<Request> requests)
     : reqs(std::move(requests))
@@ -25,6 +38,19 @@ VectorTrace::next(Request &out)
         return false;
     out = reqs[pos++];
     return true;
+}
+
+size_t
+VectorTrace::nextBatch(std::span<Request> out)
+{
+    // Bulk copy straight out of the materialized vector — the decode
+    // path of every benchmark replay, and allocation-free.
+    SIEVE_ASSERT_NO_ALLOC;
+    const size_t n = std::min(out.size(), reqs.size() - pos);
+    std::copy_n(reqs.begin() + static_cast<ptrdiff_t>(pos), n,
+                out.begin());
+    pos += n;
+    return n;
 }
 
 void

@@ -11,12 +11,21 @@
 #define SIEVESTORE_TRACE_TRACE_READER_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "trace/request.hpp"
 
 namespace sievestore {
 namespace trace {
+
+/**
+ * Default decode-batch size for the batched replay path: how many
+ * requests a driver pulls per nextBatch() call. 64 requests (~2 KB)
+ * amortize the virtual decode call and the downstream hand-off
+ * without outgrowing L1.
+ */
+inline constexpr size_t kDefaultBatchRequests = 64;
 
 /**
  * Pull-based request source. next() returns false at end of trace.
@@ -35,6 +44,18 @@ class TraceReader
      */
     virtual bool next(Request &out) = 0;
 
+    /**
+     * Decode up to out.size() requests in one call, returning how many
+     * were produced; fewer than out.size() only at end of stream. The
+     * stream is interchangeable with next(): concatenating nextBatch()
+     * results yields exactly the per-call sequence (property-tested
+     * for every reader), and the two forms may be mixed freely. The
+     * base implementation loops next(); bulk sources (VectorTrace,
+     * BinaryTraceReader) override it to decode without per-request
+     * virtual dispatch.
+     */
+    virtual size_t nextBatch(std::span<Request> out);
+
     /** Restart the stream from the beginning. */
     virtual void reset() = 0;
 };
@@ -47,6 +68,7 @@ class VectorTrace : public TraceReader
     explicit VectorTrace(std::vector<Request> requests);
 
     bool next(Request &out) override;
+    size_t nextBatch(std::span<Request> out) override;
     void reset() override;
 
     const std::vector<Request> &requests() const { return reqs; }

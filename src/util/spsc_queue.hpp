@@ -81,6 +81,50 @@ class SpscQueue
         return tryPush(std::move(copy));
     }
 
+    /**
+     * Producer: fill the next slot in place via fn(T&) — for large
+     * payloads where a staged copy plus a move would double the
+     * hand-off cost (the parallel replay engine's batched items). The
+     * slot may hold a stale previous value; fn must overwrite every
+     * field it will publish. Returns false when the ring is full.
+     */
+    template <typename Fn>
+    bool
+    tryPushWith(Fn &&fn)
+    {
+        const uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - head_cache == capacity()) {
+            head_cache = head.load(std::memory_order_acquire);
+            if (t - head_cache == capacity())
+                return false;
+        }
+        fn(slots[static_cast<size_t>(t & mask)]);
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer: process the next slot in place via fn(const T&), then
+     * release it to the producer — the zero-copy dual of
+     * tryPushWith(). References into the slot must not escape fn.
+     * Returns false when the queue is empty.
+     */
+    template <typename Fn>
+    bool
+    tryConsumeWith(Fn &&fn)
+    {
+        const uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == tail_cache) {
+            tail_cache = tail.load(std::memory_order_acquire);
+            if (h == tail_cache)
+                return false;
+        }
+        fn(static_cast<const T &>(
+            slots[static_cast<size_t>(h & mask)]));
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
     /** Consumer: dequeue into `out`. Returns false when empty. */
     bool
     tryPop(T &out)
@@ -118,6 +162,16 @@ class SpscQueue
     {
         SIEVE_DCHECK(!closed(), "push after close");
         while (!tryPush(std::move(value)))
+            backoff();
+    }
+
+    /** Producer: blocking in-place enqueue (see tryPushWith). */
+    template <typename Fn>
+    void
+    pushWith(Fn &&fn)
+    {
+        SIEVE_DCHECK(!closed(), "push after close");
+        while (!tryPushWith(fn))
             backoff();
     }
 

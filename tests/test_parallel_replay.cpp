@@ -206,6 +206,41 @@ TEST(ParallelReplay, MultiDayGapFiresEveryBoundaryOnEveryShard)
         EXPECT_EQ(node->lastFinishedDay(), 2);
 }
 
+TEST(ParallelReplay, BatchSizeSweepIsBitIdentical)
+{
+    // The decode/hand-off batch size is a pure performance knob: the
+    // serial golden at batch=1 pins every other batch size, including
+    // sizes above the per-item cap (spanning several queue items) and
+    // sizes that leave most of each item unused.
+    auto gen = makeGenerator(47, 65536.0);
+    ShardedConfig golden_cfg = makeConfig(PolicyKind::SieveStoreC, 4);
+    golden_cfg.batch = 1;
+    gen.reset();
+    const ShardedResult golden = runSharded(gen, golden_cfg);
+
+    for (const size_t batch :
+         {size_t(1), size_t(8), kQueueBatchRequests,
+          4 * kQueueBatchRequests}) {
+        ShardedConfig cfg = golden_cfg;
+        cfg.batch = batch;
+        gen.reset();
+        const ShardedResult parallel = runShardedParallel(gen, cfg);
+        const std::string label = "batch=" + std::to_string(batch);
+        ASSERT_EQ(golden.nodes.size(), parallel.nodes.size()) << label;
+        for (size_t s = 0; s < golden.nodes.size(); ++s) {
+            const auto &gd = golden.nodes[s]->daily();
+            const auto &pd = parallel.nodes[s]->daily();
+            ASSERT_EQ(gd.size(), pd.size()) << label << " shard " << s;
+            for (size_t d = 0; d < gd.size(); ++d)
+                expectReportEq(gd[d], pd[d],
+                               label + " shard " + std::to_string(s) +
+                                   " day " + std::to_string(d));
+        }
+        expectReportEq(golden.totals(), parallel.totals(),
+                       label + " totals");
+    }
+}
+
 TEST(ParallelReplay, RejectsBadConfig)
 {
     VectorTrace empty{std::vector<Request>{}};

@@ -118,6 +118,48 @@ TEST(SpscQueue, MoveOnlyPayload)
     EXPECT_EQ(*out, 42);
 }
 
+TEST(SpscQueue, InPlaceProduceConsumeRoundTrips)
+{
+    // pushWith stages into the slot directly; tryConsumeWith hands
+    // the slot back by const reference. Slots are recycled, so a
+    // producer callback must overwrite what the previous occupant
+    // left behind — exercised by wrapping around a tiny ring.
+    SpscQueue<std::pair<int, int>> q(2);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(q.tryPushWith([i](std::pair<int, int> &slot) {
+            slot = {i, i * i};
+        }));
+        bool seen = false;
+        EXPECT_TRUE(
+            q.tryConsumeWith([&](const std::pair<int, int> &slot) {
+                EXPECT_EQ(slot.first, i);
+                EXPECT_EQ(slot.second, i * i);
+                seen = true;
+            }));
+        EXPECT_TRUE(seen);
+    }
+    EXPECT_FALSE(q.tryConsumeWith([](const std::pair<int, int> &) {
+        FAIL() << "empty queue must not invoke the consumer";
+    }));
+}
+
+TEST(SpscQueue, InPlacePushFailsOnFullRingWithoutCallback)
+{
+    SpscQueue<int> q(2);
+    EXPECT_TRUE(q.tryPushWith([](int &slot) { slot = 1; }));
+    EXPECT_TRUE(q.tryPushWith([](int &slot) { slot = 2; }));
+    EXPECT_FALSE(q.tryPushWith(
+        [](int &) { FAIL() << "full ring must not invoke the filler"; }));
+    int v = 0;
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 1);
+    q.pushWith([](int &slot) { slot = 3; }); // blocking variant
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 3);
+}
+
 /**
  * Two-thread sequence check: the consumer must observe exactly
  * 0,1,2,...,n-1. `producer_batch` / `consumer_batch` skew which side
