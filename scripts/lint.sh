@@ -113,6 +113,15 @@ else
     FAILED=1
 fi
 
+# ---- 5. static hot-path proofs ------------------------------------
+step "sieve_analyze.py"
+if python3 scripts/sieve_analyze.py --self-test &&
+        python3 scripts/sieve_analyze.py; then
+    :
+else
+    FAILED=1
+fi
+
 # ---- summary ------------------------------------------------------
 if [[ $FAILED -ne 0 ]]; then
     echo "lint: FAILED"

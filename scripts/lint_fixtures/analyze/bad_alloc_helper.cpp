@@ -1,0 +1,25 @@
+/**
+ * sieve-analyze fixture: an allocation reached INDIRECTLY through a
+ * helper must be reported with the full call path — the guard region
+ * itself contains no allocating token.
+ */
+
+#include <cstdint>
+#include <vector>
+
+struct Buffer {
+    std::vector<uint64_t> items;
+
+    void
+    grow(uint64_t v)
+    {
+        items.push_back(v); // analyze-expect: no-alloc
+    }
+
+    void
+    hot(uint64_t v)
+    {
+        SIEVE_ASSERT_NO_ALLOC;
+        grow(v);
+    }
+};

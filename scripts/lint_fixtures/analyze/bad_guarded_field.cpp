@@ -1,0 +1,28 @@
+/**
+ * sieve-analyze fixture: a GUARDED_BY field read without holding the
+ * named capability. recordLocked() is clean (scoped lock over the
+ * mutex); peek() touches the field with no lock, no REQUIRES, and no
+ * TS_ASSERT claimer in scope.
+ */
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+struct Counters {
+    sievestore::util::Mutex mu;
+    uint64_t hits GUARDED_BY(mu) = 0;
+
+    void
+    recordLocked()
+    {
+        sievestore::util::MutexLock lock(mu);
+        ++hits;
+    }
+
+    uint64_t
+    peek() const
+    {
+        return hits; // analyze-expect: lock-discipline
+    }
+};

@@ -1,0 +1,25 @@
+/**
+ * sieve-analyze fixture: a lambda body belongs to the enclosing
+ * function's guard region — an allocating helper invoked from inside
+ * the lambda is still a violation of the surrounding region.
+ */
+
+#include <cstdint>
+#include <vector>
+
+void consume(const uint64_t *value);
+
+static uint64_t *
+duplicate(uint64_t b)
+{
+    return new uint64_t(b); // analyze-expect: no-alloc
+}
+
+void
+hotLoop(const std::vector<uint64_t> &blocks)
+{
+    SIEVE_ASSERT_NO_ALLOC;
+    auto emit = [&](uint64_t b) { consume(duplicate(b)); };
+    for (uint64_t b : blocks)
+        emit(b);
+}

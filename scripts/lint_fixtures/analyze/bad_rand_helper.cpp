@@ -1,0 +1,22 @@
+/**
+ * sieve-analyze fixture: a nondeterminism primitive reached through a
+ * helper — the deterministic-replay ban is call-graph-aware, not just
+ * a textual scan of the guarded region.
+ */
+
+#include <cstdlib>
+
+void consumeDelay(int us);
+
+static int
+jitter()
+{
+    return rand(); // analyze-expect: determinism
+}
+
+void
+replayStep()
+{
+    SIEVE_ASSERT_NO_ALLOC;
+    consumeDelay(jitter());
+}

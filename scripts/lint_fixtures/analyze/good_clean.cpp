@@ -1,0 +1,45 @@
+/**
+ * sieve-analyze fixture: false-positive guard. Everything here is
+ * legal inside a no-alloc region and must produce ZERO findings:
+ *  - declarations with constructor arguments (`Span view(v)`) are
+ *    not calls;
+ *  - placement new constructs into caller-owned storage;
+ *  - non-allocating members (back/pop_back) of an external receiver;
+ *  - an allocating member (reserve) is fine OUTSIDE any region.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Span {
+    explicit Span(uint64_t v) : value(v) {}
+    uint64_t
+    get() const
+    {
+        return value;
+    }
+    uint64_t value;
+};
+
+struct Pool {
+    std::vector<uint64_t> slots;
+
+    void
+    reserveUpfront(size_t n)
+    {
+        slots.reserve(n);
+    }
+
+    uint64_t
+    take()
+    {
+        SIEVE_ASSERT_NO_ALLOC;
+        const uint64_t v = slots.back();
+        slots.pop_back();
+        Span view(v);
+        alignas(uint64_t) char buf[sizeof(uint64_t)];
+        uint64_t *p = new (buf) uint64_t(view.get());
+        return *p;
+    }
+};

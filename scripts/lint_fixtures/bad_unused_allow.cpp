@@ -1,0 +1,19 @@
+/**
+ * sieve-lint fixture: a suppression directive that no longer covers
+ * any finding is stale — it must be flagged so dead allows cannot
+ * silently mask future regressions.
+ */
+// lint-expect: unused-allow
+
+#include <cstdint>
+
+namespace fixture {
+
+int64_t
+pureComputation(int64_t x)
+{
+    // sieve-lint: allow(wall-clock)
+    return x * 2;
+}
+
+} // namespace fixture

@@ -31,4 +31,14 @@ sanctionedWallNow()
         .count();
 }
 
+int64_t
+sanctionedTrailingAllow()
+{
+    // The directive sits on the statement's LAST line, two lines
+    // below the flagged token: the full statement span must honor it.
+    return std::chrono::steady_clock::now()
+        .time_since_epoch()
+        .count(); // sieve-lint: allow(wall-clock)
+}
+
 } // namespace fixture

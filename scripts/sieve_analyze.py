@@ -1,0 +1,1278 @@
+#!/usr/bin/env python3
+"""sieve-analyze: call-graph static analyzer for SieveStore hot paths.
+
+sieve-lint (scripts/sieve_lint.py) checks conventions line by line;
+this tool checks *reachability* claims that need a call graph. It
+parses every C++ file under src/, extracts function definitions and
+their call sites, and proves three project claims statically:
+
+  no-alloc         Every function transitively reachable from a
+                   no-alloc root is allocation-free. Roots are (a) the
+                   dynamic extent of every armed SIEVE_ASSERT_NO_ALLOC
+                   / _WHEN region (util/alloc_guard.hpp) — from the
+                   guard statement to the end of its enclosing brace
+                   scope — and (b) functions annotated SIEVE_NOALLOC
+                   (util/check.hpp). Allocation is `new`, an allocating
+                   libc/C++ primitive (malloc, make_unique, ...), or a
+                   growing container method (push_back, resize, ...).
+                   Traversal stops, and the stop is *reported*, at
+                   functions annotated SIEVE_MAY_ALLOC and at functions
+                   that construct util::AllocGuardDisarm — the runtime
+                   guard is disarmed over their dynamic extent, so the
+                   static claim delegates to the reviewed escape hatch.
+  determinism      The same roots must not reach a nondeterminism
+                   primitive (rand/srand, std::random_device, wall
+                   clocks, time(NULL)). sieve-lint already bans these
+                   per line across the whole tree; the graph version
+                   closes the "hot region calls a helper whose ban was
+                   suppressed" hole and attributes each hit to the
+                   hot-path root that reaches it.
+  lock-discipline  Members annotated GUARDED_BY(cap) (via
+                   util/thread_annotations.hpp) may be touched only by
+                   functions that hold `cap`: a REQUIRES(cap) on the
+                   function, a scoped MutexLock over cap in the body, a
+                   direct cap.lock(), or a call to a TS_ASSERT(cap)
+                   role-assertion function. This re-checks, with no
+                   toolchain dependency, the discipline Clang enforces
+                   under -Wthread-safety (GCC compiles the annotations
+                   to nothing, so GCC-only hosts would otherwise have
+                   no checker at all).
+
+Backends: the default 'text' backend is dependency-free and parses C++
+structurally (comment stripping + brace matching, shared with
+sieve-lint). The 'clang' backend builds the same program model from
+the libclang AST using compile_commands.json (pass --compile-db or let
+it default to build/compile_commands.json); 'auto' tries clang and
+falls back to text. Both backends feed one reachability engine, so
+findings and report format are identical.
+
+Token-backend soundness boundary (documented, deliberate):
+
+  * Calls are resolved by name, narrowed where the tokens allow it:
+    a bare call inside a class binds to that class's own method; a
+    qualified call `Foo::bar(...)` binds to Foo; a member call
+    `x.bar(...)` binds to the declared type of `x` (resolved through
+    file-local `using` aliases) *plus every class derived from it*,
+    so virtual dispatch stays conservative. When no binding is
+    possible the call reaches every function of that name defined
+    under src/ — an over-approximation that can only add findings,
+    never hide a defined function. Names defined nowhere in the tree
+    are looked up in the allocation/nondeterminism primitive tables;
+    unknown names (std:: algorithms, accessors) are treated as clean
+    and counted in the --report output, so the size of the trust
+    base is visible.
+  * Indirect calls through function pointers, std::function, and
+    stored callables (e.g. RequestBatcher's flush_) are invisible; the
+    lambda *bodies* are still scanned, because a lambda defined inside
+    a scanned region is part of the region's text.
+
+Suppressions and fixtures:
+  // sieve-analyze: allow(<rule>)   on the flagged statement's span
+  // analyze-expect: <rule>         fixture marker for --self-test
+
+Exit status: 0 if every claim is proven, 1 on any finding (or a
+failed --self-test).
+"""
+
+import argparse
+import collections
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from sieve_lint import matchBrace, stripCommentsAndStrings  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src",)
+FIXTURE_DIR = os.path.join("scripts", "lint_fixtures", "analyze")
+
+RULES = ("no-alloc", "determinism", "lock-discipline")
+
+ALLOW_RE = re.compile(r"//\s*sieve-analyze:\s*allow\(([\w-]+)\)")
+EXPECT_RE = re.compile(r"//\s*analyze-expect:\s*([\w-]+)")
+
+# Identifiers that look like calls but are not.
+KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "noexcept", "catch", "throw", "new",
+    "delete", "static_assert", "defined", "assert", "case",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "int", "char", "bool", "float", "double", "void", "auto",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t",
+    "int16_t", "int32_t", "int64_t", "size_t", "ssize_t", "ptrdiff_t",
+    # Annotation macros (util/thread_annotations.hpp, util/check.hpp)
+    # and contract macros expand to attributes or to checkFailed-only
+    # paths; the checkFailed edge is added explicitly below.
+    "REQUIRES", "ACQUIRE", "RELEASE", "TRY_ACQUIRE", "TS_ASSERT",
+    "GUARDED_BY", "PT_GUARDED_BY", "CAPABILITY", "EXCLUDES",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER", "SIEVE_THREAD_ANNOTATION",
+))
+
+# Contract macros whose only call is the [[noreturn]] failure path;
+# model them as an edge to checkFailed so the failure path's disarm
+# boundary shows up in reports instead of being invisible.
+CONTRACT_MACROS = frozenset((
+    "SIEVE_CHECK", "SIEVE_DCHECK", "SIEVE_UNREACHABLE",
+))
+
+# Callees with no definition in the tree that are known to allocate.
+# Container-growth method names double as primitives: when the name is
+# *also* defined in the tree (e.g. FlatIndex::reserve) the tree
+# definition wins and is traversed instead — its own SIEVE_MAY_ALLOC /
+# disarm status then decides.
+ALLOC_PRIMITIVES = frozenset((
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_unique", "make_shared", "to_string", "stoi", "stoul",
+    "stoull", "getline",
+    "push_back", "emplace_back", "push_front", "emplace_front",
+    "emplace", "insert", "insert_or_assign", "try_emplace",
+    "resize", "reserve", "assign", "append", "substr",
+    "shrink_to_fit", "rehash",
+))
+
+# Nondeterminism primitives for the determinism claim (call names).
+NONDET_PRIMITIVES = frozenset((
+    "rand", "srand", "rand_r", "drand48", "time", "gettimeofday",
+    "clock_gettime",
+))
+# ... and token-level patterns (types, not calls).
+NONDET_TOKEN_RE = re.compile(
+    r"std\s*::\s*random_device"
+    r"|std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+    r"high_resolution_clock)")
+
+CALL_RE = re.compile(r"(?:\b|::\s*)([A-Za-z_]\w*)\s*\(")
+# `new T(...)` allocates; `new (addr) T` (placement) does not, and the
+# lookahead excludes it. `new (std::nothrow) T` is excluded with it —
+# acceptable: nothrow-new is not used in this tree (grep-verified) and
+# the runtime AllocGuard would still catch one.
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+GUARD_RE = re.compile(r"\bSIEVE_ASSERT_NO_ALLOC(?:_WHEN)?\b")
+DISARM_RE = re.compile(r"\bAllocGuardDisarm\b")
+NOALLOC_ATTR = "SIEVE_NOALLOC"
+MAYALLOC_ATTR = "SIEVE_MAY_ALLOC"
+
+# The enforcement layer itself: defines the replacement allocation
+# functions and the guard machinery. Out of scope for violations.
+EXEMPT_FILES = frozenset((
+    os.path.join("src", "util", "alloc_guard.hpp"),
+    os.path.join("src", "util", "alloc_guard.cpp"),
+))
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Function:
+    """One function definition: spans are offsets into the stripped
+    file text; `calls` are (name, offset) pairs."""
+
+    def __init__(self, qual, relpath, line, head_start, body_start,
+                 body_end):
+        self.qual = qual              # display name, maybe Class::name
+        self.name = qual.rsplit("::", 1)[-1]
+        self.relpath = relpath
+        self.line = line
+        self.head_start = head_start  # offset where the decl begins
+        self.body_start = body_start  # offset just past '{'
+        self.body_end = body_end      # offset of matching '}'
+        self.noalloc = False          # SIEVE_NOALLOC on the decl
+        self.may_alloc = False        # SIEVE_MAY_ALLOC on the decl
+        self.disarms = False          # body constructs AllocGuardDisarm
+        self.line_based = False       # clang frontend: offsets = lines
+        self.requires = ""            # raw REQUIRES(...) argument text
+        self.asserts_caps = []        # TS_ASSERT(...) argument text
+        self.calls = []               # (name, offset, kind, recv)
+        self.regions = []             # (start, end, line) guard spans
+
+    def key(self):
+        return (self.relpath, self.line, self.qual)
+
+
+class SourceFile:
+    """One parsed file: stripped text plus suppression/expect lines."""
+
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.raw_lines = text.splitlines()
+        self.allow = {}
+        self.expect = []
+        for i, line in enumerate(self.raw_lines, start=1):
+            for m in ALLOW_RE.finditer(line):
+                self.allow.setdefault(i, set()).add(m.group(1))
+            for m in EXPECT_RE.finditer(line):
+                self.expect.append(m.group(1))
+        self.text = stripCommentsAndStrings(text)
+        self.functions = []
+        self.guarded_fields = []  # (class, field, cap, line)
+
+    def lineOf(self, offset):
+        return self.text.count("\n", 0, offset) + 1
+
+    def allowed(self, line, rule):
+        """Suppression on the line, the line above, or anywhere on the
+        statement's span (the statement containing `line` extends to
+        the previous/next ';' or brace in the raw text is approximated
+        by a 3-line window — statement spans are handled by callers
+        passing every line of the span)."""
+        return (rule in self.allow.get(line, set()) or
+                rule in self.allow.get(line - 1, set()))
+
+    def allowedSpan(self, first_line, last_line, rule):
+        return any(rule in self.allow.get(l, set())
+                   for l in range(first_line - 1, last_line + 1))
+
+
+class Program:
+    """The IR both backends produce: functions indexed by simple name,
+    plus class hierarchy and per-file guarded-field tables."""
+
+    def __init__(self):
+        self.sources = {}             # relpath -> SourceFile
+        self.by_name = collections.defaultdict(list)
+        self.functions = []
+        self.bases = {}               # class -> set(direct bases)
+        self.aliases = {}             # alias -> class name
+        self.class_spans = collections.defaultdict(list)
+        #                             # class -> [(relpath, start, end)]
+
+    def add(self, fn):
+        self.functions.append(fn)
+        self.by_name[fn.name].append(fn)
+
+    def finalize(self):
+        """Derived-class closure and per-class method tables."""
+        self.class_methods = collections.defaultdict(set)
+        for fn in self.functions:
+            if "::" in fn.qual:
+                cls, meth = fn.qual.rsplit("::", 1)
+                self.class_methods[cls].add(meth)
+        children = collections.defaultdict(set)
+        for cls, bases in self.bases.items():
+            for b in bases:
+                children[b].add(cls)
+        self.derived = {}
+        for cls in set(children) | set(self.bases):
+            out = set()
+            work = [cls]
+            while work:
+                c = work.pop()
+                for d in children.get(c, ()):
+                    if d not in out:
+                        out.add(d)
+                        work.append(d)
+            self.derived[cls] = out
+
+    def resolveClass(self, name):
+        name = name.rsplit("::", 1)[-1]
+        name = self.aliases.get(name, name)
+        name = name.rsplit("::", 1)[-1]
+        if name in self.class_methods or name in self.bases or \
+                name in self.derived:
+            return name
+        return None
+
+    def methodsOf(self, cls, name):
+        """Defs of `cls::name` plus overrides in derived classes."""
+        out = []
+        for c in [cls] + sorted(self.derived.get(cls, ())):
+            if name in self.class_methods.get(c, ()):
+                qual = f"{c}::{name}"
+                out.extend(f for f in self.by_name.get(name, ())
+                           if f.qual == qual)
+        return out
+
+
+# --------------------------------------------------------------------
+# Token frontend
+# --------------------------------------------------------------------
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:CAPABILITY\s*\([^)]*\)\s*|"
+    r"SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(:[^{;]*)?\{")
+
+BASE_NAME_RE = re.compile(
+    r"(?:public|protected|private|virtual|\s|,)*"
+    r"((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)")
+
+ALIAS_RE = re.compile(
+    r"\busing\s+([A-Za-z_]\w*)\s*=\s*"
+    r"((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*[<;]")
+
+FUNC_NAME_RE = re.compile(
+    r"\b((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\(")
+
+GUARDED_FIELD_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s+GUARDED_BY\s*\(\s*([^)]*?)\s*\)")
+
+REQUIRES_HEAD_RE = re.compile(r"\bREQUIRES\s*\(\s*([^)]*?)\s*\)")
+TSASSERT_HEAD_RE = re.compile(r"\bTS_ASSERT\s*\(\s*([^)]*?)\s*\)")
+
+# Tokens that may legally sit between a definition's ')' and its '{'.
+TAIL_WORD_RE = re.compile(
+    r"\s*(const|noexcept|override|final|mutable|volatile|&&|&|"
+    r"->\s*[\w:<>,\s*&]+?)(?=\s|\{|$)")
+
+
+def classSpans(text):
+    """[(name, body_start, body_end, bases)] for every class/struct
+    body, with direct base-class simple names."""
+    spans = []
+    for m in CLASS_HEAD_RE.finditer(text):
+        open_pos = m.end() - 1
+        end = matchBrace(text, open_pos) - 1
+        bases = set()
+        clause = m.group(2)
+        if clause:
+            for part in clause.lstrip(":").split(","):
+                bm = BASE_NAME_RE.match(part.strip())
+                if bm:
+                    bases.add(
+                        re.sub(r"\s", "",
+                               bm.group(1)).rsplit("::", 1)[-1])
+        spans.append((m.group(1), open_pos + 1, end, bases))
+    return spans
+
+
+def enclosingClass(spans, offset):
+    best = None
+    for name, start, end, _bases in spans:
+        if start <= offset < end:
+            if best is None or start > best[1]:
+                best = (name, start, end)
+    return best[0] if best else None
+
+
+# Keywords that may legitimately precede a call expression; any other
+# identifier directly before `name(` marks a variable declaration.
+STMT_KEYWORDS = frozenset({
+    "return", "co_return", "co_yield", "co_await", "throw", "new",
+    "delete", "case", "goto", "else", "do", "not", "and", "or",
+})
+
+
+def callContext(text, name_start):
+    """('bare'|'member'|'qualified', receiver-or-None) for the call
+    whose callee name begins at name_start."""
+    j = name_start - 1
+    while j >= 0 and text[j].isspace():
+        j -= 1
+    if j >= 1 and text[j] == ":" and text[j - 1] == ":":
+        k = j - 2
+        while k >= 0 and text[k].isspace():
+            k -= 1
+        end = k + 1
+        while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+            k -= 1
+        recv = text[k + 1:end]
+        return ("qualified", recv or None)
+    via_arrow = j >= 1 and text[j] == ">" and text[j - 1] == "-"
+    if not via_arrow and (text[j].isalnum() or text[j] in "_>"):
+        # `Type name(args)` / `std::vector<int> v(n)`: a declaration
+        # with constructor arguments, not a call — unless the
+        # preceding token is a statement keyword (`return foo()`).
+        k = j
+        while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+            k -= 1
+        prev_tok = text[k + 1:j + 1]
+        if prev_tok not in STMT_KEYWORDS:
+            return ("decl", None)
+    if text[j] == "." or via_arrow:
+        k = j - (2 if via_arrow else 1)
+        while k >= 0 and text[k].isspace():
+            k -= 1
+        if k < 0 or not (text[k].isalnum() or text[k] == "_"):
+            # Receiver is an expression (call result, index, cast):
+            # untypable at token level, resolve by name.
+            return ("member", None)
+        end = k + 1
+        while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+            k -= 1
+        recv = text[k + 1:end]
+        if recv and not recv[0].isdigit():
+            return ("member", recv)
+        return ("member", None)
+    return ("bare", None)
+
+
+def skipDefTail(text, pos):
+    """From just past a parameter list's ')', skip qualifiers,
+    annotation macros, trailing return types, and a constructor
+    initializer list. Returns the offset of the body '{', or -1 if
+    this is not a definition."""
+    n = len(text)
+    i = pos
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            return -1
+        c = text[i]
+        if c == "{":
+            return i
+        if c in ";,)=":
+            return -1
+        if c == ":":
+            if text[i + 1:i + 2] == ":":  # stray qualified name
+                return -1
+            # Constructor initializer list: skip balanced (), {}
+            # until the body '{' at depth 0.
+            i += 1
+            depth = 0
+            while i < n:
+                ch = text[i]
+                if ch in "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                elif ch == "{":
+                    if depth == 0:
+                        return i
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                elif ch == ";":
+                    if depth == 0:
+                        return -1
+                i += 1
+            return -1
+        m = re.match(r"[A-Za-z_]\w*", text[i:])
+        if m:
+            word = m.group(0)
+            j = i + m.end()
+            while j < n and text[j].isspace():
+                j += 1
+            if j < n and text[j] == "(" and word not in (
+                    "const", "noexcept", "override", "final",
+                    "mutable", "volatile"):
+                # Annotation macro with arguments: REQUIRES(...),
+                # TS_ASSERT(...), __attribute__((...)), noexcept(...)
+                close = j
+                depth = 0
+                while close < n:
+                    if text[close] == "(":
+                        depth += 1
+                    elif text[close] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    close += 1
+                i = close + 1
+                continue
+            i += m.end()
+            continue
+        if c == "-" and text[i:i + 2] == "->":
+            # Trailing return type: scan to '{' or ';' at depth 0.
+            i += 2
+            depth = 0
+            while i < n:
+                ch = text[i]
+                if ch in "(<":
+                    depth += 1
+                elif ch in ")>":
+                    depth -= 1
+                elif ch == "{" and depth <= 0:
+                    return i
+                elif ch == ";" and depth <= 0:
+                    return -1
+                i += 1
+            return -1
+        return -1
+    return -1
+
+
+def parseFunctions(src, spans):
+    """Find function definitions in a stripped file. Control-flow
+    keywords are filtered; the head span (for annotations) runs from
+    the previous top-level terminator to the body brace."""
+    text = src.text
+    taken = []  # body spans already claimed, to skip nested re-finds
+    for m in FUNC_NAME_RE.finditer(text):
+        name = m.group(1)
+        simple = re.sub(r"\s", "", name).rsplit("::", 1)[-1]
+        if simple.lstrip("~") in KEYWORDS or simple in KEYWORDS:
+            continue
+        open_paren = m.end() - 1
+        # Match the parameter list.
+        depth = 0
+        i = open_paren
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= len(text):
+            continue
+        body_open = skipDefTail(text, i + 1)
+        if body_open < 0:
+            continue
+        body_end = matchBrace(text, body_open) - 1
+        # Head: back to the nearest ; { or } before the name.
+        head_start = max(text.rfind(";", 0, m.start()),
+                         text.rfind("{", 0, m.start()),
+                         text.rfind("}", 0, m.start())) + 1
+        qual = re.sub(r"\s", "", name)
+        if "::" not in qual:
+            cls = enclosingClass(spans, m.start())
+            if cls:
+                qual = f"{cls}::{qual}"
+        fn = Function(qual, src.relpath, src.lineOf(m.start()),
+                      head_start, body_open + 1, body_end)
+        head = text[head_start:body_open]
+        fn.noalloc = NOALLOC_ATTR in head
+        fn.may_alloc = MAYALLOC_ATTR in head
+        rq = REQUIRES_HEAD_RE.search(head)
+        if rq:
+            fn.requires = re.sub(r"\s", "", rq.group(1))
+        for ts in TSASSERT_HEAD_RE.finditer(head):
+            fn.asserts_caps.append(re.sub(r"\s", "", ts.group(1)))
+        taken.append((body_open + 1, body_end, fn))
+        src.functions.append(fn)
+    # Drop defs whose body lies inside another def's body *and* whose
+    # head looks like a local construct — keep in-class methods (class
+    # bodies are not function bodies). Nested function-like matches
+    # inside bodies are usually lambdas assigned to named variables or
+    # local structs; keeping them is harmless (they become extra
+    # nodes), so no pruning is done.
+    return
+
+
+def scanBodies(src):
+    """Populate calls/regions/disarm info for each function."""
+    text = src.text
+    for fn in src.functions:
+        body = text[fn.body_start:fn.body_end]
+        base = fn.body_start
+        if DISARM_RE.search(body):
+            fn.disarms = True
+        for m in CALL_RE.finditer(body):
+            name = m.group(1)
+            if name in KEYWORDS:
+                continue
+            if name in CONTRACT_MACROS:
+                fn.calls.append(("checkFailed", base + m.start(1),
+                                 "bare", None))
+                continue
+            if name.isupper() and name.startswith("SIEVE_"):
+                continue
+            kind, recv = callContext(body, m.start(1))
+            if kind == "decl":  # `Type name(args)` — not a call
+                continue
+            fn.calls.append((name, base + m.start(1), kind, recv))
+        for m in GUARD_RE.finditer(body):
+            # Region: guard statement to the end of its enclosing
+            # brace scope within this body.
+            pos = m.start()
+            depth = 0
+            end = len(body)
+            for j in range(pos, len(body)):
+                if body[j] == "{":
+                    depth += 1
+                elif body[j] == "}":
+                    depth -= 1
+                    if depth < 0:
+                        end = j
+                        break
+            fn.regions.append((base + pos, base + end,
+                               src.lineOf(base + pos)))
+
+
+def parseGuardedFields(src, spans):
+    for m in GUARDED_FIELD_RE.finditer(src.text):
+        cls = enclosingClass(spans, m.start())
+        cap = re.sub(r"\s", "", m.group(2))
+        src.guarded_fields.append(
+            (cls or "", m.group(1), cap, src.lineOf(m.start())))
+
+
+def loadProgramText(root, relpaths):
+    prog = Program()
+    for rel in relpaths:
+        with open(os.path.join(root, rel),
+                  encoding="utf-8", errors="replace") as f:
+            src = SourceFile(rel, f.read())
+        spans = classSpans(src.text)
+        parseFunctions(src, spans)
+        scanBodies(src)
+        parseGuardedFields(src, spans)
+        prog.sources[rel] = src
+        for fn in src.functions:
+            prog.add(fn)
+        for (name, start, end, bases) in spans:
+            prog.bases.setdefault(name, set()).update(bases)
+            prog.class_spans[name].append((rel, start, end))
+        for m in ALIAS_RE.finditer(src.text):
+            target = re.sub(r"\s", "", m.group(2)).rsplit("::", 1)[-1]
+            prog.aliases.setdefault(m.group(1), target)
+    prog.finalize()
+    return prog
+
+
+# --------------------------------------------------------------------
+# libclang frontend
+# --------------------------------------------------------------------
+
+def loadCompileDb(root, db_path):
+    """[(abs source path, [args])] from compile_commands.json."""
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    out = []
+    for e in entries:
+        path = os.path.normpath(
+            os.path.join(e.get("directory", root), e["file"]))
+        args = e.get("arguments")
+        if not args:
+            args = e.get("command", "").split()
+        # Drop the compiler, the input file, and -o/-c plumbing.
+        cleaned = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", path, e["file"]):
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            cleaned.append(a)
+        out.append((path, cleaned))
+    return out
+
+
+def loadProgramClang(root, relpaths, db_path):
+    """Build the same Program from the libclang AST. Returns None when
+    libclang or the compile db is unavailable (caller falls back)."""
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+    except Exception:
+        return None
+    try:
+        units = loadCompileDb(root, db_path) if db_path else []
+    except Exception:
+        units = []
+    if not units:
+        units = [(os.path.join(root, rel),
+                  ["-x", "c++", "-std=c++20",
+                   "-I", os.path.join(root, "src")])
+                 for rel in relpaths if rel.endswith(".cpp")]
+
+    prog = Program()
+    for rel in relpaths:
+        with open(os.path.join(root, rel),
+                  encoding="utf-8", errors="replace") as f:
+            prog.sources[rel] = SourceFile(rel, f.read())
+
+    seen = set()
+
+    def relOf(cursor):
+        loc = cursor.location
+        if not loc.file:
+            return None
+        path = os.path.abspath(loc.file.name)
+        if not path.startswith(root + os.sep):
+            return None
+        return os.path.relpath(path, root)
+
+    fn_kinds = None
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            rel = relOf(child)
+            if rel is None:
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                recordFunction(child, rel)
+            visit(child)
+
+    def recordFunction(cursor, rel):
+        import clang.cindex as ci
+        key = (rel, cursor.location.line, cursor.spelling)
+        if key in seen:
+            return
+        seen.add(key)
+        parent = cursor.semantic_parent
+        qual = cursor.spelling
+        if parent is not None and parent.kind in (
+                ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                ci.CursorKind.CLASS_TEMPLATE):
+            qual = f"{parent.spelling}::{qual}"
+        fn = Function(qual, rel, cursor.location.line, 0, 0, 1)
+        fn.line_based = True
+        for child in cursor.walk_preorder():
+            k = child.kind
+            if k == ci.CursorKind.ANNOTATE_ATTR:
+                if child.spelling == "sieve-noalloc":
+                    fn.noalloc = True
+                elif child.spelling == "sieve-may-alloc":
+                    fn.may_alloc = True
+            elif k == ci.CursorKind.CALL_EXPR:
+                callee = child.referenced
+                name = (callee.spelling if callee is not None
+                        else child.spelling)
+                if name:
+                    fn.calls.append(
+                        (name, child.location.line, "unknown",
+                         None))
+            elif k == ci.CursorKind.CXX_NEW_EXPR:
+                fn.calls.append(("operator new",
+                                 child.location.line, "unknown",
+                                 None))
+            elif k == ci.CursorKind.VAR_DECL:
+                t = child.type.spelling
+                if "AllocGuardDisarm" in t:
+                    fn.disarms = True
+                elif "AllocGuard" in t:
+                    fn.regions.append(
+                        (0, 1, child.location.line))
+        prog.add(fn)
+
+    try:
+        import clang.cindex as ci
+        fn_kinds = (ci.CursorKind.FUNCTION_DECL,
+                    ci.CursorKind.CXX_METHOD,
+                    ci.CursorKind.CONSTRUCTOR,
+                    ci.CursorKind.DESTRUCTOR,
+                    ci.CursorKind.FUNCTION_TEMPLATE)
+        want = {os.path.join(root, rel) for rel in relpaths}
+        for path, args in units:
+            if path not in want:
+                continue
+            tu = index.parse(path, args=args)
+            visit(tu.cursor)
+    except Exception:
+        return None
+    if not prog.functions:
+        return None
+    # The clang frontend records line-level call info only; region
+    # spans degrade to whole-function granularity, which is sound
+    # (a superset of the armed extent).
+    prog.finalize()
+    return prog
+
+
+# --------------------------------------------------------------------
+# Reachability engine
+# --------------------------------------------------------------------
+
+class Root:
+    def __init__(self, fn, label, start, end, line):
+        self.fn = fn
+        self.label = label
+        self.start = start  # text span for region roots (token only)
+        self.end = end
+        self.line = line
+
+
+def collectRoots(prog):
+    roots = []
+    for fn in prog.functions:
+        for (start, end, line) in fn.regions:
+            roots.append(Root(
+                fn, f"{fn.qual} guard region ({fn.relpath}:{line})",
+                start, end, line))
+        if fn.noalloc:
+            roots.append(Root(
+                fn, f"{fn.qual} [SIEVE_NOALLOC] "
+                    f"({fn.relpath}:{fn.line})",
+                fn.body_start, fn.body_end, fn.line))
+    return roots
+
+
+def callsInSpan(fn, start, end):
+    if fn.line_based:
+        return list(fn.calls)
+    return [c for c in fn.calls if start <= c[1] < end]
+
+
+def scanSpanViolations(src, fn, start, end, rule):
+    """Direct violations inside a text span of `fn`'s file: allocation
+    tokens for no-alloc, nondeterminism tokens for determinism. The
+    clang frontend reports these as calls instead, so line-based
+    functions have nothing to scan here."""
+    if fn.line_based:
+        return []
+    text = src.text[start:end]
+    out = []
+    if rule == "no-alloc":
+        for m in NEW_RE.finditer(text):
+            out.append((src.lineOf(start + m.start()),
+                        "`new` expression"))
+    else:
+        for m in NONDET_TOKEN_RE.finditer(text):
+            out.append((src.lineOf(start + m.start()),
+                        m.group(0).replace(" ", "")))
+    return out
+
+
+_recv_type_cache = {}
+
+# Sentinel: receiver declared with a type outside the scanned tree.
+EXTERNAL_RECV = "!external"
+
+# std templates whose operator-> forwards to the first template
+# argument; a receiver of wrapper type dispatches into the pointee.
+_FORWARDING_WRAPPERS = frozenset({
+    "unique_ptr", "shared_ptr", "optional",
+})
+
+# Tokens the receiver-declaration regex can match that are never the
+# type of a declaration (`return out;`, `auto it = ...`, `delete p;`).
+_NOT_A_TYPE = frozenset({
+    "return", "co_return", "co_yield", "co_await", "throw", "new",
+    "delete", "case", "goto", "else", "do", "auto", "const",
+    "constexpr", "static", "mutable", "inline", "typename", "using",
+    "sizeof", "not", "and", "or", "if", "while", "for", "switch",
+})
+
+
+def receiverType(prog, fn, src, recv):
+    """Declared class of `recv`, searched in the enclosing function
+    first, then anywhere in the file, then — for out-of-line methods
+    whose data members live in a header — in the defining class's
+    body span and those of its base classes. Only names that resolve
+    to a class defined in the scanned tree are accepted, so stray
+    matches cannot misbind a call. A receiver whose declaration IS
+    found but whose type is not a scanned class (std::ofstream,
+    std::vector, ...) returns the sentinel EXTERNAL_RECV: its methods
+    live outside the tree, so the call must not fan out by name —
+    allocating std members are still caught textually as
+    primitives."""
+    key = (src.relpath, fn.key(), recv)
+    if key in _recv_type_cache:
+        return _recv_type_cache[key]
+    # Declarator punctuation admits `*` and single `&` but not `&&`,
+    # which is almost always logical-and between two expressions.
+    pat = re.compile(
+        r"\b((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*"
+        r"(<[^;{}]*?>)?(?:\s|\*|&(?!&))+%s\b" % re.escape(recv))
+
+    saw_external = False
+
+    def searchSpan(text, a, b):
+        nonlocal saw_external
+        for m in pat.finditer(text, a, b):
+            cand = re.sub(r"\s", "", m.group(1))
+            if cand in _NOT_A_TYPE:
+                continue
+            cls = (prog.resolveClass(cand) or
+                   prog.resolveClass(cand.rsplit("::", 1)[-1]))
+            if cls:
+                return cls
+            # Pointer-like std wrappers forward `->` members to the
+            # pointee: bind to the first template argument's class.
+            if cand.rsplit("::", 1)[-1] in _FORWARDING_WRAPPERS \
+                    and m.group(2):
+                inner = m.group(2)[1:-1].split(",")[0]
+                inner = re.sub(r"[\s*&]", "", inner)
+                cls = (prog.resolveClass(inner) or
+                       prog.resolveClass(inner.rsplit("::", 1)[-1]))
+                if cls:
+                    return cls
+            # A plausible declaration with a type outside the tree:
+            # remember it, but keep looking — a later span (e.g. the
+            # member's declaration in the class body) may still bind
+            # the receiver to a scanned class.
+            saw_external = True
+            return None
+        return None
+
+    result = (searchSpan(src.text, fn.head_start, fn.body_end) or
+              searchSpan(src.text, 0, len(src.text)))
+    if result is None and "::" in fn.qual:
+        # Walk the owning class and its bases (inherited members).
+        work = [fn.qual.rsplit("::", 1)[0]]
+        visited = set()
+        while work and result is None:
+            cls = work.pop()
+            if cls in visited:
+                continue
+            visited.add(cls)
+            for (rel2, a, b) in prog.class_spans.get(cls, ()):
+                other = prog.sources.get(rel2)
+                if other is None:
+                    continue
+                result = searchSpan(other.text, a, b)
+                if result:
+                    break
+            work.extend(prog.bases.get(cls, ()))
+    if result is None and saw_external:
+        result = EXTERNAL_RECV
+    _recv_type_cache[key] = result
+    return result
+
+
+def resolveCall(prog, fn, src, name, kind, recv):
+    """Definitions a call site may reach. Narrowing order: bare calls
+    bind to the enclosing class, qualified calls to the named class,
+    member calls to the receiver's declared class plus its derived
+    classes (virtual dispatch). Anything unbindable falls back to
+    every same-named definition."""
+    if kind == "bare" and "::" in fn.qual:
+        targets = prog.methodsOf(fn.qual.rsplit("::", 1)[0], name)
+        if targets:
+            return targets
+    if kind == "qualified" and recv:
+        cls = prog.resolveClass(recv)
+        if cls:
+            targets = prog.methodsOf(cls, name)
+            if targets:
+                return targets
+    if kind == "member" and recv and src is not None:
+        cls = receiverType(prog, fn, src, recv)
+        if cls == EXTERNAL_RECV:
+            return []
+        if cls:
+            targets = prog.methodsOf(cls, name)
+            if targets:
+                return targets
+    return prog.by_name.get(name, [])
+
+
+def primitiveFor(name, rule):
+    if rule == "no-alloc":
+        if name in ALLOC_PRIMITIVES or name == "operator new":
+            return f"allocating primitive `{name}`"
+    else:
+        if name in NONDET_PRIMITIVES:
+            return f"nondeterminism primitive `{name}`"
+    return None
+
+
+def checkReachability(prog, rule, findings, report):
+    """BFS each root; a violation is a direct token in a reachable
+    span or a call resolving only to a primitive of the rule."""
+    roots = collectRoots(prog)
+    reachable = set()
+    boundaries = []
+    unknown = collections.Counter()
+
+    def visitSpan(src, fn, start, end, path, seen):
+        # Direct tokens in this span.
+        exempt = fn.relpath in EXEMPT_FILES
+        for line, what in scanSpanViolations(src, fn, start, end,
+                                             rule):
+            if exempt or src.allowedSpan(line, line, rule):
+                continue
+            chain = " -> ".join(path)
+            findings.append(Finding(
+                fn.relpath, line, rule,
+                f"{what} reachable from no-alloc root: {chain}"))
+        # Calls in this span.
+        for name, off, kind, recv in callsInSpan(fn, start, end):
+            line = off if fn.line_based else src.lineOf(off)
+            targets = resolveCall(prog, fn, src, name, kind, recv)
+            if targets:
+                for callee in targets:
+                    visitFunction(callee, path, seen)
+                continue
+            prim = primitiveFor(name, rule)
+            if prim is not None and not exempt:
+                if src.allowedSpan(line, line, rule):
+                    continue
+                chain = " -> ".join(path)
+                findings.append(Finding(
+                    fn.relpath, line, rule,
+                    f"{prim} reachable from no-alloc root: "
+                    f"{chain}"))
+            elif prim is None:
+                unknown[name] += 1
+
+    def visitFunction(fn, path, seen):
+        # `seen` is shared across the whole root traversal (each
+        # function is expanded once per root), so shared subgraphs
+        # cost linear work instead of one visit per path.
+        if fn.key() in seen:
+            return
+        seen.add(fn.key())
+        if rule == "no-alloc":
+            if fn.may_alloc:
+                boundaries.append(
+                    (f"{fn.qual} ({fn.relpath}:{fn.line})",
+                     "SIEVE_MAY_ALLOC",
+                     " -> ".join(path + [fn.qual])))
+                return
+            if fn.disarms:
+                boundaries.append(
+                    (f"{fn.qual} ({fn.relpath}:{fn.line})",
+                     "AllocGuardDisarm",
+                     " -> ".join(path + [fn.qual])))
+                return
+        reachable.add(fn.key())
+        src = prog.sources.get(fn.relpath)
+        if src is None or fn.body_end <= fn.body_start:
+            return
+        path.append(fn.qual)
+        visitSpan(src, fn, fn.body_start, fn.body_end, path, seen)
+        path.pop()
+
+    for root in roots:
+        src = prog.sources.get(root.fn.relpath)
+        if src is None:
+            continue
+        seen = {root.fn.key()}
+        reachable.add(root.fn.key())
+        if root.end > root.start:
+            visitSpan(src, root.fn, root.start, root.end,
+                      [root.label], seen)
+
+    report[rule] = {
+        "roots": [r.label for r in roots],
+        "reachable": len(reachable),
+        "boundaries": boundaries,
+        "unknown": unknown,
+    }
+
+
+# --------------------------------------------------------------------
+# Lock discipline
+# --------------------------------------------------------------------
+
+def lockClaimers(prog):
+    """cap expression -> names of TS_ASSERT(cap) assertion functions
+    plus built-in holders."""
+    claimers = collections.defaultdict(set)
+    for fn in prog.functions:
+        for cap in fn.asserts_caps:
+            claimers[cap].add(fn.name)
+    return claimers
+
+
+def checkLockDiscipline(prog, findings):
+    claimers = lockClaimers(prog)
+    for rel, src in prog.sources.items():
+        if not src.guarded_fields:
+            continue
+        for fn in src.functions:
+            body = src.text[fn.body_start:fn.body_end]
+            head = src.text[fn.head_start:fn.body_start]
+            for (cls, field, cap, decl_line) in src.guarded_fields:
+                # Only methods of the owning class (or file-local free
+                # functions when the class is anonymous) can touch a
+                # private field; same-file scoping keeps this sound
+                # enough for the token backend.
+                if cls and not fn.qual.startswith(cls + "::"):
+                    continue
+                pat = re.compile(r"\b%s\b" % re.escape(field))
+                hits = [m for m in pat.finditer(body)]
+                if not hits:
+                    continue
+                if fn.requires and capMatches(fn.requires, cap):
+                    continue
+                if cap in fn.asserts_caps or any(
+                        capMatches(a, cap) for a in fn.asserts_caps):
+                    continue
+                if holdsCapability(body, cap, claimers):
+                    continue
+                line = src.lineOf(fn.body_start + hits[0].start())
+                if src.allowedSpan(line, line, "lock-discipline"):
+                    continue
+                findings.append(Finding(
+                    rel, line, "lock-discipline",
+                    f"{fn.qual} touches {cls or '<file>'}::{field} "
+                    f"(GUARDED_BY({cap}), declared line {decl_line}) "
+                    f"without holding `{cap}`: add REQUIRES({cap}), "
+                    f"take a MutexLock over it, or call its "
+                    f"TS_ASSERT claimer first"))
+
+
+def capMatches(held, cap):
+    """Loose capability-expression match: `mu` vs `mu`, tolerant of
+    member sigils (this->mu, producer_role_)."""
+    norm = lambda s: s.replace("this->", "").strip("&* ")
+    return norm(held) == norm(cap)
+
+
+def holdsCapability(body, cap, claimers):
+    base = cap.replace("this->", "").strip("&* ")
+    if re.search(r"\bMutexLock\s+\w+\s*\(\s*(?:this\s*->\s*)?%s\s*\)"
+                 % re.escape(base), body):
+        return True
+    if re.search(r"\b%s\s*\.\s*lock\s*\(" % re.escape(base), body):
+        return True
+    for held_cap, names in claimers.items():
+        if not capMatches(held_cap, cap):
+            continue
+        for name in names:
+            if re.search(r"\b%s\s*\(" % re.escape(name), body):
+                return True
+    return False
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def collectCppFiles(root, dirs):
+    out = []
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if os.path.splitext(name)[1] in (".hpp", ".cpp"):
+                    full = os.path.join(dirpath, name)
+                    out.append(os.path.relpath(full, root))
+    return sorted(out)
+
+
+def runAnalyze(root, relpaths, backend, db_path, report):
+    prog = None
+    used = "text"
+    if backend in ("clang", "auto"):
+        prog = loadProgramClang(root, relpaths, db_path)
+        if prog is not None:
+            used = "clang"
+        elif backend == "clang":
+            print("sieve-analyze: clang backend unavailable "
+                  "(python3-clang not importable or parse failed)",
+                  file=sys.stderr)
+            return None, used
+    if prog is None:
+        prog = loadProgramText(root, relpaths)
+    findings = []
+    checkReachability(prog, "no-alloc", findings, report)
+    checkReachability(prog, "determinism", findings, report)
+    checkLockDiscipline(prog, findings)
+    # Name-based resolution visits every same-named overload, so the
+    # same defect can be reported once per path; dedupe on location.
+    uniq = {}
+    for f in findings:
+        uniq.setdefault((f.path, f.line, f.rule), f)
+    return list(uniq.values()), used
+
+
+def printReport(report, used):
+    print(f"sieve-analyze report (backend: {used})")
+    for rule in ("no-alloc", "determinism"):
+        info = report.get(rule)
+        if not info:
+            continue
+        print(f"  [{rule}] {len(info['roots'])} roots, "
+              f"{info['reachable']} reachable functions, "
+              f"{len(info['boundaries'])} boundaries")
+        for label in info["roots"]:
+            print(f"    root: {label}")
+        for (where, why, path) in info["boundaries"]:
+            print(f"    boundary [{why}]: {path}")
+        if info["unknown"]:
+            top = info["unknown"].most_common(8)
+            names = ", ".join(f"{n}({c})" for n, c in top)
+            print(f"    unresolved (assumed clean): "
+                  f"{sum(info['unknown'].values())} call sites "
+                  f"across {len(info['unknown'])} names; top: "
+                  f"{names}")
+
+
+def selfTest(root, backend, db_path):
+    relpaths = collectCppFiles(root, (FIXTURE_DIR,))
+    if not relpaths:
+        print(f"sieve-analyze: no fixtures under "
+              f"{os.path.join(root, FIXTURE_DIR)}", file=sys.stderr)
+        return 1
+    report = {}
+    findings, used = runAnalyze(root, relpaths, backend, db_path,
+                                report)
+    if findings is None:
+        return 1
+    expected = []
+    for rel in relpaths:
+        with open(os.path.join(root, rel),
+                  encoding="utf-8", errors="replace") as f:
+            for m in EXPECT_RE.finditer(f.read()):
+                expected.append((rel, m.group(1)))
+    got = [(f.path, f.rule) for f in findings]
+    if sorted(expected) != sorted(got):
+        print("sieve-analyze self-test FAILED", file=sys.stderr)
+        print(f"  expected: {sorted(expected)}", file=sys.stderr)
+        print(f"  got:      {sorted(got)}", file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    # Every reported path must actually name a call chain, not just a
+    # location — the acceptance bar is "fails with a reported path".
+    for f in findings:
+        if "->" not in f.message and f.rule != "lock-discipline":
+            print("sieve-analyze self-test FAILED: finding without "
+                  f"a call path: {f}", file=sys.stderr)
+            return 1
+    print(f"sieve-analyze self-test OK ({len(relpaths)} fixtures, "
+          f"{len(expected)} expected findings reproduced, "
+          f"backend: {used})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="SieveStore call-graph hot-path analyzer")
+    parser.add_argument("--root", default=REPO,
+                        help="repository root (default: inferred)")
+    parser.add_argument("--backend",
+                        choices=("text", "clang", "auto"),
+                        default="text",
+                        help="program-model frontend")
+    parser.add_argument("--compile-db", default=None,
+                        help="compile_commands.json for the clang "
+                             "backend (default: build/ if present)")
+    parser.add_argument("--report", action="store_true",
+                        help="print roots/boundaries/trust-base "
+                             "summary")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against scripts/lint_fixtures/"
+                             "analyze/")
+    parser.add_argument("paths", nargs="*",
+                        help="files to analyze (default: src/)")
+    opts = parser.parse_args()
+
+    db_path = opts.compile_db
+    if db_path is None:
+        candidate = os.path.join(opts.root, "build",
+                                 "compile_commands.json")
+        if os.path.isfile(candidate):
+            db_path = candidate
+
+    if opts.self_test:
+        return selfTest(opts.root, opts.backend, db_path)
+
+    if opts.paths:
+        relpaths = [os.path.relpath(os.path.abspath(p), opts.root)
+                    for p in opts.paths]
+    else:
+        relpaths = collectCppFiles(opts.root, SCAN_DIRS)
+
+    report = {}
+    findings, used = runAnalyze(opts.root, relpaths, opts.backend,
+                                db_path, report)
+    if findings is None:
+        return 1
+    if opts.report:
+        printReport(report, used)
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f)
+    if findings:
+        print(f"sieve-analyze: {len(findings)} finding(s) in "
+              f"{len(relpaths)} files", file=sys.stderr)
+        return 1
+    print(f"sieve-analyze: all claims proven "
+          f"({len(relpaths)} files, backend: {used})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

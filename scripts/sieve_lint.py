@@ -116,6 +116,8 @@ class SourceFile:
         self.lines = text.splitlines()
         # line number (1-based) -> set of allowed rules / charged flag
         self.allow = {}
+        self.used_allows = set()  # (directive line, rule) that fired
+        self._line_offsets = None
         self.charged = set()
         self.expect = []
         for i, line in enumerate(self.lines, start=1):
@@ -131,10 +133,29 @@ class SourceFile:
         """1-based line number of a character offset in the text."""
         return self.text.count("\n", 0, offset) + 1
 
-    def allowed(self, line, rule):
-        """Directive on the flagged line or the line above it."""
-        return (rule in self.allow.get(line, set()) or
-                rule in self.allow.get(line - 1, set()))
+    def allowed(self, line, rule, last_line=None):
+        """Directive anywhere on the flagged statement's span
+        [line, last_line] or on the line above it. Matches are
+        recorded so stale directives can be reported afterwards."""
+        last = last_line if last_line is not None else line
+        found = False
+        for l in range(line - 1, last + 1):
+            if rule in self.allow.get(l, set()):
+                self.used_allows.add((l, rule))
+                found = True
+        return found
+
+    def statementEnd(self, line):
+        """1-based line of the `;` terminating the statement that
+        starts on `line` (the same line when none follows)."""
+        if self._line_offsets is None:
+            offs = [0]
+            for ln in self.text.splitlines(keepends=True):
+                offs.append(offs[-1] + len(ln))
+            self._line_offsets = offs
+        idx = min(line - 1, len(self._line_offsets) - 1)
+        semi = self.text.find(";", self._line_offsets[idx])
+        return self.lineOf(semi) if semi != -1 else line
 
     def chargedNear(self, first_line, last_line):
         """charged() directive within the member's lines or above."""
@@ -447,7 +468,8 @@ def checkUnorderedReport(src, findings):
         if re.search(r"\b(?:EXPECT|ASSERT)_\w+\s*\(", body):
             continue
         line = src.lineOf(m.start())
-        if src.allowed(line, "unordered-report"):
+        if src.allowed(line, "unordered-report",
+                       src.lineOf(j + len(body))):
             continue
         findings.append(Finding(
             src.relpath, line, "unordered-report",
@@ -470,7 +492,7 @@ def checkWallClock(src, findings):
             kind = "std::chrono::steady_clock"
         if kind is None:
             continue
-        if src.allowed(i, "wall-clock"):
+        if src.allowed(i, "wall-clock", src.statementEnd(i)):
             continue
         findings.append(Finding(
             src.relpath, i, "wall-clock",
@@ -515,8 +537,7 @@ def checkBatchGuard(src, findings):
             continue
         line = src.lineOf(m.start())
         body_last = src.lineOf(close)
-        if any("batch-guard" in src.allow.get(l, set())
-               for l in range(line - 1, body_last + 1)):
+        if src.allowed(line, "batch-guard", body_last):
             continue
         findings.append(Finding(
             src.relpath, line, "batch-guard",
@@ -638,6 +659,19 @@ def tryClangMemCharge(root, sources, findings):
     return True
 
 
+def checkUnusedAllows(src, findings):
+    """Flag `// sieve-lint: allow(rule)` directives no finding
+    consumed. Runs after every other rule so used_allows is final."""
+    for line in sorted(src.allow):
+        for rule in sorted(src.allow[line]):
+            if (line, rule) in src.used_allows:
+                continue
+            findings.append(Finding(
+                src.relpath, line, "unused-allow",
+                f"allow({rule}) suppresses nothing — remove the "
+                f"stale directive"))
+
+
 def runLint(root, relpaths, backend, check_missing):
     sources = loadSources(root, relpaths)
     findings = []
@@ -655,12 +689,20 @@ def runLint(root, relpaths, backend, check_missing):
         checkUnorderedReport(src, findings)
         checkWallClock(src, findings)
         checkBatchGuard(src, findings)
+    # After every rule has run: a directive that suppressed nothing
+    # is stale and must be removed, not left to mask future findings.
+    for src in sources:
+        checkUnusedAllows(src, findings)
     return findings
 
 
 def selfTest(root, backend):
     fixtures = os.path.join(root, FIXTURE_DIR)
-    relpaths = collectCppFiles(root, (FIXTURE_DIR,))
+    # The analyze/ subtree holds sieve_analyze.py's fixtures; those
+    # intentionally violate *that* tool's rules, not this one's.
+    analyze_dir = os.path.join(FIXTURE_DIR, "analyze") + os.sep
+    relpaths = [r for r in collectCppFiles(root, (FIXTURE_DIR,))
+                if not r.startswith(analyze_dir)]
     if not relpaths:
         print(f"sieve-lint: no fixtures under {fixtures}",
               file=sys.stderr)

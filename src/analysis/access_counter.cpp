@@ -69,7 +69,9 @@ AccessCounter::observe(trace::BlockId block)
     ++*counts_.findOrInsert(block).first;
 }
 
-uint64_t
+// SIEVE_NOALLOC: reads are pure probes; the analyzer proves the
+// whole call tree below is allocation-free.
+SIEVE_NOALLOC uint64_t
 AccessCounter::count(trace::BlockId block) const
 {
     const uint64_t *c = counts_.find(block);

@@ -90,7 +90,7 @@ BlockCache::insert(BlockId block)
     // (Appliance::processBatch) holds a batch-wide no-alloc region.
     std::optional<util::AllocGuardDisarm> warmup_growth;
     if (!steady)
-        warmup_growth.emplace();
+        warmup_growth.emplace(); // sieve-analyze: allow(no-alloc)
     std::optional<BlockId> evicted;
     if (steady) {
         // Pre-check the contract here: below capacity findOrInsert
@@ -217,7 +217,10 @@ BlockCache::policyInsert(BlockId block, PolicyState &st)
         break;
       case EvictionKind::Random:
         st.primary = pool.size();
-        pool.push_back(block);
+        // Slots recycled by policyErase's swap-remove keep the vector
+        // at capacity in steady state; growth happens only during
+        // warmup, under insert()'s disarm.
+        pool.push_back(block); // sieve-analyze: allow(no-alloc)
         break;
     }
 }

@@ -27,7 +27,12 @@ evictionKindName(EvictionKind kind)
     SIEVE_UNREACHABLE("unknown EvictionKind");
 }
 
-void
+// SIEVE_MAY_ALLOC (here and on the other Reference* insert hooks):
+// the node-based reference engine allocates per insert by design.
+// BlockCache's internal no-alloc regions are conditioned on the flat
+// engine with no custom policy, so these paths only run unguarded;
+// the flat counterparts (IndexList/FlatIndex) carry the real claims.
+void SIEVE_MAY_ALLOC
 ReferenceLruPolicy::onInsert(BlockId block)
 {
     order.push_front(block);
@@ -83,7 +88,7 @@ ReferenceRandomPolicy::ReferenceRandomPolicy(uint64_t seed)
 {
 }
 
-void
+void SIEVE_MAY_ALLOC
 ReferenceRandomPolicy::onInsert(BlockId block)
 {
     if (!index.emplace(block, pool.size()).second)
@@ -127,7 +132,7 @@ ReferenceRandomPolicy::memoryBytes() const
            util::vectorFootprintBytes(pool);
 }
 
-void
+void SIEVE_MAY_ALLOC
 ReferenceLfuPolicy::onInsert(BlockId block)
 {
     if (!entries.emplace(block, Entry{1, next_sequence++}).second)
@@ -173,7 +178,7 @@ ReferenceLfuPolicy::memoryBytes() const
     return util::unorderedFootprintBytes(entries);
 }
 
-void
+void SIEVE_MAY_ALLOC
 ReferenceClockPolicy::onInsert(BlockId block)
 {
     // Insert behind the hand so the new entry is inspected last.

@@ -99,7 +99,11 @@ Appliance::Appliance(ApplianceConfig config,
     initOccupancy();
 }
 
-DailyReport &
+// SIEVE_MAY_ALLOC: the per-day report vector grows on the first
+// request of each new day. processBatch performs that lookup before
+// arming its no-alloc region, and batches never straddle a day, so
+// the armed path only ever re-reads an existing slot.
+SIEVE_MAY_ALLOC DailyReport &
 Appliance::reportFor(util::TimeUs t)
 {
     const size_t day = util::dayOf(t);

@@ -1,5 +1,6 @@
 #include "core/auto_tune.hpp"
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 
@@ -22,7 +23,10 @@ AutoTunedSievePolicy::AutoTunedSievePolicy(SieveStoreCConfig sieve_cfg_,
     sieve = std::make_unique<SieveStoreCPolicy>(sieve_cfg);
 }
 
-void
+// SIEVE_MAY_ALLOC: closing a day appends one entry to the t2
+// history — amortized, once per simulated day, off the per-request
+// path the batch no-alloc region covers.
+void SIEVE_MAY_ALLOC
 AutoTunedSievePolicy::rollDay(uint64_t day)
 {
     if (day_known && day == current_day)

@@ -30,7 +30,11 @@ AdbaSelector::AdbaSelector(uint64_t threshold,
         util::fatal("ADBA threshold must be >= 1");
 }
 
-void
+// SIEVE_MAY_ALLOC: the selector's disk log and counters grow
+// amortized buffers. A configured selector makes
+// Appliance::flatEnginesOnly() false, so the batch-level no-alloc
+// region never arms over this path.
+void SIEVE_MAY_ALLOC
 AdbaSelector::observe(const trace::BlockAccess &access)
 {
     if (disk_log)

@@ -39,7 +39,6 @@
 #include <algorithm>
 #include <array>
 #include <condition_variable>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "util/logging.hpp"
 #include "util/sim_time.hpp"
 #include "util/spsc_queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sievestore {
 namespace sim {
@@ -85,6 +85,11 @@ using ItemQueue = util::SpscQueue<Item>;
  * `serial_fn` while the others are parked, then everyone is released.
  * The mutex hand-off makes all pre-arrival writes (each worker's
  * finishDay effects) visible to the serial phase and vice versa.
+ *
+ * The barrier state is GUARDED_BY(mu): Clang's thread-safety analysis
+ * rejects any touch of arrived/generation outside the lock, including
+ * inside the wait predicate (annotated REQUIRES(mu) — the predicate
+ * runs under the reacquired lock per the condition_variable contract).
  */
 class DayBarrier
 {
@@ -95,7 +100,7 @@ class DayBarrier
     void
     arriveAndWait(Fn &&serial_fn)
     {
-        std::unique_lock<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         if (++arrived == parties_) {
             serial_fn();
             arrived = 0;
@@ -104,15 +109,19 @@ class DayBarrier
             return;
         }
         const uint64_t gen = generation;
-        cv.wait(lock, [&] { return generation != gen; });
+        // condition_variable_any waits on the annotated scoped lock
+        // (MutexLock is BasicLockable); the capability is held again
+        // whenever the predicate runs and when wait returns.
+        cv.wait(lock,
+                [&]() REQUIRES(mu) { return generation != gen; });
     }
 
   private:
-    std::mutex mu;
-    std::condition_variable cv;
+    util::Mutex mu;
+    std::condition_variable_any cv;
     const size_t parties_;
-    size_t arrived = 0;
-    uint64_t generation = 0;
+    size_t arrived GUARDED_BY(mu) = 0;
+    uint64_t generation GUARDED_BY(mu) = 0;
 };
 
 /** Where one shard stands within the current replay round. */
@@ -137,6 +146,10 @@ struct WorkerArgs
 Phase
 pollShard(ItemQueue &queue, core::Appliance &node, int *day_out)
 {
+    // Each shard queue is consumed only by its owning worker (the
+    // round-robin assignment in runShardedParallel); claim the
+    // consumer capability for this scope.
+    queue.assertConsumerRole();
     for (;;) {
         // Items are consumed *in place*: the node processes the batch
         // straight out of the ring slot, and only then is the slot
@@ -314,6 +327,8 @@ runShardedParallel(trace::TraceReader &reader,
     // the heap, even while blocked on a full queue.
     auto deliver = [&](size_t shard,
                        std::span<const trace::Request> reqs) {
+        // The reader thread is the sole producer for every queue.
+        queue_ptrs[shard]->assertProducerRole();
         queue_ptrs[shard]->pushWith([&reqs](Item &slot) {
             slot.kind = Item::Kind::Requests;
             slot.count = static_cast<uint16_t>(reqs.size());
@@ -340,12 +355,14 @@ runShardedParallel(trace::TraceReader &reader,
                 // Flush every partial batch before the marker so no
                 // request is delivered after its day's boundary.
                 batcher.flushAll();
-                for (ItemQueue *q : queue_ptrs)
+                for (ItemQueue *q : queue_ptrs) {
+                    q->assertProducerRole();
                     q->pushWith([day](Item &slot) {
                         slot.kind = Item::Kind::DayEnd;
                         slot.day = day;
                         slot.count = 0;
                     });
+                }
             });
         {
             SIEVE_ASSERT_NO_ALLOC;
@@ -355,14 +372,18 @@ runShardedParallel(trace::TraceReader &reader,
         // A malformed trace (fatal in the pump) must still close the
         // queues and join the workers before unwinding, or ~thread()
         // would terminate the process.
-        for (ItemQueue *q : queue_ptrs)
+        for (ItemQueue *q : queue_ptrs) {
+            q->assertProducerRole();
             q->close();
+        }
         for (std::thread &t : threads)
             t.join();
         throw;
     }
-    for (ItemQueue *q : queue_ptrs)
+    for (ItemQueue *q : queue_ptrs) {
+        q->assertProducerRole();
         q->close();
+    }
     for (std::thread &t : threads)
         t.join();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -16,7 +17,11 @@ DriveOccupancyTracker::DriveOccupancyTracker(SsdModel model)
         util::fatal("occupancy tracker requires positive IOPS ratings");
 }
 
-void
+// SIEVE_MAY_ALLOC: per-minute load buckets grow amortized, once per
+// simulated minute. A configured occupancy tracker makes
+// Appliance::flatEnginesOnly() false, so the batch-level no-alloc
+// region never arms over this path.
+void SIEVE_MAY_ALLOC
 DriveOccupancyTracker::ensureMinute(size_t minute)
 {
     if (minute >= loads.size())

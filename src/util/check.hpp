@@ -25,6 +25,38 @@
 #ifndef SIEVESTORE_UTIL_CHECK_HPP
 #define SIEVESTORE_UTIL_CHECK_HPP
 
+/*
+ * Static hot-path claims (read by scripts/sieve_analyze.py):
+ *
+ *  - SIEVE_NOALLOC marks a function as a no-alloc root: the analyzer
+ *    proves that every function transitively reachable from it is
+ *    allocation-free. Functions whose bodies arm SIEVE_ASSERT_NO_ALLOC
+ *    (util/alloc_guard.hpp) are roots implicitly; use the annotation
+ *    for hot functions that are *called from* guarded regions and must
+ *    stay clean on their own (FlatIndex probes, the SPSC hand-off,
+ *    the switch-dispatch policy engines).
+ *  - SIEVE_MAY_ALLOC marks a deliberate escape hatch: a function that
+ *    is reachable from a no-alloc root yet legitimately allocates —
+ *    amortized growth that runs before the region arms (pre-reserved
+ *    tables), or cold failure paths that disarm the runtime guard.
+ *    The analyzer stops traversal there and lists every such boundary
+ *    in its report, so each one is a reviewed, named exemption rather
+ *    than a silent hole. Every use must carry a comment saying why the
+ *    allocation cannot fire inside an armed region (or why the region
+ *    is disarmed around it).
+ *
+ * Under Clang the annotations are also attached to the AST (annotate
+ * attributes), so the libclang backend of sieve-analyze sees them
+ * without re-lexing; under GCC they compile to nothing.
+ */
+#if defined(__clang__)
+#define SIEVE_NOALLOC __attribute__((annotate("sieve-noalloc")))
+#define SIEVE_MAY_ALLOC __attribute__((annotate("sieve-may-alloc")))
+#else
+#define SIEVE_NOALLOC
+#define SIEVE_MAY_ALLOC
+#endif
+
 namespace sievestore {
 namespace util {
 

@@ -113,15 +113,17 @@ class FlatIndex
         count_ = 0;
     }
 
-    /** Payload of `key`, or nullptr. Invalidated by any mutation. */
-    Payload *
+    /** Payload of `key`, or nullptr. Invalidated by any mutation.
+     *  SIEVE_NOALLOC: a find is a pure probe — the analyzer verifies
+     *  nothing reachable from it can touch the heap. */
+    SIEVE_NOALLOC Payload *
     find(uint64_t key)
     {
         const size_t pos = findSlot(key);
         return pos == kNoSlot ? nullptr : &slots_[pos].payload;
     }
 
-    const Payload *
+    SIEVE_NOALLOC const Payload *
     find(uint64_t key) const
     {
         const size_t pos = findSlot(key);
@@ -361,7 +363,11 @@ class FlatIndex
         --count_;
     }
 
-    void
+    // SIEVE_MAY_ALLOC: amortized table growth. Guarded hot paths
+    // either pre-reserve (reserveEpochBlocks) or condition their
+    // region on hasCapacityFor(), so an armed guard never reaches a
+    // growing findOrInsert.
+    void SIEVE_MAY_ALLOC
     rehash(size_t new_slots)
     {
         std::vector<Slot> old_slots;
@@ -533,7 +539,10 @@ class IndexList
         uint32_t next;
     };
 
-    uint32_t
+    // SIEVE_MAY_ALLOC: pops the free list in steady state; the arena
+    // push_back only runs while the structure is still growing, and
+    // BlockCache covers warmup growth with an explicit disarm.
+    SIEVE_MAY_ALLOC uint32_t
     allocNode(uint64_t value)
     {
         uint32_t node;

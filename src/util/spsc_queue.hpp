@@ -15,6 +15,16 @@
  * stores on the producer index publish the slot contents; acquire
  * loads on the consumer side observe them — this pairing is the whole
  * memory-ordering argument, and the tsan preset verifies it.
+ *
+ * The roles are also *capabilities* (util/thread_annotations.hpp):
+ * every producer method REQUIRES(producer_role_) and every consumer
+ * method REQUIRES(consumer_role_), with the role-private cached
+ * indices GUARDED_BY the matching role. A thread claims its role by
+ * calling assertProducerRole() / assertConsumerRole() once at the top
+ * of its queue-touching scope — a TS_ASSERT no-op that tells Clang's
+ * thread-safety analysis "this thread is the endpoint", after which
+ * any cross-role access (a producer touching tail_cache, a consumer
+ * calling push) is a compile error under -Wthread-safety.
  */
 
 #ifndef SIEVESTORE_UTIL_SPSC_QUEUE_HPP
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sievestore {
 namespace util {
@@ -56,11 +67,23 @@ class SpscQueue
     size_t capacity() const { return slots.size(); }
 
     /**
+     * Claim the producer role for the calling thread's scope. The role
+     * is conferred by construction (the SPSC contract), not acquired:
+     * this compiles to nothing and exists so the thread-safety
+     * analysis knows the caller is the producer endpoint. Call it once
+     * at the top of each function that pushes or closes.
+     */
+    void assertProducerRole() const TS_ASSERT(producer_role_) {}
+
+    /** Claim the consumer role (dual of assertProducerRole). */
+    void assertConsumerRole() const TS_ASSERT(consumer_role_) {}
+
+    /**
      * Producer: enqueue by move. Returns false (leaving `value`
      * untouched) when the ring is full.
      */
     bool
-    tryPush(T &&value)
+    tryPush(T &&value) REQUIRES(producer_role_)
     {
         const uint64_t t = tail.load(std::memory_order_relaxed);
         if (t - head_cache == capacity()) {
@@ -75,7 +98,7 @@ class SpscQueue
 
     /** Producer: enqueue by copy. */
     bool
-    tryPush(const T &value)
+    tryPush(const T &value) REQUIRES(producer_role_)
     {
         T copy = value;
         return tryPush(std::move(copy));
@@ -90,7 +113,7 @@ class SpscQueue
      */
     template <typename Fn>
     bool
-    tryPushWith(Fn &&fn)
+    tryPushWith(Fn &&fn) REQUIRES(producer_role_)
     {
         const uint64_t t = tail.load(std::memory_order_relaxed);
         if (t - head_cache == capacity()) {
@@ -111,7 +134,7 @@ class SpscQueue
      */
     template <typename Fn>
     bool
-    tryConsumeWith(Fn &&fn)
+    tryConsumeWith(Fn &&fn) REQUIRES(consumer_role_)
     {
         const uint64_t h = head.load(std::memory_order_relaxed);
         if (h == tail_cache) {
@@ -127,7 +150,7 @@ class SpscQueue
 
     /** Consumer: dequeue into `out`. Returns false when empty. */
     bool
-    tryPop(T &out)
+    tryPop(T &out) REQUIRES(consumer_role_)
     {
         const uint64_t h = head.load(std::memory_order_relaxed);
         if (h == tail_cache) {
@@ -144,7 +167,11 @@ class SpscQueue
      * Producer: mark the stream complete. No push may follow; pop
      * drains the remaining items and then reports end-of-stream.
      */
-    void close() { closed_.store(true, std::memory_order_release); }
+    void
+    close() REQUIRES(producer_role_)
+    {
+        closed_.store(true, std::memory_order_release);
+    }
 
     /** True once the producer has closed the queue (items may remain). */
     bool
@@ -158,7 +185,7 @@ class SpscQueue
      * @pre the queue is not closed.
      */
     void
-    push(T value)
+    push(T value) REQUIRES(producer_role_)
     {
         SIEVE_DCHECK(!closed(), "push after close");
         while (!tryPush(std::move(value)))
@@ -168,7 +195,7 @@ class SpscQueue
     /** Producer: blocking in-place enqueue (see tryPushWith). */
     template <typename Fn>
     void
-    pushWith(Fn &&fn)
+    pushWith(Fn &&fn) REQUIRES(producer_role_)
     {
         SIEVE_DCHECK(!closed(), "push after close");
         while (!tryPushWith(fn))
@@ -180,7 +207,7 @@ class SpscQueue
      * closed *and* fully drained; otherwise waits for the producer.
      */
     bool
-    pop(T &out)
+    pop(T &out) REQUIRES(consumer_role_)
     {
         for (;;) {
             if (tryPop(out))
@@ -219,12 +246,16 @@ class SpscQueue
     /** Consumer position; written by the consumer only. */
     alignas(64) std::atomic<uint64_t> head{0};
     /** Producer's cached view of `head` (producer-private). */
-    alignas(64) uint64_t head_cache = 0;
+    alignas(64) uint64_t head_cache GUARDED_BY(producer_role_) = 0;
     /** Producer position; written by the producer only. */
     alignas(64) std::atomic<uint64_t> tail{0};
     /** Consumer's cached view of `tail` (consumer-private). */
-    alignas(64) uint64_t tail_cache = 0;
+    alignas(64) uint64_t tail_cache GUARDED_BY(consumer_role_) = 0;
     alignas(64) std::atomic<bool> closed_{false};
+
+    /** Pure capability tokens — see assertProducerRole(). */
+    ThreadRole producer_role_;
+    ThreadRole consumer_role_;
 };
 
 } // namespace util

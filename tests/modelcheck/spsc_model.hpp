@@ -378,6 +378,10 @@ class RealSpscSystem : public SystemBase
     void
     stepProducer()
     {
+        // The explorer interleaves the two logical threads on one OS
+        // thread; claim the role each step for the queue's
+        // thread-safety annotations.
+        queue_.assertProducerRole();
         if (pushed_ < items_) {
             if (!queue_.tryPush(pushed_ + 1))
                 fail("tryPush failed with space available");
@@ -400,6 +404,7 @@ class RealSpscSystem : public SystemBase
     void
     stepConsumer()
     {
+        queue_.assertConsumerRole();
         uint32_t value = 0;
         switch (cstate_) {
           case CState::Try:

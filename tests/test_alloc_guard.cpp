@@ -177,6 +177,9 @@ TEST(AllocGuard, GuardedSieveAndQueueOpsRunCleanly)
     mct.prune(1);
 
     SpscQueue<uint64_t> queue(16);
+    // Single-threaded here, so this test plays both SPSC endpoints.
+    queue.assertProducerRole();
+    queue.assertConsumerRole();
     for (uint64_t i = 0; i < 64; ++i) {
         {
             SIEVE_ASSERT_NO_ALLOC;

@@ -31,7 +31,12 @@ TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo)
 
 TEST(SpscQueue, EmptyPopFails)
 {
+    // Single-threaded tests legitimately play both SPSC endpoints, so
+    // they claim both role capabilities (see assertProducerRole in
+    // util/spsc_queue.hpp); the two-thread tests below claim exactly
+    // one role per thread, which is what -Wthread-safety checks.
     SpscQueue<int> q(4);
+    q.assertConsumerRole();
     int v = -1;
     EXPECT_FALSE(q.tryPop(v));
     EXPECT_EQ(v, -1);
@@ -41,6 +46,7 @@ TEST(SpscQueue, EmptyPopFails)
 TEST(SpscQueue, FullPushFailsAndLeavesValueIntact)
 {
     SpscQueue<std::unique_ptr<int>> q(2);
+    q.assertProducerRole();
     ASSERT_TRUE(q.tryPush(std::make_unique<int>(1)));
     ASSERT_TRUE(q.tryPush(std::make_unique<int>(2)));
     auto third = std::make_unique<int>(3);
@@ -54,6 +60,8 @@ TEST(SpscQueue, FullPushFailsAndLeavesValueIntact)
 TEST(SpscQueue, FifoOrderAcrossWraparound)
 {
     SpscQueue<uint64_t> q(4); // capacity 4; cycle it many times
+    q.assertProducerRole();
+    q.assertConsumerRole();
     uint64_t next_push = 0, next_pop = 0;
     for (int round = 0; round < 1000; ++round) {
         while (q.tryPush(uint64_t(next_push)))
@@ -72,6 +80,8 @@ TEST(SpscQueue, PartialDrainInterleavesCorrectly)
 {
     // Push two, pop one: occupancy grows while FIFO order holds.
     SpscQueue<int> q(64);
+    q.assertProducerRole();
+    q.assertConsumerRole();
     int out = 0;
     for (int step = 0; step < 30; ++step) {
         ASSERT_TRUE(q.tryPush(2 * step));
@@ -85,6 +95,8 @@ TEST(SpscQueue, PartialDrainInterleavesCorrectly)
 TEST(SpscQueue, CloseDrainsRemainingThenReportsEnd)
 {
     SpscQueue<int> q(8);
+    q.assertProducerRole();
+    q.assertConsumerRole();
     q.push(1);
     q.push(2);
     q.close();
@@ -101,9 +113,11 @@ TEST(SpscQueue, CloseOnEmptyQueueUnblocksConsumer)
 {
     SpscQueue<int> q(4);
     std::thread consumer([&q] {
+        q.assertConsumerRole();
         int v = 0;
         EXPECT_FALSE(q.pop(v));
     });
+    q.assertProducerRole();
     q.close();
     consumer.join();
 }
@@ -111,6 +125,8 @@ TEST(SpscQueue, CloseOnEmptyQueueUnblocksConsumer)
 TEST(SpscQueue, MoveOnlyPayload)
 {
     SpscQueue<std::unique_ptr<int>> q(4);
+    q.assertProducerRole();
+    q.assertConsumerRole();
     q.push(std::make_unique<int>(42));
     std::unique_ptr<int> out;
     ASSERT_TRUE(q.pop(out));
@@ -125,6 +141,8 @@ TEST(SpscQueue, InPlaceProduceConsumeRoundTrips)
     // producer callback must overwrite what the previous occupant
     // left behind — exercised by wrapping around a tiny ring.
     SpscQueue<std::pair<int, int>> q(2);
+    q.assertProducerRole();
+    q.assertConsumerRole();
     for (int i = 0; i < 10; ++i) {
         EXPECT_TRUE(q.tryPushWith([i](std::pair<int, int> &slot) {
             slot = {i, i * i};
@@ -146,6 +164,8 @@ TEST(SpscQueue, InPlaceProduceConsumeRoundTrips)
 TEST(SpscQueue, InPlacePushFailsOnFullRingWithoutCallback)
 {
     SpscQueue<int> q(2);
+    q.assertProducerRole();
+    q.assertConsumerRole();
     EXPECT_TRUE(q.tryPushWith([](int &slot) { slot = 1; }));
     EXPECT_TRUE(q.tryPushWith([](int &slot) { slot = 2; }));
     EXPECT_FALSE(q.tryPushWith(
@@ -173,6 +193,7 @@ streamThrough(size_t capacity, uint64_t n, int producer_batch,
 {
     SpscQueue<uint64_t> q(capacity);
     std::thread producer([&] {
+        q.assertProducerRole();
         for (uint64_t i = 0; i < n; ++i) {
             q.push(uint64_t(i));
             if (producer_batch && (i + 1) % uint64_t(producer_batch) == 0)
@@ -180,6 +201,7 @@ streamThrough(size_t capacity, uint64_t n, int producer_batch,
         }
         q.close();
     });
+    q.assertConsumerRole();
     uint64_t expected = 0;
     uint64_t v = 0;
     while (q.pop(v)) {
@@ -219,10 +241,12 @@ TEST(SpscQueueStress, ManySmallClosedStreams)
     for (int stream = 0; stream < 200; ++stream) {
         SpscQueue<int> q(4);
         std::thread producer([&q, stream] {
+            q.assertProducerRole();
             for (int i = 0; i < stream % 7; ++i)
                 q.push(int(i));
             q.close();
         });
+        q.assertConsumerRole();
         int count = 0, v = 0;
         while (q.pop(v)) {
             EXPECT_EQ(v, count);
