@@ -1,0 +1,22 @@
+// Fixture: raw __builtin_prefetch outside src/util/ must be flagged;
+// hot paths go through util::prefetchRead (util/prefetch.hpp) so
+// every software prefetch stays greppable and carries the agreed
+// locality hint.
+
+struct Row
+{
+    unsigned long key;
+    unsigned long payload;
+};
+
+unsigned long
+sumAhead(const Row *rows, unsigned long n)
+{
+    unsigned long total = 0;
+    for (unsigned long i = 0; i < n; ++i) {
+        if (i + 8 < n)
+            __builtin_prefetch(rows + i + 8, 0, 3); // lint-expect: raw-prefetch
+        total += rows[i].payload;
+    }
+    return total;
+}

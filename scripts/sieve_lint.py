@@ -30,6 +30,12 @@ linter knows about; this tool makes them machine-checked:
                     Readers that legitimately allocate (line-parsing
                     decoders) annotate with
                     // sieve-lint: allow(batch-guard).
+  raw-prefetch      __builtin_prefetch outside src/util/ is banned:
+                    util::prefetchRead (util/prefetch.hpp) is the one
+                    sanctioned prefetch site, so every software
+                    prefetch stays greppable, carries the agreed
+                    locality hint, and compiles away uniformly on
+                    targets without the builtin.
 
 Suppressions:
   // sieve-lint: charged(<reason>)   on or above a member declaration
@@ -54,7 +60,7 @@ SCAN_DIRS = ("src", "bench", "examples", "tests")
 FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 
 RULES = ("mem-charge", "invariants", "unordered-report", "wall-clock",
-         "batch-guard")
+         "batch-guard", "raw-prefetch")
 
 # Classes the runtime contract layer audits; each must expose a
 # checkInvariants() hook (any signature).
@@ -501,6 +507,27 @@ def checkWallClock(src, findings):
             f"only under bench/ and examples/)"))
 
 
+RAW_PREFETCH_RE = re.compile(r"\b__builtin_prefetch\s*\(")
+
+
+def checkRawPrefetch(src, findings):
+    """Ban raw __builtin_prefetch outside src/util/: the sanctioned
+    wrapper is util::prefetchRead (util/prefetch.hpp)."""
+    if src.relpath.startswith(os.path.join("src", "util") + os.sep):
+        return
+    for i, line in enumerate(src.text.splitlines(), start=1):
+        if not RAW_PREFETCH_RE.search(line):
+            continue
+        if src.allowed(i, "raw-prefetch", src.statementEnd(i)):
+            continue
+        findings.append(Finding(
+            src.relpath, i, "raw-prefetch",
+            "raw __builtin_prefetch outside src/util/; call "
+            "util::prefetchRead (util/prefetch.hpp) so prefetch "
+            "sites stay greppable and carry the agreed locality "
+            "hint"))
+
+
 BATCH_ENTRY_RE = re.compile(
     r"\b(?:[A-Za-z_]\w*\s*::\s*)?(processBatch|nextBatch)\s*\(")
 
@@ -689,6 +716,7 @@ def runLint(root, relpaths, backend, check_missing):
         checkUnorderedReport(src, findings)
         checkWallClock(src, findings)
         checkBatchGuard(src, findings)
+        checkRawPrefetch(src, findings)
     # After every rule has run: a directive that suppressed nothing
     # is stale and must be removed, not left to mask future findings.
     for src in sources:

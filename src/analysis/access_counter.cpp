@@ -69,6 +69,20 @@ AccessCounter::observe(trace::BlockId block)
     ++*counts_.findOrInsert(block).first;
 }
 
+void
+AccessCounter::observeBatch(std::span<const trace::BlockId> blocks)
+{
+    // Hash-ahead: every home slot's lines start toward L1 before the
+    // first findOrInsert issues its dependent load. The bumps then run
+    // in batch order — counts are commutative, so any order matches
+    // N scalar observe() calls; in-order keeps the table's insert
+    // history (and thus slot layout) bit-identical too.
+    for (const trace::BlockId block : blocks)
+        counts_.prefetch(block);
+    for (const trace::BlockId block : blocks)
+        observe(block);
+}
+
 // SIEVE_NOALLOC: reads are pure probes; the analyzer proves the
 // whole call tree below is allocation-free.
 SIEVE_NOALLOC uint64_t

@@ -12,6 +12,7 @@
 #define SIEVESTORE_ANALYSIS_ACCESS_COUNTER_HPP
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,14 @@ class AccessCounter
 
     /** Record one access to `block`. */
     void observe(trace::BlockId block);
+
+    /**
+     * Record one access to each block, hash-ahead style: every home
+     * slot is prefetched before the first counter bump, hiding the
+     * table's DRAM latency across the batch. Counts are commutative,
+     * so the result is identical to observing in any order.
+     */
+    void observeBatch(std::span<const trace::BlockId> blocks);
 
     /** Access count of `block` (0 if never observed). */
     uint64_t count(trace::BlockId block) const;

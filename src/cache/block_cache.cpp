@@ -76,6 +76,75 @@ BlockCache::access(BlockId block)
     return true;
 }
 
+void
+BlockCache::containsBatch(std::span<const BlockId> blocks,
+                          std::span<bool> hit) const
+{
+    SIEVE_DCHECK(hit.size() >= blocks.size());
+    // A pure batched probe: the kernel reads the index and writes the
+    // caller's spans, nothing else.
+    SIEVE_ASSERT_NO_ALLOC;
+    const PolicyState *st[kProbeBatch];
+    for (size_t base = 0; base < blocks.size(); base += kProbeBatch) {
+        const size_t n = std::min(kProbeBatch, blocks.size() - base);
+        index.findBatch(blocks.subspan(base, n),
+                        std::span<const PolicyState *>(st, n));
+        for (size_t i = 0; i < n; ++i)
+            hit[base + i] = st[i] != nullptr;
+    }
+}
+
+void
+BlockCache::touchBatch(std::span<const BlockId> blocks,
+                       std::span<bool> hit)
+{
+    SIEVE_DCHECK(hit.size() >= blocks.size());
+    if (custom) {
+        // Custom policies own their state; the batched kernel cannot
+        // gather into it, so they keep the scalar loop.
+        for (size_t i = 0; i < blocks.size(); ++i)
+            hit[i] = access(blocks[i]);
+        return;
+    }
+    // Probe-gather then mutate: all probes in a chunk resolve through
+    // the kernel before any policy transition runs. Transitions touch
+    // payloads and the order book, never the index structure, so the
+    // gathered pointers stay valid across the whole chunk — duplicate
+    // blocks simply retouch the same slot in batch order, exactly as
+    // the scalar loop would.
+    SIEVE_ASSERT_NO_ALLOC;
+    PolicyState *st[kProbeBatch];
+    for (size_t base = 0; base < blocks.size(); base += kProbeBatch) {
+        const size_t n = std::min(kProbeBatch, blocks.size() - base);
+        index.findBatch(blocks.subspan(base, n),
+                        std::span<PolicyState *>(st, n));
+        for (size_t i = 0; i < n; ++i) {
+            hit[base + i] = st[i] != nullptr;
+            if (st[i] != nullptr)
+                policyAccess(*st[i]);
+        }
+    }
+}
+
+void
+BlockCache::probeBatch(std::span<const BlockId> blocks,
+                       std::span<PolicyState *> st)
+{
+    SIEVE_CHECK(!custom,
+                "probeBatch gathers raw policy state and would bypass "
+                "a custom policy; flat engine only");
+    SIEVE_DCHECK(st.size() >= blocks.size());
+    SIEVE_ASSERT_NO_ALLOC;
+    index.findBatch(blocks, st);
+}
+
+void
+BlockCache::touchProbed(PolicyState &st)
+{
+    SIEVE_ASSERT_NO_ALLOC;
+    policyAccess(st);
+}
+
 std::optional<BlockId>
 BlockCache::insert(BlockId block)
 {

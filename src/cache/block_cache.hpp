@@ -31,6 +31,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cache/replacement.hpp"
@@ -95,8 +96,18 @@ class BlockCache
     BlockCache(uint64_t capacity_blocks,
                std::unique_ptr<ReplacementPolicy> policy);
 
+    /** Chunk width of the batched probe paths (== FlatIndex's). */
+    static constexpr size_t kProbeBatch = util::FlatIndex<PolicyState>::kBatchChunk;
+
     /** Residency test with no side effects. */
     bool contains(trace::BlockId block) const;
+
+    /**
+     * Batched residency test: `hit[i]` = contains(blocks[i]). Runs
+     * the FlatIndex hash-ahead/prefetch kernel; no side effects.
+     */
+    void containsBatch(std::span<const trace::BlockId> blocks,
+                       std::span<bool> hit) const;
 
     /**
      * Access a block: if resident, notifies the replacement policy (LRU
@@ -104,6 +115,31 @@ class BlockCache
      * probe in flat mode.
      */
     bool access(trace::BlockId block);
+
+    /**
+     * Batched access: `hit[i]` = access(blocks[i]), with all probes
+     * resolved through the batched kernel before the policy
+     * transitions run in batch order (transitions touch payloads and
+     * the order book, never the index structure, so the gathered
+     * pointers stay valid — duplicates included). Custom engines fall
+     * back to the scalar loop.
+     */
+    void touchBatch(std::span<const trace::BlockId> blocks,
+                    std::span<bool> hit);
+
+    /**
+     * Probe-gather for the appliance's batched kernel: `st[i]` points
+     * at blocks[i]'s policy state, or nullptr if absent. Flat engines
+     * only (the gathered pointers bypass the custom policy). Pointers
+     * follow the FlatIndex invalidation rule: consume them before any
+     * insert/erase on this cache.
+     */
+    void probeBatch(std::span<const trace::BlockId> blocks,
+                    std::span<PolicyState *> st);
+
+    /** Apply the resident-hit policy transition to a gathered state
+     *  (the mutate phase of a probe-gathered hit). */
+    void touchProbed(PolicyState &st);
 
     /**
      * Make a block resident, evicting a victim if at capacity.

@@ -1,6 +1,7 @@
 #include "core/appliance.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 
 #include "trace/expand.hpp"
@@ -29,7 +30,41 @@ makeCache(const ApplianceConfig &config)
 /** Initial capacity of the in-flight allocation structures. */
 constexpr size_t kPendingReserve = 1024;
 
+bool
+initialBatchKernel()
+{
+#ifdef SIEVE_BATCH_KERNEL_DISABLED
+    return false;
+#else
+    // SIEVE_BATCH_KERNEL=0 pins the scalar per-request path from
+    // process start; any other value — or none — takes the kernel
+    // whenever the flat engines are active.
+    const char *env = std::getenv("SIEVE_BATCH_KERNEL");
+    return env == nullptr || env[0] != '0';
+#endif
+}
+
+bool g_batch_kernel = initialBatchKernel();
+
 } // namespace
+
+bool
+batchKernelEnabled()
+{
+    return g_batch_kernel;
+}
+
+bool
+setBatchKernel(bool enabled)
+{
+#ifdef SIEVE_BATCH_KERNEL_DISABLED
+    (void)enabled;
+    return false;
+#else
+    g_batch_kernel = enabled;
+    return g_batch_kernel;
+#endif
+}
 
 DailyReport
 sumReports(const std::vector<DailyReport> &days)
@@ -194,6 +229,21 @@ Appliance::processRequestInto(const trace::Request &req, DailyReport &rep)
     access.server = req.server;
     access.op = req.op;
 
+    // Discrete selectors observe every access in block order; stage
+    // them into request-local chunks and flush through observeBatch so
+    // hash-table-backed selectors get the batched hash-ahead path.
+    constexpr size_t kStage = cache::BlockCache::kProbeBatch;
+    trace::BlockAccess staged[kStage];
+    size_t n_staged = 0;
+    const auto stageObservation = [&](const trace::BlockAccess &a) {
+        staged[n_staged++] = a;
+        if (n_staged == kStage) {
+            selector_->observeBatch(
+                std::span<const trace::BlockAccess>(staged, n_staged));
+            n_staged = 0;
+        }
+    };
+
     for (uint32_t i = 0; i < req.length_blocks; ++i) {
         const BlockId block = req.blockAt(i);
         const uint64_t page = trace::blockNrOf(block) /
@@ -228,14 +278,14 @@ Appliance::processRequestInto(const trace::Request &req, DailyReport &rep)
             else if (policy_)
                 policy_->onHit(access);
             if (selector_)
-                selector_->observe(access);
+                stageObservation(access);
             continue;
         }
 
         // Miss. Discrete selectors observe the access (SieveStore-D
         // logs *accesses*, not misses); continuous policies sieve it.
         if (selector_) {
-            selector_->observe(access);
+            stageObservation(access);
             continue;
         }
         if (pending.contains(block))
@@ -247,6 +297,103 @@ Appliance::processRequestInto(const trace::Request &req, DailyReport &rep)
             const bool new_unit = page != last_alloc_page;
             last_alloc_page = page;
             pushAlloc(PendingAlloc{access.completion, block, new_unit});
+        }
+    }
+    if (n_staged != 0)
+        selector_->observeBatch(
+            std::span<const trace::BlockAccess>(staged, n_staged));
+}
+
+void
+Appliance::processRequestProbed(const trace::Request &req,
+                                DailyReport &rep)
+{
+    SIEVE_DCHECK(flatEnginesOnly());
+    const bool is_read = req.op == trace::Op::Read;
+
+    // Page-coalescing state, exactly as in the scalar loop.
+    uint64_t last_hit_page = UINT64_MAX;
+    uint64_t last_alloc_page = UINT64_MAX;
+
+    trace::BlockAccess access;
+    access.time = req.time;
+    access.server = req.server;
+    access.op = req.op;
+
+    constexpr size_t kChunk = cache::BlockCache::kProbeBatch;
+    BlockId keys[kChunk];
+    cache::PolicyState *st[kChunk];
+
+    for (uint32_t base = 0; base < req.length_blocks;
+         base += static_cast<uint32_t>(kChunk)) {
+        const auto n = static_cast<uint32_t>(
+            std::min<size_t>(kChunk, req.length_blocks - base));
+
+        // Phase 1 — probe-gather: one findBatch resolves the whole
+        // chunk's residency through the hash-ahead/prefetch kernel.
+        // Nothing mutates the cache index within a request (pending
+        // allocations drain between requests), so the gathered
+        // pointers and the hit/miss partition stay exact.
+        for (uint32_t i = 0; i < n; ++i)
+            keys[i] = req.blockAt(base + i);
+        cache_.probeBatch(std::span<const BlockId>(keys, n),
+                          std::span<cache::PolicyState *>(st, n));
+
+        // Phase 2 — sieve prefetch: every gathered miss is about to
+        // consult the pending set and the sieve tiers; start their
+        // lines (pending home slot, IMCT slot, MCT home slot) toward
+        // L1 before the in-order pass issues its dependent loads.
+        for (uint32_t i = 0; i < n; ++i) {
+            if (st[i] == nullptr) {
+                pending.prefetch(keys[i]);
+                fsieve_->prefetchMiss(keys[i]);
+            }
+        }
+
+        // Phase 3 — decide + mutate, in batch order: bookkeeping
+        // identical to processRequestInto, with the residency probe
+        // already resolved. Policy transitions touch payloads and the
+        // order book, never the index structure, so duplicates simply
+        // retouch the same gathered slot.
+        for (uint32_t i = 0; i < n; ++i) {
+            const BlockId block = keys[i];
+            const uint64_t page = trace::blockNrOf(block) /
+                                  trace::kBlocksPerPage;
+            access.block = block;
+            access.completion =
+                trace::interpolatedCompletion(req, base + i);
+
+            ++rep.accesses;
+            if (is_read)
+                ++rep.read_accesses;
+
+            if (st[i] != nullptr) {
+                cache_.touchProbed(*st[i]);
+                ++rep.hits;
+                if (is_read)
+                    ++rep.read_hits;
+                else
+                    ++rep.write_hits;
+                if (page != last_hit_page) {
+                    last_hit_page = page;
+                    if (is_read)
+                        ++rep.ssd_read_ios;
+                    else
+                        ++rep.ssd_write_ios;
+                }
+                fsieve_->onHit(access);
+                continue;
+            }
+
+            if (pending.contains(block))
+                continue; // allocation already in flight
+            if (fsieve_->onMiss(access) == AllocDecision::Allocate) {
+                notePending(block);
+                const bool new_unit = page != last_alloc_page;
+                last_alloc_page = page;
+                pushAlloc(
+                    PendingAlloc{access.completion, block, new_unit});
+            }
         }
     }
 }
@@ -277,6 +424,18 @@ Appliance::processBatch(std::span<const trace::Request> batch)
     // exemptions are the explicit amortized-growth points (sieve
     // tables, the pending set, the allocation heap).
     SIEVE_ASSERT_NO_ALLOC_WHEN(flatEnginesOnly());
+    if (flatEnginesOnly() && batchKernelEnabled()) {
+        // Batched lookup kernel: same per-request drain cadence as the
+        // scalar loop (bit-identity depends on it — a drain can insert
+        // into the cache, which would invalidate gathered pointers and
+        // flip later probes), with each request's blocks resolved
+        // through the probe-gather -> sieve-prefetch -> decide phases.
+        for (const trace::Request &req : batch) {
+            drainAllocations(req.time);
+            processRequestProbed(req, rep);
+        }
+        return;
+    }
     for (const trace::Request &req : batch) {
         drainAllocations(req.time);
         processRequestInto(req, rep);

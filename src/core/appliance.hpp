@@ -127,6 +127,25 @@ struct DailyReport
 DailyReport sumReports(const std::vector<DailyReport> &days);
 
 /**
+ * Runtime switch for the batched FlatIndex lookup kernel inside
+ * Appliance::processBatch (probe-gather -> sieve-prefetch -> decide
+ * phases). Seeded ON at startup unless the build disables it
+ * (-DSIEVE_BATCH_KERNEL=OFF) or the SIEVE_BATCH_SIMD-style environment
+ * variable SIEVE_BATCH_KERNEL is "0". The kernel is bit-identical to
+ * the scalar path by construction (proven by the batchkernel
+ * differential suite), so this toggle exists for differential tests
+ * and for benchmarking the scalar floor — not for correctness.
+ */
+bool batchKernelEnabled();
+
+/**
+ * Force the kernel dispatch (a no-op returning false when the build
+ * disabled it). Not thread-safe: set before spawning replay workers.
+ * @return the value actually in effect
+ */
+bool setBatchKernel(bool enabled);
+
+/**
  * The appliance simulator. Construct with either a continuous
  * AllocationPolicy (SieveStore-C, AOD, WMNA, RandSieve-C) or a
  * DiscreteSelector (SieveStore-D, RandSieve-BlkD, Ideal); drive it with
@@ -227,6 +246,19 @@ class Appliance
     void drainAllocations(util::TimeUs up_to);
     /** Shared per-request hot loop; `rep` is the request's day report. */
     void processRequestInto(const trace::Request &req, DailyReport &rep);
+    /**
+     * Batched-kernel variant of processRequestInto for the flat-engine
+     * configuration: each chunk of <= cache::BlockCache::kProbeBatch
+     * blocks runs probe-gather (one findBatch over the cache index),
+     * then sieve-prefetch (IMCT/MCT/pending lines for the gathered
+     * misses), then an in-order decide+mutate pass with bookkeeping
+     * identical to the scalar loop. Bit-identical by construction:
+     * nothing mutates the cache index within a request (allocations
+     * drain between requests), so the gathered pointers and hit/miss
+     * partition match what N scalar probes would see.
+     * @pre flatEnginesOnly()
+     */
+    void processRequestProbed(const trace::Request &req, DailyReport &rep);
     /**
      * True when every engine on the request path is flat (spec-driven
      * sieve, flat cache, no discrete selector, no occupancy tracker):

@@ -43,6 +43,27 @@ AdbaSelector::observe(const trace::BlockAccess &access)
         mem_counts.observe(access.block);
 }
 
+void
+AdbaSelector::observeBatch(std::span<const trace::BlockAccess> accesses)
+{
+    if (disk_log) {
+        // The disk backend appends to a sequential log — no table to
+        // hash ahead into; the scalar loop is already streaming.
+        DiscreteSelector::observeBatch(accesses);
+        return;
+    }
+    // In-memory backend: strip the accesses down to block ids in
+    // stack-sized chunks and run the counter's hash-ahead batch path.
+    constexpr size_t kChunk = util::FlatIndex<uint64_t>::kBatchChunk;
+    BlockId blocks[kChunk];
+    for (size_t base = 0; base < accesses.size(); base += kChunk) {
+        const size_t n = std::min(kChunk, accesses.size() - base);
+        for (size_t i = 0; i < n; ++i)
+            blocks[i] = accesses[base + i].block;
+        mem_counts.observeBatch(std::span<const BlockId>(blocks, n));
+    }
+}
+
 std::vector<BlockId>
 AdbaSelector::endOfEpoch()
 {

@@ -14,6 +14,7 @@
 #define SIEVESTORE_CORE_DISCRETE_HPP
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,21 @@ class DiscreteSelector
 
     /** Observe one block access during the current epoch. */
     virtual void observe(const trace::BlockAccess &access) = 0;
+
+    /**
+     * Observe a batch of accesses from one request. Semantically
+     * exactly N observe() calls in order (the default is that loop);
+     * selectors with hash-table epoch state override it to run the
+     * batched hash-ahead probe path (AdbaSelector's in-memory
+     * backend). The appliance's batched request path stages per-block
+     * observations and flushes them through here.
+     */
+    virtual void
+    observeBatch(std::span<const trace::BlockAccess> accesses)
+    {
+        for (const trace::BlockAccess &access : accesses)
+            observe(access);
+    }
 
     /**
      * Close the epoch: return the blocks to batch-allocate for the next
@@ -76,6 +92,7 @@ class AdbaSelector : public DiscreteSelector
                  analysis::AccessLogConfig log_config = {});
 
     void observe(const trace::BlockAccess &access) override;
+    void observeBatch(std::span<const trace::BlockAccess> accesses) override;
     std::vector<trace::BlockId> endOfEpoch() override;
     const char *name() const override { return "SieveStore-D"; }
     uint64_t metastateBytes() const override;

@@ -5,6 +5,7 @@
 #include "util/footprint.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
+#include "util/prefetch.hpp"
 
 namespace sievestore {
 namespace core {
@@ -22,6 +23,12 @@ Imct::slotOf(trace::BlockId block) const
 {
     return static_cast<size_t>(
         util::reduceRange(util::seededHash(block, seed), table.size()));
+}
+
+void
+Imct::prefetch(trace::BlockId block) const
+{
+    util::prefetchRead(table.data() + slotOf(block));
 }
 
 uint32_t

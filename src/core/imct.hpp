@@ -48,6 +48,13 @@ class Imct
     /** Slot index a block maps to (exposed for aliasing tests). */
     size_t slotOf(trace::BlockId block) const;
 
+    /**
+     * Start pulling the block's counter slot toward L1 (pure hint).
+     * The IMCT is a direct-mapped array, so unlike FlatIndex there is
+     * no probe chain — one line covers the whole upcoming access.
+     */
+    void prefetch(trace::BlockId block) const;
+
     size_t slots() const { return table.size(); }
 
     /** Metastate footprint (util/footprint.hpp convention). */

@@ -14,6 +14,7 @@
 #define SIEVESTORE_CORE_MCT_HPP
 
 #include <cstdint>
+#include <span>
 
 #include "core/windowed_counter.hpp"
 #include "trace/block.hpp"
@@ -30,6 +31,18 @@ class Mct
 
     /** True if the block is currently tracked. */
     bool contains(trace::BlockId block) const;
+
+    /**
+     * Batched membership probe: `tracked[i]` = contains(blocks[i]),
+     * resolved through the FlatIndex hash-ahead/prefetch kernel. Used
+     * by the appliance's batched miss path to overlap the MCT's
+     * dependent loads across a chunk of misses.
+     */
+    void containsBatch(std::span<const trace::BlockId> blocks,
+                       std::span<bool> tracked) const;
+
+    /** Start pulling the block's table line toward L1 (pure hint). */
+    void prefetch(trace::BlockId block) const { entries.prefetch(block); }
 
     /**
      * Begin tracking a block (first miss past the IMCT threshold) as

@@ -110,6 +110,19 @@ class FlatSieve
     }
 
     /**
+     * Hint that onMiss for this block is imminent (the sieve-prefetch
+     * phase of the appliance's batched kernel). Only SieveStore-C has
+     * table state worth pulling toward L1; the other kinds decide from
+     * registers and ignore the hint. Pure — decisions are unchanged.
+     */
+    void
+    prefetchMiss(trace::BlockId block) const
+    {
+        if (kind_ == SieveKind::SieveStoreC)
+            sieve_c_.SieveStoreCPolicy::prefetchMiss(block);
+    }
+
+    /**
      * Observe a hit. None of the built-in continuous policies keep
      * hit-side state (SieveStore-C's windows advance on misses only),
      * so this is a no-op kept for interface symmetry with

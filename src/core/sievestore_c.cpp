@@ -78,6 +78,18 @@ SieveStoreCPolicy::onMiss(const trace::BlockAccess &access)
     return AllocDecision::Bypass;
 }
 
+void
+SieveStoreCPolicy::prefetchMiss(trace::BlockId block) const
+{
+    // Both tiers' lookups for this block are address-computable now;
+    // onMiss itself will touch at most these lines plus the MCT probe
+    // chain's continuation.
+    if (!cfg.imct_only)
+        mct_.prefetch(block);
+    if (!cfg.mct_only)
+        imct_.prefetch(block);
+}
+
 const char *
 SieveStoreCPolicy::name() const
 {

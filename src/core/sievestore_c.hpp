@@ -61,6 +61,14 @@ class SieveStoreCPolicy : public AllocationPolicy
 
     AllocDecision onMiss(const trace::BlockAccess &access) override;
 
+    /**
+     * Hint the tables an onMiss(access) for this block is imminent:
+     * prefetch the block's IMCT slot and MCT home slot. Pure — no
+     * counter moves — so the appliance's batched miss path can issue
+     * it for a whole gathered chunk before the in-order decide phase.
+     */
+    void prefetchMiss(trace::BlockId block) const;
+
     const char *name() const override;
 
     uint64_t metastateBytes() const override;

@@ -18,6 +18,12 @@
  * its order or its interleaving with finishDay() — which is what the
  * differential suites (test_batch_pipeline, test_parallel_replay)
  * prove bit-identical to per-request replay.
+ *
+ * The single-day guarantee is also what lets processBatch run the
+ * batched FlatIndex lookup kernel (probe-gather -> sieve-prefetch ->
+ * decide; see DESIGN.md §12): the kernel hoists the day-report lookup
+ * and arms its batch-wide no-alloc region once per slice, relying on
+ * every request in the span landing in the same calendar day.
  */
 
 #ifndef SIEVESTORE_SIM_BATCH_HPP

@@ -22,16 +22,21 @@
  *    so load factor never decays and probes never lengthen after
  *    heavy churn (the MCT prunes thousands of entries per subwindow).
  *
- * References returned by find()/findOrInsert() are invalidated by any
- * subsequent insert/erase/reserve (slots move under robin-hood
- * displacement); re-probe by key instead of caching them.
+ * References returned by find()/findOrInsert() — and every out-pointer
+ * written by findBatch() — are invalidated by any subsequent
+ * insert/erase/reserve (slots move under robin-hood displacement);
+ * re-probe by key instead of caching them. findBatch() callers gather
+ * a batch of payload pointers and must finish consuming them before
+ * the next structural mutation.
  */
 
 #ifndef SIEVESTORE_UTIL_FLAT_INDEX_HPP
 #define SIEVESTORE_UTIL_FLAT_INDEX_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -39,9 +44,37 @@
 #include "util/check.hpp"
 #include "util/footprint.hpp"
 #include "util/hashing.hpp"
+#include "util/prefetch.hpp"
+
+// The AVX2 dib-scan path is compiled whenever the toolchain can emit
+// it (function-level target attribute, no global -mavx2) and selected
+// at runtime; the scalar probe loop is always built and always the
+// fallback.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SIEVE_FLAT_INDEX_SIMD 1
+#include <immintrin.h>
+#else
+#define SIEVE_FLAT_INDEX_SIMD 0
+#endif
 
 namespace sievestore {
 namespace util {
+
+/** True when the host CPU can run the AVX2 dib-scan probe loop. */
+bool batchSimdSupported();
+
+/** Current runtime dispatch decision for findBatch's probe loop. */
+bool batchSimdEnabled();
+
+/**
+ * Force the findBatch probe-loop dispatch (clamped to
+ * batchSimdSupported()). Seeded from the SIEVE_BATCH_SIMD environment
+ * variable at startup ("0" forces scalar); the differential suites
+ * flip it to prove SIMD/scalar bit-identity. Not thread-safe: set it
+ * before spawning replay workers.
+ * @return the value actually in effect
+ */
+bool setBatchSimd(bool enabled);
 
 /**
  * Open-addressing robin-hood hash table: 64-bit key, inline POD
@@ -57,6 +90,16 @@ class FlatIndex
                   "FlatIndex value-initializes the payload on insert");
 
   public:
+    /** findBatch chunk width: per-chunk scratch (home-slot positions)
+     *  stays a fixed-size stack array, never a heap allocation. */
+    static constexpr size_t kBatchChunk = 64;
+
+    /** Hash-ahead distance: how many probes the prefetch window runs
+     *  ahead of the resolving cursor in findBatch. Eight ~100 ns DRAM
+     *  fetches in flight covers the ~10-20 ns a resolved probe takes,
+     *  without thrashing L1's line-fill buffers. */
+    static constexpr size_t kPrefetchAhead = 8;
+
     FlatIndex() = default;
 
     /** Pre-size for `expected_entries` entries (no rehash below it). */
@@ -131,6 +174,48 @@ class FlatIndex
     }
 
     bool contains(uint64_t key) const { return findSlot(key) != kNoSlot; }
+
+    /**
+     * Batched lookup kernel: resolve `keys` into payload pointers
+     * (nullptr for absent keys), written to `out[i]` for `keys[i]`.
+     *
+     * The batch is processed in chunks of kBatchChunk keys. Within a
+     * chunk, pass 1 hashes every key up front (no dependent loads) and
+     * issues software prefetches for the first kPrefetchAhead home
+     * slots; pass 2 resolves the probes in order, keeping the prefetch
+     * window kPrefetchAhead probes ahead of the resolving cursor so
+     * each probe's first touch is (usually) an L1 hit instead of a
+     * DRAM round trip. The probe loop itself is runtime-dispatched
+     * between an AVX2 dib scan (8 displacement bytes per step, see
+     * probeSimd) and the scalar loop shared with find().
+     *
+     * Out-pointers follow the find() invalidation rule above. Probes
+     * resolve in batch order, so duplicate keys yield identical
+     * pointers. Purely a read: safe inside no-alloc regions
+     * (SIEVE_NOALLOC root, proven by sieve_analyze.py).
+     *
+     * @return number of keys found
+     */
+    SIEVE_NOALLOC size_t
+    findBatch(std::span<const uint64_t> keys, std::span<Payload *> out)
+    {
+        return findBatchImpl(*this, keys, out);
+    }
+
+    SIEVE_NOALLOC size_t
+    findBatch(std::span<const uint64_t> keys,
+              std::span<const Payload *> out) const
+    {
+        return findBatchImpl(*this, keys, out);
+    }
+
+    /** Start pulling `key`'s home slot toward L1 (pure hint). */
+    void
+    prefetch(uint64_t key) const
+    {
+        if (!slots_.empty())
+            prefetchSlot(mix64(key) & (slots_.size() - 1));
+    }
 
     /**
      * Find `key`, inserting a value-initialized payload if absent.
@@ -329,9 +414,20 @@ class FlatIndex
     {
         if (slots_.empty())
             return kNoSlot;
+        return probeScalar(key, mix64(key) & (slots_.size() - 1), 1);
+    }
+
+    /**
+     * Scalar probe loop starting at `pos` with displacement `d`
+     * (1 = home). Also the tail resolver for probeSimd, which hands
+     * over mid-chain when a full vector no longer fits before the
+     * table's end or the displacement cap.
+     */
+    size_t
+    probeScalar(uint64_t key, size_t pos, unsigned d) const
+    {
         const size_t mask = slots_.size() - 1;
-        size_t pos = mix64(key) & mask;
-        unsigned d = 1;
+        pos &= mask; // probeSimd may hand over pos == slotCount()
         while (true) {
             const unsigned slot_d = dib_[pos];
             // An empty slot ends the chain; a slot poorer than us
@@ -343,6 +439,122 @@ class FlatIndex
             pos = (pos + 1) & mask;
             ++d;
         }
+    }
+
+#if SIEVE_FLAT_INDEX_SIMD
+    /**
+     * AVX2 probe loop: scan 8 dib bytes per step. Lane j of `expect`
+     * holds the displacement our key would have at slot pos + j; a
+     * lane with dib < expect (empty slot or poorer entry) terminates
+     * the chain, a lane with dib == expect is a same-home candidate
+     * whose key is compared. Comparisons are unsigned via
+     * min_epu8 == dib (kMaxDib = 250 overflows signed bytes), and the
+     * `d + 8 <= kMaxDib` guard keeps every expect lane <= 249, so no
+     * lane wraps. Wrapped chains and cap-adjacent tails hand over to
+     * probeScalar, whose masked walk is the behavioral reference.
+     */
+    __attribute__((target("avx2"))) size_t
+    probeSimd(uint64_t key, size_t pos) const
+    {
+        const size_t nslots = slots_.size();
+        const __m128i ramp =
+            _mm_set_epi8(0, 0, 0, 0, 0, 0, 0, 0, 7, 6, 5, 4, 3, 2, 1, 0);
+        unsigned d = 1;
+        while (pos + 8 <= nslots && d + 8 <= kMaxDib) {
+            const __m128i dib = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(dib_.data() + pos));
+            const __m128i expect = _mm_add_epi8(
+                _mm_set1_epi8(static_cast<char>(d)), ramp);
+            const auto le =
+                static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+                    _mm_min_epu8(dib, expect), dib))) &
+                0xFFu;
+            const auto eq = static_cast<unsigned>(_mm_movemask_epi8(
+                                _mm_cmpeq_epi8(dib, expect))) &
+                            0xFFu;
+            const unsigned lt = le & ~eq;
+            const unsigned stop =
+                lt != 0 ? static_cast<unsigned>(__builtin_ctz(lt)) : 8u;
+            // Every eq lane before the chain's end is a slot from our
+            // home bucket; compare keys in order.
+            for (unsigned m = eq; m != 0; m &= m - 1) {
+                const auto j =
+                    static_cast<unsigned>(__builtin_ctz(m));
+                if (j >= stop)
+                    break;
+                if (slots_[pos + j].key == key)
+                    return pos + j;
+            }
+            if (stop < 8)
+                return kNoSlot;
+            pos += 8;
+            d += 8;
+        }
+        return probeScalar(key, pos, d);
+    }
+#endif
+
+    /** Prefetch a slot's dib byte and key/payload lines. */
+    void
+    prefetchSlot(size_t pos) const
+    {
+        prefetchRead(dib_.data() + pos);
+        prefetchRead(slots_.data() + pos);
+    }
+
+    /** Shared body of the const/non-const findBatch overloads. */
+    template <typename Self, typename Ptr>
+    static size_t
+    findBatchImpl(Self &self, std::span<const uint64_t> keys,
+                  std::span<Ptr> out)
+    {
+        SIEVE_DCHECK(out.size() >= keys.size());
+        if (self.slots_.empty()) {
+            for (size_t i = 0; i < keys.size(); ++i)
+                out[i] = nullptr;
+            return 0;
+        }
+        const size_t mask = self.slots_.size() - 1;
+#if SIEVE_FLAT_INDEX_SIMD
+        const bool simd = batchSimdEnabled();
+#endif
+        size_t found = 0;
+        size_t home[kBatchChunk];
+        for (size_t base = 0; base < keys.size();
+             base += kBatchChunk) {
+            const size_t n =
+                std::min(kBatchChunk, keys.size() - base);
+            // Pass 1: hash ahead. Home slots come from arithmetic
+            // only, so nothing here waits on memory; the first
+            // kPrefetchAhead lines start toward L1 immediately.
+            for (size_t i = 0; i < n; ++i) {
+                home[i] = mix64(keys[base + i]) & mask;
+                if (i < kPrefetchAhead)
+                    self.prefetchSlot(home[i]);
+            }
+            // Pass 2: resolve in order, topping the prefetch window
+            // up to kPrefetchAhead probes ahead of the cursor.
+            for (size_t i = 0; i < n; ++i) {
+                if (i + kPrefetchAhead < n)
+                    self.prefetchSlot(home[i + kPrefetchAhead]);
+                const uint64_t key = keys[base + i];
+#if SIEVE_FLAT_INDEX_SIMD
+                const size_t pos =
+                    simd ? self.probeSimd(key, home[i])
+                         : self.probeScalar(key, home[i], 1);
+#else
+                const size_t pos =
+                    self.probeScalar(key, home[i], 1);
+#endif
+                if (pos == kNoSlot) {
+                    out[base + i] = nullptr;
+                } else {
+                    out[base + i] = &self.slots_[pos].payload;
+                    ++found;
+                }
+            }
+        }
+        return found;
     }
 
     /** Backward-shift deletion starting at an occupied slot. */

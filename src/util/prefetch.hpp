@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The one sanctioned software-prefetch site.
+ *
+ * Batched lookup kernels (FlatIndex::findBatch, the MCT/IMCT miss-path
+ * probes) hide DRAM latency by issuing prefetches a fixed distance
+ * ahead of the resolving pass. All of them funnel through this wrapper
+ * so the hint parameters stay consistent and auditable; sieve-lint's
+ * raw-prefetch rule bans `__builtin_prefetch` outside util/ to keep it
+ * that way.
+ */
+
+#ifndef SIEVESTORE_UTIL_PREFETCH_HPP
+#define SIEVESTORE_UTIL_PREFETCH_HPP
+
+namespace sievestore {
+namespace util {
+
+/**
+ * Hint the cache hierarchy to pull `addr`'s line for a read. High
+ * temporal locality (locality hint 3): the batched kernels touch the
+ * line within a few dozen instructions, so it should land in L1 and
+ * stay there for the resolving pass.
+ */
+inline void
+prefetchRead(const void *addr)
+{
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+}
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_PREFETCH_HPP

@@ -374,4 +374,80 @@ TEST(FlatSieveDifferential, SieveCAblationsMatchReferenceSieve)
     }
 }
 
+// ---- batched-kernel differential ----------------------------------
+
+/**
+ * The processBatch phase-restructure claim: the batched FlatIndex
+ * lookup kernel (probe-gather -> sieve-prefetch -> decide inside
+ * processRequestProbed) produces per-day DailyReports bit-identical
+ * to the scalar per-request loop, for every probe-loop dispatch
+ * (AVX2 on/off), every decode batch size, and every flat engine
+ * combination (eviction kind × sieve kind).
+ */
+TEST(BatchKernelDifferential, ProcessBatchMatchesScalarAcrossMatrix)
+{
+    const auto reqs = randomTrace(555, 3000);
+    const core::SieveKind sieves[] = {
+        core::SieveKind::Aod, core::SieveKind::Wmna,
+        core::SieveKind::SieveStoreC, core::SieveKind::RandSieveC};
+    const bool prior_kernel = core::batchKernelEnabled();
+    const bool prior_simd = util::batchSimdEnabled();
+
+    for (const EvictionKind ek : kAllKinds) {
+        for (const core::SieveKind sk : sieves) {
+            core::ApplianceConfig cfg;
+            cfg.cache_blocks = 512;
+            cfg.track_occupancy = false; // flat-engine configuration
+            cfg.eviction = EvictionSpec{ek, 21};
+            cfg.sieve.kind = sk;
+            cfg.sieve.rand_probability = 0.05;
+            cfg.sieve.rand_seed = 17;
+            cfg.sieve.sieve_c.imct_slots = 1 << 12;
+
+            // Baseline: the scalar per-request loop, kernel pinned off.
+            core::setBatchKernel(false);
+            core::Appliance scalar_app(cfg);
+            trace::VectorTrace scalar_trace(reqs);
+            sim::runTrace(scalar_trace, scalar_app);
+            const std::vector<DailyReport> scalar_days =
+                scalar_app.daily();
+
+            for (const bool simd : {false, true}) {
+                if (simd && !util::batchSimdSupported())
+                    continue;
+                for (const size_t batch : {size_t{1}, size_t{8},
+                                           size_t{64}}) {
+                    core::setBatchKernel(true);
+                    util::setBatchSimd(simd);
+                    core::Appliance kernel_app(cfg);
+                    trace::VectorTrace kernel_trace(reqs);
+                    sim::DriverOptions options;
+                    options.batch = batch;
+                    sim::runTrace(kernel_trace, kernel_app, options);
+
+                    const std::string label =
+                        std::string(evictionKindName(ek)) + " x " +
+                        core::sieveKindName(sk) +
+                        (simd ? " avx2" : " scalar-probe") +
+                        " batch " + std::to_string(batch);
+                    const auto &kd = kernel_app.daily();
+                    ASSERT_EQ(kd.size(), scalar_days.size()) << label;
+                    ASSERT_GE(kd.size(), 2u)
+                        << label << ": trace must span multiple days";
+                    for (size_t d = 0; d < kd.size(); ++d)
+                        expectReportEq(kd[d], scalar_days[d],
+                                       label + " day " +
+                                           std::to_string(d));
+                    expectReportEq(kernel_app.totals(),
+                                   scalar_app.totals(),
+                                   label + " totals");
+                    kernel_app.checkInvariants();
+                }
+            }
+        }
+    }
+    core::setBatchKernel(prior_kernel);
+    util::setBatchSimd(prior_simd);
+}
+
 } // namespace

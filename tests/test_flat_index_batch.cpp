@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property tests for the batched FlatIndex lookup kernel: findBatch
+ * must equal N scalar find() calls for every batch size 1..64, for
+ * duplicate keys within a batch, for missing keys, and for batches
+ * resolving wrapped probe chains near the table's end — under both
+ * probe-loop dispatches (AVX2 dib scan and scalar), on both the
+ * mutable and const overloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_index.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using sievestore::util::batchSimdEnabled;
+using sievestore::util::batchSimdSupported;
+using sievestore::util::FlatIndex;
+using sievestore::util::mix64;
+using sievestore::util::Rng;
+using sievestore::util::setBatchSimd;
+
+/**
+ * Run `body` under every reachable probe-loop dispatch (scalar always;
+ * AVX2 when the host supports it), restoring the prior dispatch after.
+ */
+template <typename Body>
+void
+forEachDispatch(Body &&body)
+{
+    const bool prior = batchSimdEnabled();
+    ASSERT_FALSE(setBatchSimd(false));
+    body("scalar");
+    if (batchSimdSupported()) {
+        ASSERT_TRUE(setBatchSimd(true));
+        body("avx2");
+    }
+    setBatchSimd(prior);
+}
+
+/** findBatch over both overloads must equal N scalar find() calls. */
+void
+expectBatchMatchesScalar(FlatIndex<uint64_t> &idx,
+                         const std::vector<uint64_t> &keys,
+                         const char *where)
+{
+    std::vector<uint64_t *> out(keys.size(), nullptr);
+    std::vector<const uint64_t *> cout(keys.size(), nullptr);
+    size_t expect_found = 0;
+
+    const size_t found = idx.findBatch(keys, std::span(out));
+    const FlatIndex<uint64_t> &cidx = idx;
+    const size_t cfound = cidx.findBatch(keys, std::span(cout));
+
+    for (size_t i = 0; i < keys.size(); ++i) {
+        uint64_t *scalar = idx.find(keys[i]);
+        EXPECT_EQ(out[i], scalar)
+            << where << ": key " << keys[i] << " at batch index " << i;
+        EXPECT_EQ(cout[i], scalar)
+            << where << " (const): key " << keys[i] << " at " << i;
+        if (scalar != nullptr)
+            ++expect_found;
+    }
+    EXPECT_EQ(found, expect_found) << where;
+    EXPECT_EQ(cfound, expect_found) << where << " (const)";
+}
+
+TEST(FlatIndexBatch, EmptyTableYieldsAllNull)
+{
+    forEachDispatch([](const char *where) {
+        FlatIndex<uint64_t> idx;
+        const std::vector<uint64_t> keys = {1, 2, 3, 0, UINT64_MAX};
+        std::vector<uint64_t *> out(keys.size(),
+                                    reinterpret_cast<uint64_t *>(1));
+        EXPECT_EQ(idx.findBatch(keys, std::span(out)), 0u) << where;
+        for (uint64_t *p : out)
+            EXPECT_EQ(p, nullptr) << where;
+    });
+}
+
+TEST(FlatIndexBatch, EveryBatchSizeMatchesScalarFind)
+{
+    forEachDispatch([](const char *where) {
+        Rng rng(99);
+        FlatIndex<uint64_t> idx;
+        std::vector<uint64_t> present;
+        for (uint64_t i = 0; i < 4096; ++i) {
+            const uint64_t key = rng.next();
+            *idx.findOrInsert(key).first = key * 3;
+            present.push_back(key);
+        }
+        // Batch sizes 1..64: mixed present/absent keys, resolved
+        // against scalar find() pointer-for-pointer.
+        for (size_t n = 1; n <= 64; ++n) {
+            std::vector<uint64_t> keys;
+            for (size_t i = 0; i < n; ++i)
+                keys.push_back(i % 3 == 0
+                                   ? rng.next() // almost surely absent
+                                   : present[rng.nextBelow(
+                                         present.size())]);
+            expectBatchMatchesScalar(idx, keys, where);
+        }
+    });
+}
+
+TEST(FlatIndexBatch, DuplicateKeysResolveToTheSameSlot)
+{
+    forEachDispatch([](const char *where) {
+        FlatIndex<uint64_t> idx;
+        for (uint64_t k = 0; k < 512; ++k)
+            *idx.findOrInsert(k).first = k;
+        std::vector<uint64_t> keys;
+        for (size_t i = 0; i < 64; ++i)
+            keys.push_back(i % 4); // 16 copies of each of 4 keys
+        std::vector<uint64_t *> out(keys.size(), nullptr);
+        EXPECT_EQ(idx.findBatch(keys, std::span(out)), keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+            ASSERT_NE(out[i], nullptr) << where;
+            EXPECT_EQ(out[i], idx.find(keys[i])) << where;
+            EXPECT_EQ(out[i], out[i % 4]) << where
+                << ": duplicates of key " << keys[i]
+                << " must alias one slot";
+        }
+        expectBatchMatchesScalar(idx, keys, where);
+    });
+}
+
+/**
+ * Find keys whose home is one of the last `tail` slots of a
+ * `slot_count`-slot table, by brute force over candidate ids.
+ */
+std::vector<uint64_t>
+keysHomedNearEnd(size_t slot_count, size_t tail, size_t want)
+{
+    std::vector<uint64_t> keys;
+    const size_t mask = slot_count - 1;
+    for (uint64_t candidate = 0; keys.size() < want; ++candidate) {
+        const size_t home = mix64(candidate) & mask;
+        if (home + tail >= slot_count)
+            keys.push_back(candidate);
+    }
+    return keys;
+}
+
+TEST(FlatIndexBatch, WrappedProbeChainsNearTheTableEnd)
+{
+    forEachDispatch([](const char *where) {
+        // A minimal 16-slot table loaded with keys that all home into
+        // the last 3 slots: the probe chains wrap past the table's
+        // end, exercising probeSimd's hand-over to the masked scalar
+        // walk (a full 8-byte vector never fits there).
+        FlatIndex<uint64_t> idx;
+        idx.reserve(8); // 16 slots
+        ASSERT_EQ(idx.slotCount(), 16u);
+        const std::vector<uint64_t> homed = keysHomedNearEnd(16, 3, 8);
+        std::vector<uint64_t> keys;
+        for (const uint64_t k : homed) {
+            if (!idx.hasCapacityFor(1))
+                break;
+            *idx.findOrInsert(k).first = k + 1;
+            keys.push_back(k);
+        }
+        ASSERT_EQ(idx.slotCount(), 16u) << "test assumes no growth";
+        ASSERT_GE(keys.size(), 4u);
+        idx.checkInvariants();
+
+        // Probe every loaded key plus absent keys that also home near
+        // the end (their chains wrap and terminate past the wrap).
+        std::vector<uint64_t> probes = keys;
+        for (const uint64_t k : keysHomedNearEnd(16, 3, 24))
+            probes.push_back(k);
+        expectBatchMatchesScalar(idx, probes, where);
+    });
+}
+
+TEST(FlatIndexBatch, LongChainsAcrossTheSimdStride)
+{
+    forEachDispatch([](const char *where) {
+        // Load factor near 7/8 in a larger table: chains regularly
+        // exceed the 8-slot SIMD stride, so the vector loop iterates
+        // and the displacement arithmetic (expect lanes d..d+7) is
+        // exercised across stride boundaries.
+        Rng rng(1234);
+        FlatIndex<uint64_t> idx;
+        idx.reserve(1000);
+        while (idx.hasCapacityFor(1))
+            *idx.findOrInsert(rng.next()).first = 7;
+        idx.checkInvariants();
+
+        std::vector<uint64_t> probes;
+        idx.forEach([&](uint64_t key, uint64_t &) {
+            if (probes.size() < 256)
+                probes.push_back(key);
+        });
+        for (size_t i = 0; i < 64; ++i)
+            probes.push_back(rng.next()); // absent, long termination
+        expectBatchMatchesScalar(idx, probes, where);
+    });
+}
+
+TEST(FlatIndexBatch, BatchesLargerThanOneChunk)
+{
+    forEachDispatch([](const char *where) {
+        Rng rng(5);
+        FlatIndex<uint64_t> idx;
+        std::vector<uint64_t> keys;
+        for (uint64_t i = 0; i < 1000; ++i) {
+            const uint64_t key = rng.next();
+            *idx.findOrInsert(key).first = i;
+            keys.push_back(key);
+        }
+        // 1000 keys spans 16 chunks of kBatchChunk=64: the chunk loop
+        // and its tail (1000 % 64 != 0) both run.
+        static_assert(FlatIndex<uint64_t>::kBatchChunk == 64);
+        expectBatchMatchesScalar(idx, keys, where);
+    });
+}
+
+TEST(FlatIndexBatch, SimdDispatchIsClampedToCpuSupport)
+{
+    const bool prior = batchSimdEnabled();
+    EXPECT_FALSE(setBatchSimd(false));
+    EXPECT_FALSE(batchSimdEnabled());
+    EXPECT_EQ(setBatchSimd(true), batchSimdSupported());
+    EXPECT_EQ(batchSimdEnabled(), batchSimdSupported());
+    setBatchSimd(prior);
+}
+
+} // namespace

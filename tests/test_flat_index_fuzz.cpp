@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -55,6 +56,8 @@ class Differ
     {
         for (uint64_t i = 0; i < ops; ++i) {
             step(phase);
+            if ((i & 0xff) == 0)
+                batchProbe(phase, /*simd=*/(i & 0x100) != 0);
             if ((i & 0xfff) == 0)
                 audit();
         }
@@ -101,6 +104,47 @@ class Differ
     }
 
   private:
+    /**
+     * Batched-probe cross-check: findBatch over a random key sample
+     * (present, absent, and duplicated keys mixed) must agree with the
+     * oracle and with scalar find(), under whichever probe-loop
+     * dispatch `simd` selects. Interleaved with mutations by run(), so
+     * the kernel sees every table shape the fuzz produces — mid-growth
+     * layouts, post-erase backward-shifted chains, wrapped tails.
+     */
+    void
+    batchProbe(const Phase &phase, bool simd)
+    {
+        using sievestore::util::setBatchSimd;
+        const bool prior = sievestore::util::batchSimdEnabled();
+        setBatchSimd(simd);
+        constexpr size_t kMaxBatch = 96; // spans a chunk boundary
+        uint64_t keys[kMaxBatch];
+        uint64_t *out[kMaxBatch];
+        const size_t n = 1 + rng.nextBelow(kMaxBatch);
+        for (size_t i = 0; i < n; ++i)
+            keys[i] = i > 0 && rng.nextBool(0.125)
+                          ? keys[rng.nextBelow(i)] // in-batch duplicate
+                          : rng.nextBelow(phase.key_space);
+        const size_t found = index.findBatch(
+            std::span<const uint64_t>(keys, n),
+            std::span<uint64_t *>(out, n));
+        size_t expect_found = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const auto it = oracle.find(keys[i]);
+            ASSERT_EQ(out[i] != nullptr, it != oracle.end())
+                << "findBatch(" << keys[i] << ") disagrees with oracle";
+            ASSERT_EQ(out[i], index.find(keys[i]))
+                << "findBatch(" << keys[i] << ") disagrees with find()";
+            if (out[i] != nullptr) {
+                ASSERT_EQ(*out[i], it->second) << "key " << keys[i];
+                ++expect_found;
+            }
+        }
+        ASSERT_EQ(found, expect_found);
+        setBatchSimd(prior);
+    }
+
     void
     step(const Phase &phase)
     {
