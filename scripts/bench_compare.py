@@ -20,8 +20,11 @@ A regression is a slowdown beyond ``--tolerance`` (default 0.50: CI
 and developer machines are noisy — back-to-back idle runs of the
 replay bench vary by up to ~35% on shared hosts — so the baselines
 exist to catch step-change regressions, not single-digit drift).
-Speedups never fail. Exit status: 0 clean, 1 regression or
-determinism break, 2 usage/parse error.
+Speedups never fail. Benchmarks present only in the fresh run are
+warn-and-skip, never failures, and ``--allow-missing-baseline``
+extends that to a baseline file that does not exist yet — both so a
+new bench can land before its quiet-host baseline does. Exit status:
+0 clean, 1 regression or determinism break, 2 usage/parse error.
 
 Typical use:
 
@@ -109,7 +112,9 @@ def compareGbench(base_doc, fresh_doc, tolerance):
         print(f"  {name}: {b:.1f} -> {f:.1f} ns "
               f"({(ratio - 1.0) * 100.0:+.1f}%){flag}")
     for name in sorted(set(fresh) - set(base)):
-        print(f"  NEW {name} (not in baseline)")
+        # Warn-and-skip, never fail: new benches land before their
+        # quiet-host baseline does.
+        print(f"  NEW {name} (no baseline entry; skipped)")
     return failures
 
 
@@ -137,6 +142,9 @@ def compareReplay(base_docs, fresh_docs, tolerance):
     base = replayRows(base_docs)
     fresh = replayRows(fresh_docs)
     failures = []
+    for key in sorted(set(fresh) - set(base), key=str):
+        print(f"  NEW row {key[1]}={key[2]} "
+              f"(no baseline entry; skipped)")
     for key in sorted(base, key=str):
         if key not in fresh:
             print(f"  MISSING row {key[1]}={key[2]}")
@@ -175,10 +183,29 @@ def main():
     parser.add_argument("--format", choices=("auto", "gbench",
                                              "replay"),
                         default="auto")
+    parser.add_argument("--allow-missing-baseline",
+                        action="store_true",
+                        help="warn and exit 0 when the baseline file "
+                             "does not exist yet (new benches land "
+                             "before their quiet-host baseline does)")
     opts = parser.parse_args()
 
     try:
         base_docs = loadJsonStream(opts.baseline)
+    except OSError as e:
+        if opts.allow_missing_baseline:
+            print(f"bench-compare: WARNING: baseline "
+                  f"{opts.baseline} unreadable ({e}); skipping "
+                  f"comparison — commit a quiet-host baseline to "
+                  f"arm the gate")
+            return 0
+        print(f"bench-compare: {e}", file=sys.stderr)
+        return 2
+    except ValueError as e:
+        print(f"bench-compare: {e}", file=sys.stderr)
+        return 2
+
+    try:
         fresh_docs = loadJsonStream(opts.fresh)
     except (OSError, ValueError) as e:
         print(f"bench-compare: {e}", file=sys.stderr)

@@ -1,0 +1,35 @@
+// Fixture: raw device I/O outside src/storage/ must be flagged; the
+// storage layer is the one audited syscall surface, so device access
+// goes through storage::Backend. The parenthesized declarations below
+// are deliberate — (open)(...) is not a call site and must not fire.
+
+extern "C" {
+int (open)(const char *path, int flags, ...);
+long (pread)(int fd, void *buf, unsigned long n, long off);
+long (read)(int fd, void *buf, unsigned long n);
+int (fsync)(int fd);
+}
+
+static char g_buf[4096];
+
+long
+loadHeader(const char *path)
+{
+    const int fd = open(path, 0); // lint-expect: raw-io
+    if (fd < 0)
+        return -1;
+    return pread(fd, g_buf, sizeof(g_buf), 0); // lint-expect: raw-io
+}
+
+long
+drainStream(int fd)
+{
+    // A unistd-style 3-argument read() is a syscall, not a method.
+    return read(fd, g_buf, sizeof(g_buf)); // lint-expect: raw-io
+}
+
+int
+persist(int fd)
+{
+    return fsync(fd); // lint-expect: raw-io
+}

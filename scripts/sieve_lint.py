@@ -36,6 +36,13 @@ linter knows about; this tool makes them machine-checked:
                     prefetch stays greppable, carries the agreed
                     locality hint, and compiles away uniformly on
                     targets without the builtin.
+  raw-io            Raw device I/O (open/creat/pread/pwrite/readv/
+                    writev/fsync/io_uring_* calls, and unistd-style
+                    3+-argument read()/write()) outside src/storage/
+                    is banned: the storage layer is the one audited
+                    syscall surface, so every device access flows
+                    through storage::Backend where it is counted,
+                    fault-injectable, and alignment-checked.
 
 Suppressions:
   // sieve-lint: charged(<reason>)   on or above a member declaration
@@ -60,7 +67,7 @@ SCAN_DIRS = ("src", "bench", "examples", "tests")
 FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 
 RULES = ("mem-charge", "invariants", "unordered-report", "wall-clock",
-         "batch-guard", "raw-prefetch")
+         "batch-guard", "raw-prefetch", "raw-io")
 
 # Classes the runtime contract layer audits; each must expose a
 # checkInvariants() hook (any signature).
@@ -68,6 +75,7 @@ AUDIT_CLASSES = (
     "AccessCounter",
     "Appliance",
     "BlockCache",
+    "FileBackend",
     "FlatIndex",
     "FlatSieve",
     "Imct",
@@ -528,6 +536,62 @@ def checkRawPrefetch(src, findings):
             "hint"))
 
 
+# Names that are raw device I/O whenever they appear as a call (no
+# common C++ method shares them). The lookbehind drops member calls
+# (.open), qualified names (Foo::open, ->open) and longer identifiers.
+RAW_IO_ALWAYS_RE = re.compile(
+    r"(?<![\w.:>])"
+    r"(?:open|openat|creat|pread|pwrite|pread64|pwrite64|preadv|"
+    r"pwritev|readv|writev|fsync|fdatasync|io_uring_\w+)\s*\(")
+# Explicitly global-qualified forms are raw I/O by construction.
+RAW_IO_GLOBAL_RE = re.compile(
+    r"(?<![\w>])::\s*(?:read|write|pread|pwrite)\s*\(")
+# Bare read()/write() are common method names (TraceReader::write and
+# friends); only the unistd-style 3+-argument calls are findings.
+RAW_IO_RW_RE = re.compile(r"(?<![\w.:>])(?:read|write)\s*\(")
+
+
+def checkRawIo(src, findings):
+    """Quarantine raw device I/O in src/storage/: everywhere else the
+    syscall surface is storage::Backend, where ops are counted,
+    fault-injectable, and alignment-checked."""
+    if src.relpath.startswith(os.path.join("src", "storage") + os.sep):
+        return
+
+    def flag(pos, name):
+        line = src.lineOf(pos)
+        if src.allowed(line, "raw-io", src.statementEnd(line)):
+            return
+        findings.append(Finding(
+            src.relpath, line, "raw-io",
+            f"raw I/O call {name}() outside src/storage/; device "
+            f"access goes through storage::Backend so the one "
+            f"syscall surface stays audited and fault-injectable"))
+
+    for m in RAW_IO_ALWAYS_RE.finditer(src.text):
+        flag(m.start(), m.group(0).split("(")[0].strip())
+    for m in RAW_IO_GLOBAL_RE.finditer(src.text):
+        flag(m.start(), m.group(0).split("(")[0].strip())
+    for m in RAW_IO_RW_RE.finditer(src.text):
+        open_paren = src.text.index("(", m.start())
+        depth, commas, i = 0, 0, open_paren
+        while i < len(src.text):
+            c = src.text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == "," and depth == 1:
+                commas += 1
+            elif c == ";" and depth == 0:
+                break
+            i += 1
+        if commas >= 2:
+            flag(m.start(), m.group(0).split("(")[0].strip())
+
+
 BATCH_ENTRY_RE = re.compile(
     r"\b(?:[A-Za-z_]\w*\s*::\s*)?(processBatch|nextBatch)\s*\(")
 
@@ -717,6 +781,7 @@ def runLint(root, relpaths, backend, check_missing):
         checkWallClock(src, findings)
         checkBatchGuard(src, findings)
         checkRawPrefetch(src, findings)
+        checkRawIo(src, findings)
     # After every rule has run: a directive that suppressed nothing
     # is stale and must be removed, not left to mask future findings.
     for src in sources:

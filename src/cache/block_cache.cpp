@@ -196,9 +196,15 @@ BlockCache::erase(BlockId block)
 }
 
 BatchReplaceResult
-BlockCache::batchReplace(const std::vector<BlockId> &new_set)
+BlockCache::batchReplace(const std::vector<BlockId> &new_set,
+                         std::vector<BlockId> *allocated_out,
+                         std::vector<BlockId> *evicted_out)
 {
     BatchReplaceResult result;
+    if (allocated_out)
+        allocated_out->clear();
+    if (evicted_out)
+        evicted_out->clear();
 
     // Deduplicate and truncate to capacity in first-come priority
     // order (the selector emits its set hottest-first).
@@ -226,6 +232,8 @@ BlockCache::batchReplace(const std::vector<BlockId> &new_set)
     for (BlockId b : to_evict)
         eraseResident(b);
     result.evicted = to_evict.size();
+    if (evicted_out)
+        *evicted_out = std::move(to_evict);
 
     for (BlockId b : install) {
         const auto [st, inserted] = index.findOrInsert(b);
@@ -236,6 +244,8 @@ BlockCache::batchReplace(const std::vector<BlockId> &new_set)
         else
             policyInsert(b, *st);
         ++result.allocated;
+        if (allocated_out)
+            allocated_out->push_back(b);
     }
     return result;
 }

@@ -156,9 +156,17 @@ class BlockCache
      * `new_set` (first-come priority, deduplicated, truncated to
      * capacity if larger). Returns the move accounting used by
      * SieveStore-D's allocation-write counts.
+     *
+     * The optional out-vectors are cleared and filled with the blocks
+     * actually installed (in install order — the storage layer
+     * page-coalesces them into device writes) and the blocks dropped
+     * (in eviction order — they become trims). Passing null skips the
+     * capture; the accounting result is identical either way.
      */
     BatchReplaceResult
-    batchReplace(const std::vector<trace::BlockId> &new_set);
+    batchReplace(const std::vector<trace::BlockId> &new_set,
+                 std::vector<trace::BlockId> *allocated_out = nullptr,
+                 std::vector<trace::BlockId> *evicted_out = nullptr);
 
     uint64_t size() const { return index.size(); }
     uint64_t capacity() const { return capacity_blocks; }

@@ -66,22 +66,33 @@ setBatchKernel(bool enabled)
 #endif
 }
 
+void
+DailyReport::add(const DailyReport &other)
+{
+    accesses += other.accesses;
+    read_accesses += other.read_accesses;
+    hits += other.hits;
+    read_hits += other.read_hits;
+    write_hits += other.write_hits;
+    allocation_write_blocks += other.allocation_write_blocks;
+    batch_moved_blocks += other.batch_moved_blocks;
+    ssd_read_ios += other.ssd_read_ios;
+    ssd_write_ios += other.ssd_write_ios;
+    ssd_alloc_ios += other.ssd_alloc_ios;
+    storage_read_ios += other.storage_read_ios;
+    storage_write_ios += other.storage_write_ios;
+    storage_read_errors += other.storage_read_errors;
+    storage_write_errors += other.storage_write_errors;
+    storage_read_ns += other.storage_read_ns;
+    storage_write_ns += other.storage_write_ns;
+}
+
 DailyReport
 sumReports(const std::vector<DailyReport> &days)
 {
     DailyReport sum;
-    for (const auto &d : days) {
-        sum.accesses += d.accesses;
-        sum.read_accesses += d.read_accesses;
-        sum.hits += d.hits;
-        sum.read_hits += d.read_hits;
-        sum.write_hits += d.write_hits;
-        sum.allocation_write_blocks += d.allocation_write_blocks;
-        sum.batch_moved_blocks += d.batch_moved_blocks;
-        sum.ssd_read_ios += d.ssd_read_ios;
-        sum.ssd_write_ios += d.ssd_write_ios;
-        sum.ssd_alloc_ios += d.ssd_alloc_ios;
-    }
+    for (const auto &d : days)
+        sum.add(d);
     return sum;
 }
 
@@ -93,6 +104,8 @@ Appliance::initOccupancy()
             std::make_unique<ssd::DriveOccupancyTracker>(cfg.ssd);
     alloc_queue.reserve(kPendingReserve);
     pending.reserve(kPendingReserve);
+    backend_ = storage::makeBackend(cfg.backend, cfg.ssd,
+                                    cfg.cache_blocks);
 }
 
 Appliance::Appliance(ApplianceConfig config)
@@ -193,11 +206,14 @@ Appliance::drainAllocations(util::TimeUs up_to)
         pending.erase(ev.block);
         if (cache_.contains(ev.block))
             continue; // raced with a batch install
-        cache_.insert(ev.block);
+        const std::optional<BlockId> victim = cache_.insert(ev.block);
+        if (victim)
+            stageTrim(ev.completion, *victim);
         DailyReport &rep = reportFor(ev.completion);
         ++rep.allocation_write_blocks;
         if (ev.new_io_unit) {
             ++rep.ssd_alloc_ios;
+            stageWrite(ev.completion, ev.block);
             if (occupancy_)
                 occupancy_->recordWrites(ev.completion, 1);
         }
@@ -205,13 +221,150 @@ Appliance::drainAllocations(util::TimeUs up_to)
 }
 
 void
+Appliance::stageRead(util::TimeUs t, BlockId block)
+{
+    if (!backend_)
+        return;
+    stage_reads_[n_stage_reads_++] =
+        storage::StorageOp{t, trace::pageStart(block)};
+    if (n_stage_reads_ == kStorageStage)
+        flushStorageReads();
+}
+
+void
+Appliance::stageWrite(util::TimeUs t, BlockId block)
+{
+    if (!backend_)
+        return;
+    stage_writes_[n_stage_writes_++] =
+        storage::StorageOp{t, trace::pageStart(block)};
+    if (n_stage_writes_ == kStorageStage)
+        flushStorageWrites();
+}
+
+void
+Appliance::stageTrim(util::TimeUs t, BlockId block)
+{
+    if (!backend_)
+        return;
+    stage_trims_[n_stage_trims_++] =
+        storage::StorageOp{t, trace::pageStart(block)};
+    if (n_stage_trims_ == kStorageStage)
+        flushStorageTrims();
+}
+
+// The flush helpers run inside armed no-alloc regions when a stage
+// array fills mid-batch. They stay allocation-free at runtime: every
+// staged op's time belongs to a day whose report slot already exists
+// (the hit path stages at req.time after processBatch's reportFor;
+// the drain stages at completions <= the current request time; batch
+// moves resize the serve day's slot first), so the attribution
+// lookups below only re-read existing slots.
+void
+Appliance::flushStorageReads()
+{
+    if (n_stage_reads_ == 0)
+        return;
+    backend_->readBlocks(
+        std::span<const storage::StorageOp>(stage_reads_,
+                                            n_stage_reads_),
+        std::span<uint32_t>(stage_lat_, n_stage_reads_));
+    for (size_t i = 0; i < n_stage_reads_; ++i) {
+        DailyReport &rep = reportFor(stage_reads_[i].time);
+        if (stage_lat_[i] == storage::kFailedOp) {
+            ++rep.storage_read_errors;
+        } else {
+            ++rep.storage_read_ios;
+            rep.storage_read_ns += stage_lat_[i];
+        }
+    }
+    n_stage_reads_ = 0;
+}
+
+void
+Appliance::flushStorageWrites()
+{
+    if (n_stage_writes_ == 0)
+        return;
+    backend_->writeBlocks(
+        std::span<const storage::StorageOp>(stage_writes_,
+                                            n_stage_writes_),
+        std::span<uint32_t>(stage_lat_, n_stage_writes_));
+    for (size_t i = 0; i < n_stage_writes_; ++i) {
+        DailyReport &rep = reportFor(stage_writes_[i].time);
+        if (stage_lat_[i] == storage::kFailedOp) {
+            ++rep.storage_write_errors;
+        } else {
+            ++rep.storage_write_ios;
+            rep.storage_write_ns += stage_lat_[i];
+        }
+    }
+    n_stage_writes_ = 0;
+}
+
+void
+Appliance::flushStorageTrims()
+{
+    if (n_stage_trims_ == 0)
+        return;
+    backend_->trimBlocks(std::span<const storage::StorageOp>(
+        stage_trims_, n_stage_trims_));
+    n_stage_trims_ = 0;
+}
+
+void
+Appliance::flushStorage()
+{
+    if (!backend_)
+        return;
+    flushStorageReads();
+    flushStorageWrites();
+    flushStorageTrims();
+}
+
+void
+Appliance::stageBatchMove(util::TimeUs t)
+{
+    // Page-coalesce consecutive same-unit blocks exactly like the
+    // request path: the selector emits runs of contiguous blocks, so
+    // adjacent-duplicate suppression matches the model's 4 KB unit
+    // charging for batch installs.
+    uint64_t last_page = UINT64_MAX;
+    for (BlockId b : batch_alloc_scratch_) {
+        const uint64_t page =
+            trace::blockNrOf(b) / trace::kBlocksPerPage;
+        if (page == last_page)
+            continue;
+        last_page = page;
+        stageWrite(t, b);
+    }
+    last_page = UINT64_MAX;
+    for (BlockId b : batch_evict_scratch_) {
+        const uint64_t page =
+            trace::blockNrOf(b) / trace::kBlocksPerPage;
+        if (page == last_page)
+            continue;
+        last_page = page;
+        stageTrim(t, b);
+    }
+}
+
+void
 Appliance::preload(const std::vector<BlockId> &blocks, int serve_day)
 {
-    const cache::BatchReplaceResult moved = cache_.batchReplace(blocks);
+    const cache::BatchReplaceResult moved =
+        backend_ ? cache_.batchReplace(blocks, &batch_alloc_scratch_,
+                                       &batch_evict_scratch_)
+                 : cache_.batchReplace(blocks);
     const size_t day = serve_day < 0 ? 0 : static_cast<size_t>(serve_day);
     if (day >= reports.size())
         reports.resize(day + 1);
     reports[day].batch_moved_blocks += moved.allocated;
+    if (backend_) {
+        stageBatchMove(static_cast<util::TimeUs>(day) *
+                       util::kUsPerDay);
+        flushStorage();
+    }
 }
 
 void
@@ -265,10 +418,12 @@ Appliance::processRequestInto(const trace::Request &req, DailyReport &rep)
                 last_hit_page = page;
                 if (is_read) {
                     ++rep.ssd_read_ios;
+                    stageRead(req.time, block);
                     if (occupancy_)
                         occupancy_->recordReads(req.time, 1);
                 } else {
                     ++rep.ssd_write_ios;
+                    stageWrite(req.time, block);
                     if (occupancy_)
                         occupancy_->recordWrites(req.time, 1);
                 }
@@ -376,10 +531,13 @@ Appliance::processRequestProbed(const trace::Request &req,
                     ++rep.write_hits;
                 if (page != last_hit_page) {
                     last_hit_page = page;
-                    if (is_read)
+                    if (is_read) {
                         ++rep.ssd_read_ios;
-                    else
+                        stageRead(req.time, block);
+                    } else {
                         ++rep.ssd_write_ios;
+                        stageWrite(req.time, block);
+                    }
                 }
                 fsieve_->onHit(access);
                 continue;
@@ -454,6 +612,7 @@ Appliance::finishDay(int day)
     const util::TimeUs day_end =
         (static_cast<util::TimeUs>(day) + 1) * util::kUsPerDay;
     drainAllocations(day_end - 1);
+    flushStorage();
 
     if (!selector_)
         return;
@@ -461,12 +620,22 @@ Appliance::finishDay(int day)
     // Epoch boundary: select, batch-install with cancellation, and
     // attribute the moves to the day they serve.
     const std::vector<BlockId> next_set = selector_->endOfEpoch();
-    const cache::BatchReplaceResult moved = cache_.batchReplace(next_set);
+    const cache::BatchReplaceResult moved =
+        backend_ ? cache_.batchReplace(next_set, &batch_alloc_scratch_,
+                                       &batch_evict_scratch_)
+                 : cache_.batchReplace(next_set);
 
     const size_t serve_day = static_cast<size_t>(day) + 1;
     if (serve_day >= reports.size())
         reports.resize(serve_day + 1);
     reports[serve_day].batch_moved_blocks += moved.allocated;
+    if (backend_) {
+        // The batch's device writes land staggered over the serving
+        // day; attribute them to its first instant.
+        stageBatchMove(static_cast<util::TimeUs>(serve_day) *
+                       util::kUsPerDay);
+        flushStorage();
+    }
 
     if (cfg.charge_batch_to_occupancy && occupancy_) {
         // Ablation: charge the batch as 4 KB writes spread uniformly
@@ -488,6 +657,10 @@ void
 Appliance::finishTrace()
 {
     drainAllocations(UINT64_MAX);
+    if (backend_) {
+        flushStorage();
+        backend_->flush();
+    }
 }
 
 const ssd::DriveOccupancyTracker *
@@ -546,6 +719,44 @@ Appliance::checkInvariants() const
         SIEVE_CHECK(rep.ssd_read_ios <= rep.read_hits);
         SIEVE_CHECK(rep.ssd_write_ios <= rep.write_hits);
         SIEVE_CHECK(rep.ssd_alloc_ios <= rep.allocation_write_blocks);
+        // Storage observation never exceeds what the model charged
+        // that day (staged-but-undrained ops account for the slack).
+        SIEVE_CHECK(rep.storage_read_ios + rep.storage_read_errors <=
+                        rep.ssd_read_ios,
+                    "measured reads exceed model-charged reads");
+        SIEVE_CHECK(rep.storage_write_ios + rep.storage_write_errors <=
+                        rep.ssd_write_ios + rep.ssd_alloc_ios +
+                            rep.batch_moved_blocks,
+                    "measured writes exceed model-charged writes");
+    }
+
+    if (backend_) {
+        backend_->checkInvariants();
+        // Cross-layer audit: every model-charged device I/O is staged
+        // exactly once, so model counts equal the backend's completed
+        // plus failed ops plus whatever is still staged. Reads are
+        // exact; writes carry the batch-move slack (page-coalesced
+        // batch installs emit at most one write per moved block).
+        const DailyReport t = sumReports(reports);
+        const storage::BackendStats &st = backend_->stats();
+        const uint64_t meas_r =
+            st.read_ops + st.read_errors + n_stage_reads_;
+        SIEVE_CHECK(meas_r == t.ssd_read_ios,
+                    "backend observed %llu reads but the model "
+                    "charged %llu",
+                    static_cast<unsigned long long>(meas_r),
+                    static_cast<unsigned long long>(t.ssd_read_ios));
+        const uint64_t meas_w =
+            st.write_ops + st.write_errors + n_stage_writes_;
+        const uint64_t model_w = t.ssd_write_ios + t.ssd_alloc_ios;
+        SIEVE_CHECK(meas_w >= model_w &&
+                        meas_w <= model_w + t.batch_moved_blocks,
+                    "backend observed %llu writes outside the model "
+                    "envelope [%llu, %llu]",
+                    static_cast<unsigned long long>(meas_w),
+                    static_cast<unsigned long long>(model_w),
+                    static_cast<unsigned long long>(
+                        model_w + t.batch_moved_blocks));
     }
 
     if (fsieve_)

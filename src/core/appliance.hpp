@@ -36,6 +36,7 @@
 #include "core/discrete.hpp"
 #include "core/sieve_spec.hpp"
 #include "ssd/occupancy.hpp"
+#include "storage/backend.hpp"
 #include "trace/request.hpp"
 #include "util/flat_index.hpp"
 
@@ -80,6 +81,13 @@ struct ApplianceConfig
      * uses it to pin the virtual engine per appliance.
      */
     std::function<std::unique_ptr<AllocationPolicy>()> allocation;
+    /**
+     * Storage observation engine: every 4 KB I/O unit the analytic
+     * model charges is also drained through this backend (analytic
+     * echo, real O_DIRECT block file, or none). Observation only —
+     * no decision above depends on the backend's answers.
+     */
+    storage::BackendConfig backend;
 };
 
 /** Per-calendar-day accounting (Figures 5, 6, 7). */
@@ -100,6 +108,24 @@ struct DailyReport
     uint64_t ssd_write_ios = 0;
     /** 4 KB SSD I/Os for allocation-writes. */
     uint64_t ssd_alloc_ios = 0;
+
+    /**
+     * Measured device observation (storage::Backend): 4 KB reads and
+     * writes that completed, failures, and summed measured latency,
+     * attributed to the day the model charged the matching I/O. All
+     * zero when the backend is BackendKind::None. The model fields
+     * above never depend on these — backends observe, never decide —
+     * so they are bit-identical across backends by construction.
+     */
+    uint64_t storage_read_ios = 0;
+    uint64_t storage_write_ios = 0;
+    uint64_t storage_read_errors = 0;
+    uint64_t storage_write_errors = 0;
+    uint64_t storage_read_ns = 0;
+    uint64_t storage_write_ns = 0;
+
+    /** Field-wise accumulation (whole-trace totals, shard merges). */
+    void add(const DailyReport &other);
 
     uint64_t misses() const { return accesses - hits; }
     double
@@ -219,6 +245,12 @@ class Appliance
     /** Occupancy tracker (null when track_occupancy is false). */
     const ssd::DriveOccupancyTracker *occupancy() const;
 
+    /** Storage observation backend (null for BackendKind::None). */
+    const storage::Backend *storageBackend() const
+    {
+        return backend_.get();
+    }
+
     /** Policy / selector name. */
     const char *policyName() const;
 
@@ -268,6 +300,28 @@ class Appliance
     bool flatEnginesOnly() const;
     void initOccupancy();
 
+    /**
+     * Storage observation staging: the request path appends one
+     * StorageOp per model-charged 4 KB unit to a fixed-size stage
+     * array and drains it through backend_ in batches, so the backend
+     * sees the same batch-shaped submission the lookup kernel uses.
+     * The stage/flush path allocates nothing (the arrays are members,
+     * the flush's reportFor only re-reads day slots that already
+     * exist), so the batch-level no-alloc regions stay armed across a
+     * drain. All helpers early-return when no backend is configured.
+     */
+    void stageRead(util::TimeUs t, trace::BlockId block);
+    void stageWrite(util::TimeUs t, trace::BlockId block);
+    void stageTrim(util::TimeUs t, trace::BlockId block);
+    void flushStorageReads();
+    void flushStorageWrites();
+    void flushStorageTrims();
+    /** Drain all three stage arrays. */
+    void flushStorage();
+    /** Stage page-coalesced writes and trims for the discrete batch
+     * move captured in the batch scratch vectors, at time `t`. */
+    void stageBatchMove(util::TimeUs t);
+
     ApplianceConfig cfg;
     /** Spec-driven sieve engine (flat build; exactly one of these
      * three allocation mechanisms is active). */
@@ -313,6 +367,21 @@ class Appliance
     int last_finished_day = INT_MIN;
 
     std::vector<DailyReport> reports;
+
+    /** Batch width of the storage observation drain. */
+    static constexpr size_t kStorageStage = 256;
+    /** Observation engine (null skips op emission entirely). */
+    std::unique_ptr<storage::Backend> backend_;
+    storage::StorageOp stage_reads_[kStorageStage];
+    storage::StorageOp stage_writes_[kStorageStage];
+    storage::StorageOp stage_trims_[kStorageStage];
+    uint32_t stage_lat_[kStorageStage];
+    size_t n_stage_reads_ = 0;
+    size_t n_stage_writes_ = 0;
+    size_t n_stage_trims_ = 0;
+    /** batchReplace move capture, reused across epoch boundaries. */
+    std::vector<trace::BlockId> batch_alloc_scratch_;
+    std::vector<trace::BlockId> batch_evict_scratch_;
 };
 
 } // namespace core

@@ -46,6 +46,12 @@
 #include "ssd/occupancy.hpp"
 #include "ssd/ssd_model.hpp"
 
+// storage: pluggable device backends behind the analytic model
+#include "storage/analytic_backend.hpp"
+#include "storage/backend.hpp"
+#include "storage/fault_backend.hpp"
+#include "storage/file_backend.hpp"
+
 // cache: the block-cache substrate
 #include "cache/belady.hpp"
 #include "cache/block_cache.hpp"
@@ -71,5 +77,6 @@
 #include "sim/experiment.hpp"
 #include "sim/per_server.hpp"
 #include "sim/sharded.hpp"
+#include "sim/storage_diff.hpp"
 
 #endif // SIEVESTORE_SIEVESTORE_HPP

@@ -67,20 +67,8 @@ runPerServer(trace::TraceReader &reader, const PerServerConfig &config)
     }
     for (size_t s = 0; s < n; ++s) {
         const auto &days = result.per_server[s];
-        for (size_t d = 0; d < days.size(); ++d) {
-            core::DailyReport &sum = result.combined[d];
-            const core::DailyReport &r = days[d];
-            sum.accesses += r.accesses;
-            sum.read_accesses += r.read_accesses;
-            sum.hits += r.hits;
-            sum.read_hits += r.read_hits;
-            sum.write_hits += r.write_hits;
-            sum.allocation_write_blocks += r.allocation_write_blocks;
-            sum.batch_moved_blocks += r.batch_moved_blocks;
-            sum.ssd_read_ios += r.ssd_read_ios;
-            sum.ssd_write_ios += r.ssd_write_ios;
-            sum.ssd_alloc_ios += r.ssd_alloc_ios;
-        }
+        for (size_t d = 0; d < days.size(); ++d)
+            result.combined[d].add(days[d]);
     }
     return result;
 }

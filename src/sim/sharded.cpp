@@ -16,19 +16,8 @@ core::DailyReport
 ShardedResult::totals() const
 {
     core::DailyReport sum;
-    for (const auto &node : nodes) {
-        const core::DailyReport t = node->totals();
-        sum.accesses += t.accesses;
-        sum.read_accesses += t.read_accesses;
-        sum.hits += t.hits;
-        sum.read_hits += t.read_hits;
-        sum.write_hits += t.write_hits;
-        sum.allocation_write_blocks += t.allocation_write_blocks;
-        sum.batch_moved_blocks += t.batch_moved_blocks;
-        sum.ssd_read_ios += t.ssd_read_ios;
-        sum.ssd_write_ios += t.ssd_write_ios;
-        sum.ssd_alloc_ios += t.ssd_alloc_ios;
-    }
+    for (const auto &node : nodes)
+        sum.add(node->totals());
     return sum;
 }
 

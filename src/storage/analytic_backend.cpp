@@ -1,0 +1,59 @@
+#include "storage/analytic_backend.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sievestore {
+namespace storage {
+
+namespace {
+
+/** Service seconds -> whole nanoseconds, clamped into uint32_t
+ * (4.29 s — far beyond any device service time). */
+uint32_t
+serviceNs(double seconds)
+{
+    if (!(seconds > 0.0))
+        return 0;
+    const double ns = std::llround(seconds * 1e9) < 0
+                          ? 0.0
+                          : static_cast<double>(
+                                std::llround(seconds * 1e9));
+    return ns >= static_cast<double>(UINT32_MAX)
+               ? UINT32_MAX - 1
+               : static_cast<uint32_t>(ns);
+}
+
+} // namespace
+
+AnalyticBackend::AnalyticBackend(const ssd::SsdModel &ssd)
+    : read_ns_(serviceNs(ssd.readService())),
+      write_ns_(serviceNs(ssd.writeService()))
+{
+    SIEVE_CHECK(ssd.read_iops > 0.0 && ssd.write_iops > 0.0,
+                "AnalyticBackend needs positive IOPS ratings");
+}
+
+void
+AnalyticBackend::readBlocks(std::span<const StorageOp> ops,
+                            std::span<uint32_t> lat_ns)
+{
+    for (size_t i = 0; i < ops.size(); ++i) {
+        lat_ns[i] = read_ns_;
+        noteRead(read_ns_);
+    }
+}
+
+void
+AnalyticBackend::writeBlocks(std::span<const StorageOp> ops,
+                             std::span<uint32_t> lat_ns)
+{
+    for (size_t i = 0; i < ops.size(); ++i) {
+        lat_ns[i] = write_ns_;
+        noteWrite(write_ns_);
+    }
+}
+
+} // namespace storage
+} // namespace sievestore

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Model-echo backend: answers every op with the analytic SSD model's
+ * service time.
+ *
+ * Wraps ssd::SsdModel accounting bit-for-bit: a 4 KB read costs
+ * round(1e9 / read_iops) ns, a write round(1e9 / write_iops) ns —
+ * the exact drive-seconds the paper's occupancy math charges,
+ * expressed per op. Deterministic (no clock, no syscalls, no
+ * allocation on the submit path), so replay totals are reproducible
+ * and the measured columns it feeds into DailyReport equal the
+ * model-predicted ones by construction. This is the differential
+ * oracle the FileBackend is compared against.
+ */
+
+#ifndef SIEVESTORE_STORAGE_ANALYTIC_BACKEND_HPP
+#define SIEVESTORE_STORAGE_ANALYTIC_BACKEND_HPP
+
+#include "ssd/ssd_model.hpp"
+#include "storage/backend.hpp"
+
+namespace sievestore {
+namespace storage {
+
+/** Deterministic Backend charging SsdModel service times. */
+class AnalyticBackend final : public Backend
+{
+  public:
+    explicit AnalyticBackend(const ssd::SsdModel &ssd);
+
+    const char *name() const override { return "analytic"; }
+
+    void readBlocks(std::span<const StorageOp> ops,
+                    std::span<uint32_t> lat_ns) override;
+    void writeBlocks(std::span<const StorageOp> ops,
+                     std::span<uint32_t> lat_ns) override;
+
+    /** Model service time for one 4 KB read, in nanoseconds. */
+    uint32_t readServiceNs() const { return read_ns_; }
+    /** Model service time for one 4 KB write, in nanoseconds. */
+    uint32_t writeServiceNs() const { return write_ns_; }
+
+  private:
+    uint32_t read_ns_;
+    uint32_t write_ns_;
+};
+
+} // namespace storage
+} // namespace sievestore
+
+#endif // SIEVESTORE_STORAGE_ANALYTIC_BACKEND_HPP

@@ -1,0 +1,77 @@
+#include "storage/backend.hpp"
+
+#include "storage/analytic_backend.hpp"
+#include "storage/file_backend.hpp"
+#include "util/check.hpp"
+
+namespace sievestore {
+namespace storage {
+
+void
+Backend::trimBlocks(std::span<const StorageOp> ops)
+{
+    stats_.trim_ops += ops.size();
+}
+
+void
+Backend::flush()
+{
+}
+
+void
+Backend::checkInvariants() const
+{
+    uint64_t read_hist = 0, write_hist = 0;
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+        read_hist += stats_.read_latency_log2[b];
+        write_hist += stats_.write_latency_log2[b];
+    }
+    SIEVE_CHECK(read_hist == stats_.read_ops,
+                "read histogram holds %llu ops but read_ops is %llu",
+                static_cast<unsigned long long>(read_hist),
+                static_cast<unsigned long long>(stats_.read_ops));
+    SIEVE_CHECK(write_hist == stats_.write_ops,
+                "write histogram holds %llu ops but write_ops is %llu",
+                static_cast<unsigned long long>(write_hist),
+                static_cast<unsigned long long>(stats_.write_ops));
+}
+
+void
+Backend::noteRead(uint32_t lat_ns)
+{
+    ++stats_.read_ops;
+    stats_.read_ns += lat_ns;
+    ++stats_.read_latency_log2[latencyBucket(lat_ns)];
+}
+
+void
+Backend::noteWrite(uint32_t lat_ns)
+{
+    ++stats_.write_ops;
+    stats_.write_ns += lat_ns;
+    ++stats_.write_latency_log2[latencyBucket(lat_ns)];
+}
+
+std::unique_ptr<Backend>
+makeBackend(const BackendConfig &config, const ssd::SsdModel &ssd,
+            uint64_t cache_blocks)
+{
+    if (config.factory)
+        return config.factory();
+    switch (config.kind) {
+    case BackendKind::None:
+        return nullptr;
+    case BackendKind::Analytic:
+        return std::make_unique<AnalyticBackend>(ssd);
+    case BackendKind::File: {
+        FileBackendConfig file = config.file;
+        if (file.capacity_bytes == 0)
+            file.capacity_bytes = cache_blocks * trace::kBlockBytes;
+        return std::make_unique<FileBackend>(file);
+    }
+    }
+    SIEVE_UNREACHABLE("invalid BackendKind");
+}
+
+} // namespace storage
+} // namespace sievestore

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Real block store: an O_DIRECT-aligned block file behind the cache.
+ *
+ * The store is a flat file of 4 KB slots addressed by a hash of the
+ * op's page id (direct-mapped). Residency correctness lives in
+ * cache::BlockCache — the appliance only ever reads pages it knows
+ * are resident — so slot collisions change which bytes a read
+ * returns, never what the simulation decides (the backend contract:
+ * observation, not policy). What the file path measures is the real
+ * device behavior of the access pattern: alignment, queue depth, and
+ * per-op latency.
+ *
+ * Two submission engines:
+ *
+ *  - worker pool (always built): N threads draining a shared batch
+ *    through pread/pwrite on 4 KB-aligned per-thread buffers, the
+ *    submitting thread participating. workers=0 degrades to a fully
+ *    synchronous loop on the caller — the fallback CI exercises even
+ *    on io_uring-capable hosts (SIEVE_STORAGE_ENGINE=sync).
+ *  - io_uring (when liburing is found at configure time and the
+ *    kernel accepts ring setup): batches are submitted ring_depth at
+ *    a time from the calling thread.
+ *
+ * Setup (file creation, buffer allocation, thread/ring start) is the
+ * only SIEVE_MAY_ALLOC surface; the submit paths are allocation-free
+ * so the appliance's batch-level AllocGuard regions stay armed
+ * across a drain.
+ */
+
+#ifndef SIEVESTORE_STORAGE_FILE_BACKEND_HPP
+#define SIEVESTORE_STORAGE_FILE_BACKEND_HPP
+
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "storage/backend.hpp"
+#include "util/check.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace sievestore {
+namespace storage {
+
+/** O_DIRECT block-file Backend (see file comment). */
+class FileBackend final : public Backend
+{
+  public:
+    /** Opens (or creates) the store and starts the engine.
+     * SIEVE_MAY_ALLOC: all allocation happens here, before any
+     * appliance no-alloc region can reach the backend. */
+    SIEVE_MAY_ALLOC explicit FileBackend(const FileBackendConfig &config);
+    ~FileBackend() override;
+
+    FileBackend(const FileBackend &) = delete;
+    FileBackend &operator=(const FileBackend &) = delete;
+
+    const char *name() const override { return "file"; }
+
+    void readBlocks(std::span<const StorageOp> ops,
+                    std::span<uint32_t> lat_ns) override;
+    void writeBlocks(std::span<const StorageOp> ops,
+                     std::span<uint32_t> lat_ns) override;
+    void flush() override;
+
+    void checkInvariants() const override;
+
+    /** Number of 4 KB slots in the store. */
+    uint64_t slots() const { return slots_; }
+    /** Worker threads serving the pool engine (0 = caller-inline). */
+    size_t workerThreads() const { return threads_.size(); }
+
+  private:
+    /** Dispatch a batch through the active engine, then fold the
+     * per-op results into the stats counters. */
+    void run(std::span<const StorageOp> ops, std::span<uint32_t> lat_ns,
+             bool is_write);
+    /** Worker-pool engine: publish the batch, participate, wait. */
+    void runPool(std::span<const StorageOp> ops,
+                 std::span<uint32_t> lat_ns, bool is_write);
+    /** Claim-and-serve loop shared by workers and the submitter. */
+    void serveClaims(void *buf);
+    /** Worker thread body. */
+    void workerLoop(void *buf);
+    /** One 4 KB op on `buf`; returns latency ns or kFailedOp. */
+    uint32_t doRead(const StorageOp &op, void *buf);
+    uint32_t doWrite(const StorageOp &op, void *buf);
+    /** Byte offset of the op's direct-mapped slot. */
+    uint64_t slotOffset(const StorageOp &op) const;
+
+#ifdef SIEVE_HAVE_LIBURING
+    /** io_uring engine: submit up to ring_depth ops per wave. */
+    void runUring(std::span<const StorageOp> ops,
+                  std::span<uint32_t> lat_ns, bool is_write);
+    bool initUring(unsigned depth);
+    void *uring_ = nullptr; ///< struct io_uring, opaque here
+    unsigned ring_depth_ = 0;
+    char *ring_bufs_ = nullptr; ///< ring_depth 4 KB aligned buffers
+#endif
+
+    int fd_ = -1;
+    uint64_t slots_ = 0;
+    bool use_uring_ = false;
+
+    /** Submitter's own aligned 4 KB buffer (pool + sync engines). */
+    void *submit_buf_ = nullptr;
+
+    // Worker-pool state: one batch is in flight at a time (the
+    // appliance drains synchronously); the submitter publishes it
+    // under mu_ and every participant claims op indices under mu_
+    // (the 4 KB syscall dominates, so the lock is never contended
+    // for long). See sim/sharded_parallel.cpp DayBarrier for the
+    // Mutex/condition_variable_any idiom.
+    util::Mutex mu_;
+    std::condition_variable_any work_cv_;
+    std::condition_variable_any done_cv_;
+    uint64_t batch_seq_ GUARDED_BY(mu_) = 0;
+    const StorageOp *job_ops_ GUARDED_BY(mu_) = nullptr;
+    uint32_t *job_lat_ GUARDED_BY(mu_) = nullptr;
+    size_t job_count_ GUARDED_BY(mu_) = 0;
+    size_t job_next_ GUARDED_BY(mu_) = 0;
+    size_t job_done_ GUARDED_BY(mu_) = 0;
+    bool job_write_ GUARDED_BY(mu_) = false;
+    bool stopping_ GUARDED_BY(mu_) = false;
+
+    std::vector<std::thread> threads_;
+    std::vector<void *> worker_bufs_;
+};
+
+} // namespace storage
+} // namespace sievestore
+
+#endif // SIEVESTORE_STORAGE_FILE_BACKEND_HPP
