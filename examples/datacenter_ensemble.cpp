@@ -25,6 +25,7 @@
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sharded.hpp"
+#include "sim/storage_report.hpp"
 #include "ssd/network.hpp"
 #include "stats/table.hpp"
 #include "trace/synthetic.hpp"
@@ -117,16 +118,24 @@ main(int argc, char **argv)
         sim::runTrace(gen, *app);
 
         stats::Table td({"Day", "Accesses", "Captured", "Alloc-writes",
+                         "Dev I/Os", "Lat meas/pred",
                          "Sieve metastate"});
         for (size_t d = 0; d < app->daily().size(); ++d) {
             const auto &day = app->daily()[d];
             if (day.accesses == 0)
                 continue;
+            // Measured vs model-predicted device latency: under the
+            // default AnalyticBackend the ratio is exactly 1.000 —
+            // the observation channel echoing the model proves the
+            // plumbing; a FileBackend run makes this column real.
+            const auto lat = sim::storageLatencySummary(day, ac.ssd);
             td.row()
                 .cell("day " + std::to_string(d + 1))
                 .cell(day.accesses)
                 .cellPercent(day.hitRatio())
                 .cell(day.allocation_write_blocks)
+                .cell(lat.measured_ios)
+                .cell(sim::storageRatioCell(lat))
                 .cell(util::formatBytes(app->metastateBytes()));
         }
         td.print(std::cout);
@@ -164,21 +173,30 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - start;
 
         stats::Table ts({"Node", "Accesses", "Captured",
-                         "Alloc-writes"});
+                         "Alloc-writes", "Dev I/Os",
+                         "Lat meas/pred"});
         for (size_t s = 0; s < sharded.nodes.size(); ++s) {
             const auto nt = sharded.nodes[s]->totals();
+            const auto lat =
+                sim::storageLatencySummary(nt, scfg.node.ssd);
             ts.row()
                 .cell("node " + std::to_string(s))
                 .cell(nt.accesses)
                 .cellPercent(nt.hitRatio())
-                .cell(nt.allocation_write_blocks);
+                .cell(nt.allocation_write_blocks)
+                .cell(lat.measured_ios)
+                .cell(sim::storageRatioCell(lat));
         }
         const auto st = sharded.totals();
+        const auto slat = sim::storageLatencySummary(
+            st, scfg.node.ssd);
         ts.row()
             .cell("total")
             .cell(st.accesses)
             .cellPercent(st.hitRatio())
-            .cell(st.allocation_write_blocks);
+            .cell(st.allocation_write_blocks)
+            .cell(slat.measured_ios)
+            .cell(sim::storageRatioCell(slat));
         ts.print(std::cout);
         std::printf("replayed in %.2f s (load imbalance %.2f); "
                     "per-node reports are bit-identical to a serial "

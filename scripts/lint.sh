@@ -122,6 +122,16 @@ else
     FAILED=1
 fi
 
+# ---- 6. sieve-flow taint proof ------------------------------------
+# The observe-never-decide storage contract: measured/nondeterministic
+# data must never reach a sieve/cache/eviction/model-report sink.
+step "sieve_analyze.py --flow"
+if python3 scripts/sieve_analyze.py --flow; then
+    :
+else
+    FAILED=1
+fi
+
 # ---- summary ------------------------------------------------------
 if [[ $FAILED -ne 0 ]]; then
     echo "lint: FAILED"

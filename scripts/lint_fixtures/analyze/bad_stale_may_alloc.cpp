@@ -1,0 +1,29 @@
+/**
+ * sieve-analyze fixture: SIEVE_MAY_ALLOC on a function from which no
+ * allocation is reachable is stale and must be reported — the
+ * annotation is a reviewed exemption, and a stale one hides real
+ * allocations added later. The second function allocates for real
+ * and must stay clean.
+ */
+
+#include <cstdint>
+#include <vector>
+
+struct Pool {
+    int count = 0;
+    std::vector<int> items;
+
+    // analyze-expect: stale-may-alloc
+    SIEVE_MAY_ALLOC void
+    reserveNothing()
+    {
+        count += 1;
+    }
+
+    /** Genuine allocator: the annotation is earned. */
+    SIEVE_MAY_ALLOC void
+    grow()
+    {
+        items.push_back(count);
+    }
+};

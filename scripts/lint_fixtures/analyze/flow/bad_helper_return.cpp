@@ -1,0 +1,24 @@
+/**
+ * sieve-flow fixture: measured data returned through an UNANNOTATED
+ * helper must stay tainted — the violation is two calls away from
+ * the source and must be reported with the full source -> helper ->
+ * sink path.
+ */
+
+struct Probe {
+    /** Pretend device read (the fixture's measured source). */
+    SIEVE_TAINT_SOURCE unsigned long measure() { return 42; }
+
+    /** Plain pass-through: no annotation, taint must survive it. */
+    unsigned long helper() { return measure(); }
+
+    /** Decision surface. */
+    SIEVE_TAINT_SINK void admit(unsigned long key);
+
+    void
+    bad()
+    {
+        unsigned long k = helper();
+        admit(k); // analyze-expect: taint-flow
+    }
+};

@@ -1,0 +1,24 @@
+/**
+ * sieve-flow fixture: taint parked in an unannotated member field by
+ * one method must be picked up by a later read in a DIFFERENT method
+ * — the interprocedural store/load channel of the field-taint map.
+ */
+
+struct Gauge {
+    /** Unannotated carrier: taint flows through it silently. */
+    unsigned long last_ns = 0;
+
+    /** Measured source (declaration only; registry-resolved). */
+    SIEVE_TAINT_SOURCE unsigned long sample();
+
+    /** Decision surface. */
+    SIEVE_TAINT_SINK void decide(unsigned long v);
+
+    void observe() { last_ns = sample(); }
+
+    void
+    act()
+    {
+        decide(last_ns); // analyze-expect: taint-flow
+    }
+};

@@ -1,0 +1,20 @@
+/**
+ * sieve-flow fixture: a built-in nondeterminism source (time) passed
+ * through a forwarding helper's PARAMETER into a sink argument — the
+ * param_sinks half of the function summary.
+ */
+
+struct Admitter {
+    /** Decision surface. */
+    SIEVE_TAINT_SINK void insert(long key);
+
+    /** Unannotated forwarder: its summary records that param 0
+     * reaches a sink, so tainted call sites are violations. */
+    void route(long v) { insert(v); }
+
+    void
+    bad()
+    {
+        route(time(nullptr)); // analyze-expect: taint-flow
+    }
+};

@@ -1,0 +1,27 @@
+/**
+ * sieve-flow fixture: a SIEVE_FLOW_SANITIZE boundary absorbs taint —
+ * the sink call below it must NOT be reported (no analyze-expect
+ * marker in this file), and the boundary must appear in --report.
+ */
+
+struct Telemetry {
+    /** Measured source. */
+    SIEVE_TAINT_SOURCE unsigned long read_ns();
+
+    /** Report formatter: the result feeds a printout column only,
+     * never a decision — the audited laundering point. */
+    SIEVE_FLOW_SANITIZE unsigned long format(unsigned long v)
+    {
+        return v;
+    }
+
+    /** Decision surface. */
+    SIEVE_TAINT_SINK void admit(unsigned long key);
+
+    void
+    ok()
+    {
+        unsigned long cooked = format(read_ns());
+        admit(cooked); // clean: sanitized above, no finding
+    }
+};

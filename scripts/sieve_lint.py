@@ -122,6 +122,48 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+def writeSarif(out_path, tool_name, rules, findings):
+    """Minimal SARIF 2.1.0 log (shared with sieve_analyze.py), the
+    format github/codeql-action/upload-sarif ingests so findings
+    annotate PRs inline. `findings` is (path, line, rule, message)
+    tuples; paths are repo-relative and line numbers 1-based."""
+    import json
+    results = []
+    for (path, line, rule, message) in findings:
+        results.append({
+            "ruleId": rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": path.replace(os.sep, "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(1, int(line))},
+                },
+            }],
+        })
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri":
+                        "https://github.com/sievestore/sievestore",
+                    "rules": [{"id": r} for r in rules],
+                },
+            },
+            "results": results,
+        }],
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(log, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
 class SourceFile:
     """One parsed C++ file: raw lines, directives, stripped text."""
 
@@ -831,6 +873,8 @@ def main():
                         choices=("text", "clang", "auto"),
                         default="text",
                         help="mem-charge resolution backend")
+    parser.add_argument("--sarif", default=None, metavar="OUT",
+                        help="also write findings as SARIF 2.1.0")
     parser.add_argument("--self-test", action="store_true",
                         help="run against scripts/lint_fixtures/")
     parser.add_argument("paths", nargs="*",
@@ -852,6 +896,10 @@ def main():
                        check_missing)
     if findings is None:
         return 1
+    if opts.sarif:
+        writeSarif(opts.sarif, "sieve-lint", RULES,
+                   [(f.path, f.line, f.rule, f.message)
+                    for f in findings])
     for f in sorted(findings, key=lambda f: (f.path, f.line)):
         print(f)
     if findings:

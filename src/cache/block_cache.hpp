@@ -37,6 +37,7 @@
 #include "cache/replacement.hpp"
 #include "trace/block.hpp"
 #include "util/flat_index.hpp"
+#include "util/flow_annotations.hpp"
 #include "util/random.hpp"
 
 namespace sievestore {
@@ -112,9 +113,11 @@ class BlockCache
     /**
      * Access a block: if resident, notifies the replacement policy (LRU
      * promotion) and returns true; otherwise returns false. One hash
-     * probe in flat mode.
+     * probe in flat mode. Taint sink: cache mutation entry point —
+     * residency state must never depend on measured data (this and
+     * every mutator below).
      */
-    bool access(trace::BlockId block);
+    SIEVE_TAINT_SINK bool access(trace::BlockId block);
 
     /**
      * Batched access: `hit[i]` = access(blocks[i]), with all probes
@@ -124,8 +127,8 @@ class BlockCache
      * pointers stay valid — duplicates included). Custom engines fall
      * back to the scalar loop.
      */
-    void touchBatch(std::span<const trace::BlockId> blocks,
-                    std::span<bool> hit);
+    SIEVE_TAINT_SINK void touchBatch(std::span<const trace::BlockId> blocks,
+                                     std::span<bool> hit);
 
     /**
      * Probe-gather for the appliance's batched kernel: `st[i]` points
@@ -134,19 +137,20 @@ class BlockCache
      * follow the FlatIndex invalidation rule: consume them before any
      * insert/erase on this cache.
      */
-    void probeBatch(std::span<const trace::BlockId> blocks,
-                    std::span<PolicyState *> st);
+    SIEVE_TAINT_SINK void probeBatch(std::span<const trace::BlockId> blocks,
+                                     std::span<PolicyState *> st);
 
     /** Apply the resident-hit policy transition to a gathered state
      *  (the mutate phase of a probe-gathered hit). */
-    void touchProbed(PolicyState &st);
+    SIEVE_TAINT_SINK void touchProbed(PolicyState &st);
 
     /**
      * Make a block resident, evicting a victim if at capacity.
      * @return the evicted block, if any
      * @pre the block is not already resident
      */
-    std::optional<trace::BlockId> insert(trace::BlockId block);
+    SIEVE_TAINT_SINK std::optional<trace::BlockId>
+    insert(trace::BlockId block);
 
     /** Remove a block. @retval true if it was resident. */
     bool erase(trace::BlockId block);
@@ -163,7 +167,7 @@ class BlockCache
      * (in eviction order — they become trims). Passing null skips the
      * capture; the accounting result is identical either way.
      */
-    BatchReplaceResult
+    SIEVE_TAINT_SINK BatchReplaceResult
     batchReplace(const std::vector<trace::BlockId> &new_set,
                  std::vector<trace::BlockId> *allocated_out = nullptr,
                  std::vector<trace::BlockId> *evicted_out = nullptr);

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "trace/block.hpp"
+#include "util/flow_annotations.hpp"
 #include "util/random.hpp"
 
 namespace sievestore {
@@ -70,12 +71,14 @@ class ReplacementPolicy
   public:
     virtual ~ReplacementPolicy() = default;
 
+    // Taint sinks: victim selection state must never see measured
+    // data (the observe-never-decide storage contract).
     /** A block became resident. */
-    virtual void onInsert(trace::BlockId block) = 0;
+    virtual SIEVE_TAINT_SINK void onInsert(trace::BlockId block) = 0;
     /** A resident block was accessed (hit). */
-    virtual void onAccess(trace::BlockId block) = 0;
+    virtual SIEVE_TAINT_SINK void onAccess(trace::BlockId block) = 0;
     /** A resident block was removed (eviction or batch replace). */
-    virtual void onErase(trace::BlockId block) = 0;
+    virtual SIEVE_TAINT_SINK void onErase(trace::BlockId block) = 0;
     /** Choose the next victim. @pre at least one resident block. */
     virtual trace::BlockId victim() = 0;
     /** Human-readable policy name. */

@@ -39,6 +39,7 @@
 #include "storage/backend.hpp"
 #include "trace/request.hpp"
 #include "util/flat_index.hpp"
+#include "util/flow_annotations.hpp"
 
 namespace sievestore {
 namespace core {
@@ -93,21 +94,24 @@ struct ApplianceConfig
 /** Per-calendar-day accounting (Figures 5, 6, 7). */
 struct DailyReport
 {
-    uint64_t accesses = 0;
-    uint64_t read_accesses = 0;
-    uint64_t hits = 0;
-    uint64_t read_hits = 0;
-    uint64_t write_hits = 0;
+    // Model-side fields are sieve-flow taint sinks: they are the
+    // paper's oracle accounting and must stay bit-identical across
+    // storage backends, so measured data must never reach them.
+    SIEVE_TAINT_SINK uint64_t accesses = 0;
+    SIEVE_TAINT_SINK uint64_t read_accesses = 0;
+    SIEVE_TAINT_SINK uint64_t hits = 0;
+    SIEVE_TAINT_SINK uint64_t read_hits = 0;
+    SIEVE_TAINT_SINK uint64_t write_hits = 0;
     /** Allocation-writes in 512-byte blocks (continuous policies). */
-    uint64_t allocation_write_blocks = 0;
+    SIEVE_TAINT_SINK uint64_t allocation_write_blocks = 0;
     /** Blocks moved by a discrete epoch batch, attributed to the day
      * the blocks serve (staggered during that day). */
-    uint64_t batch_moved_blocks = 0;
+    SIEVE_TAINT_SINK uint64_t batch_moved_blocks = 0;
     /** 4 KB SSD I/Os for hit service. */
-    uint64_t ssd_read_ios = 0;
-    uint64_t ssd_write_ios = 0;
+    SIEVE_TAINT_SINK uint64_t ssd_read_ios = 0;
+    SIEVE_TAINT_SINK uint64_t ssd_write_ios = 0;
     /** 4 KB SSD I/Os for allocation-writes. */
-    uint64_t ssd_alloc_ios = 0;
+    SIEVE_TAINT_SINK uint64_t ssd_alloc_ios = 0;
 
     /**
      * Measured device observation (storage::Backend): 4 KB reads and
@@ -117,12 +121,15 @@ struct DailyReport
      * above never depend on these — backends observe, never decide —
      * so they are bit-identical across backends by construction.
      */
-    uint64_t storage_read_ios = 0;
-    uint64_t storage_write_ios = 0;
-    uint64_t storage_read_errors = 0;
-    uint64_t storage_write_errors = 0;
-    uint64_t storage_read_ns = 0;
-    uint64_t storage_write_ns = 0;
+    // The storage_* columns are the sanctioned landing zone for
+    // measured data: SIEVE_TAINT_SOURCE on a field makes every write
+    // of tainted data into it an explicit, report-listed flow.
+    SIEVE_TAINT_SOURCE uint64_t storage_read_ios = 0;
+    SIEVE_TAINT_SOURCE uint64_t storage_write_ios = 0;
+    SIEVE_TAINT_SOURCE uint64_t storage_read_errors = 0;
+    SIEVE_TAINT_SOURCE uint64_t storage_write_errors = 0;
+    SIEVE_TAINT_SOURCE uint64_t storage_read_ns = 0;
+    SIEVE_TAINT_SOURCE uint64_t storage_write_ns = 0;
 
     /** Field-wise accumulation (whole-trace totals, shard merges). */
     void add(const DailyReport &other);
@@ -375,7 +382,9 @@ class Appliance
     storage::StorageOp stage_reads_[kStorageStage];
     storage::StorageOp stage_writes_[kStorageStage];
     storage::StorageOp stage_trims_[kStorageStage];
-    uint32_t stage_lat_[kStorageStage];
+    /** Per-batch measured latencies filled by the backend's
+     * readBlocks/writeBlocks out-param (sieve-flow taint source). */
+    SIEVE_TAINT_SOURCE uint32_t stage_lat_[kStorageStage];
     size_t n_stage_reads_ = 0;
     size_t n_stage_writes_ = 0;
     size_t n_stage_trims_ = 0;

@@ -31,6 +31,7 @@
 #include "core/alloc_policy.hpp"
 #include "core/rand_sieve.hpp"
 #include "core/sievestore_c.hpp"
+#include "util/flow_annotations.hpp"
 #include "util/logging.hpp"
 
 namespace sievestore {
@@ -87,8 +88,9 @@ class FlatSieve
   public:
     explicit FlatSieve(const SievePolicySpec &spec);
 
-    /** Consulted on every miss; see AllocationPolicy::onMiss. */
-    AllocDecision
+    /** Consulted on every miss; see AllocationPolicy::onMiss.
+     * Taint sink: the admit decision must never see measured data. */
+    SIEVE_TAINT_SINK AllocDecision
     onMiss(const trace::BlockAccess &access)
     {
         switch (kind_) {
@@ -114,8 +116,9 @@ class FlatSieve
      * phase of the appliance's batched kernel). Only SieveStore-C has
      * table state worth pulling toward L1; the other kinds decide from
      * registers and ignore the hint. Pure — decisions are unchanged.
+     * Taint sink like onMiss: it touches sieve metastate.
      */
-    void
+    SIEVE_TAINT_SINK void
     prefetchMiss(trace::BlockId block) const
     {
         if (kind_ == SieveKind::SieveStoreC)
@@ -128,7 +131,10 @@ class FlatSieve
      * so this is a no-op kept for interface symmetry with
      * AllocationPolicy.
      */
-    void onHit(const trace::BlockAccess &access) { (void)access; }
+    SIEVE_TAINT_SINK void onHit(const trace::BlockAccess &access)
+    {
+        (void)access;
+    }
 
     /** Matches the reference policy's name() for every kind. */
     const char *name() const;

@@ -1,0 +1,42 @@
+#include "sim/storage_report.hpp"
+
+#include <cstdio>
+
+#include "storage/analytic_backend.hpp"
+
+namespace sievestore {
+namespace sim {
+
+StorageLatencySummary
+storageLatencySummary(const core::DailyReport &rep,
+                      const ssd::SsdModel &ssd)
+{
+    StorageLatencySummary out;
+    out.measured_ios = rep.storage_read_ios + rep.storage_write_ios;
+    out.errors =
+        rep.storage_read_errors + rep.storage_write_errors;
+    out.measured_ns = rep.storage_read_ns + rep.storage_write_ns;
+    out.predicted_ns =
+        rep.storage_read_ios *
+            storage::modelServiceNs(ssd.readService()) +
+        rep.storage_write_ios *
+            storage::modelServiceNs(ssd.writeService());
+    out.ratio = out.predicted_ns
+                    ? static_cast<double>(out.measured_ns) /
+                          static_cast<double>(out.predicted_ns)
+                    : 0.0;
+    return out;
+}
+
+std::string
+storageRatioCell(const StorageLatencySummary &s)
+{
+    if (s.measured_ios == 0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", s.ratio);
+    return buf;
+}
+
+} // namespace sim
+} // namespace sievestore

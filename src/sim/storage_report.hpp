@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Measured-vs-predicted storage latency summary for report tables.
+ *
+ * The DailyReport storage_* columns hold what the configured backend
+ * actually measured; the SSD model says what those same I/Os should
+ * have cost. This helper folds both into one row-sized summary so
+ * report-table printers (the examples' per-day and per-node tables)
+ * can show the divergence next to the model columns. Under the AnalyticBackend
+ * measured == predicted to the nanosecond by construction — the
+ * conversion is the same storage::modelServiceNs the backend answers
+ * with — so a ratio other than 1.000 there is a bug, while under the
+ * FileBackend the ratio IS the model-validation signal.
+ */
+
+#ifndef SIEVESTORE_SIM_STORAGE_REPORT_HPP
+#define SIEVESTORE_SIM_STORAGE_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/appliance.hpp"
+#include "ssd/ssd_model.hpp"
+#include "util/flow_annotations.hpp"
+
+namespace sievestore {
+namespace sim {
+
+/** Measured-vs-predicted latency rollup of one DailyReport. */
+struct StorageLatencySummary
+{
+    /** Completed 4 KB device I/Os (reads + writes). */
+    uint64_t measured_ios = 0;
+    /** Failed device I/Os (counted, never charged latency). */
+    uint64_t errors = 0;
+    /** Summed measured latency, ns (storage_read_ns + write_ns). */
+    uint64_t measured_ns = 0;
+    /** Model-predicted latency for the same I/O mix, ns. */
+    uint64_t predicted_ns = 0;
+    /** measured_ns / predicted_ns; 0 when nothing was predicted. */
+    double ratio = 0.0;
+};
+
+/**
+ * Fold one report's measured storage columns against the model.
+ *
+ * SIEVE_FLOW_SANITIZE: this is the audited measured->report
+ * boundary — the summary feeds table cells and log lines only, and
+ * nothing downstream of a table printer can reach a sieve, cache,
+ * eviction, or model-accounting decision, so absorbing the
+ * storage_* taint here is safe by construction.
+ */
+SIEVE_FLOW_SANITIZE StorageLatencySummary
+storageLatencySummary(const core::DailyReport &rep,
+                      const ssd::SsdModel &ssd);
+
+/** `measured/predicted` cell text, e.g. "1.000" or "-" when the
+ * report carries no completed device I/O. */
+std::string storageRatioCell(const StorageLatencySummary &s);
+
+} // namespace sim
+} // namespace sievestore
+
+#endif // SIEVESTORE_SIM_STORAGE_REPORT_HPP

@@ -7,12 +7,8 @@
 namespace sievestore {
 namespace storage {
 
-namespace {
-
-/** Service seconds -> whole nanoseconds, clamped into uint32_t
- * (4.29 s — far beyond any device service time). */
 uint32_t
-serviceNs(double seconds)
+modelServiceNs(double seconds)
 {
     if (!(seconds > 0.0))
         return 0;
@@ -25,11 +21,9 @@ serviceNs(double seconds)
                : static_cast<uint32_t>(ns);
 }
 
-} // namespace
-
 AnalyticBackend::AnalyticBackend(const ssd::SsdModel &ssd)
-    : read_ns_(serviceNs(ssd.readService())),
-      write_ns_(serviceNs(ssd.writeService()))
+    : read_ns_(modelServiceNs(ssd.readService())),
+      write_ns_(modelServiceNs(ssd.writeService()))
 {
     SIEVE_CHECK(ssd.read_iops > 0.0 && ssd.write_iops > 0.0,
                 "AnalyticBackend needs positive IOPS ratings");

@@ -22,6 +22,15 @@
 namespace sievestore {
 namespace storage {
 
+/**
+ * Service seconds -> whole nanoseconds, clamped into uint32_t
+ * (4.29 s — far beyond any device service time). The one conversion
+ * shared by the AnalyticBackend's answers and the report layer's
+ * predicted-latency columns, so "measured == predicted under the
+ * analytic backend" holds to the nanosecond by construction.
+ */
+uint32_t modelServiceNs(double seconds);
+
 /** Deterministic Backend charging SsdModel service times. */
 class AnalyticBackend final : public Backend
 {

@@ -32,6 +32,7 @@
 
 #include "ssd/ssd_model.hpp"
 #include "trace/block.hpp"
+#include "util/flow_annotations.hpp"
 #include "util/sim_time.hpp"
 
 namespace sievestore {
@@ -78,15 +79,22 @@ struct BackendStats
     bool direct_io = false;
     /** True when the io_uring submission path is active. */
     bool io_uring = false;
-    uint64_t read_ops = 0;   ///< 4 KB reads completed OK
-    uint64_t write_ops = 0;  ///< 4 KB writes completed OK
-    uint64_t trim_ops = 0;   ///< eviction trims observed
-    uint64_t read_errors = 0;
-    uint64_t write_errors = 0;
-    uint64_t read_ns = 0;  ///< total measured read latency
-    uint64_t write_ns = 0; ///< total measured write latency
-    std::array<uint64_t, kLatencyBuckets> read_latency_log2{};
-    std::array<uint64_t, kLatencyBuckets> write_latency_log2{};
+    // Every counter below is device-observed (sieve-flow taint
+    // source): reads of these fields carry measured taint and may
+    // reach reports only, never a sieve/cache/eviction decision.
+    SIEVE_TAINT_SOURCE uint64_t read_ops = 0;  ///< 4 KB reads OK
+    SIEVE_TAINT_SOURCE uint64_t write_ops = 0; ///< 4 KB writes OK
+    SIEVE_TAINT_SOURCE uint64_t trim_ops = 0;  ///< eviction trims
+    SIEVE_TAINT_SOURCE uint64_t read_errors = 0;
+    SIEVE_TAINT_SOURCE uint64_t write_errors = 0;
+    /** Total measured read latency, ns. */
+    SIEVE_TAINT_SOURCE uint64_t read_ns = 0;
+    /** Total measured write latency, ns. */
+    SIEVE_TAINT_SOURCE uint64_t write_ns = 0;
+    SIEVE_TAINT_SOURCE std::array<uint64_t, kLatencyBuckets>
+        read_latency_log2{};
+    SIEVE_TAINT_SOURCE std::array<uint64_t, kLatencyBuckets>
+        write_latency_log2{};
 };
 
 /**
@@ -104,13 +112,17 @@ class Backend
     /** Engine name ("analytic", "file", ...). */
     virtual const char *name() const = 0;
 
-    /** Read a batch of 4 KB units. */
-    virtual void readBlocks(std::span<const StorageOp> ops,
-                            std::span<uint32_t> lat_ns) = 0;
+    /** Read a batch of 4 KB units. Taint source: the filled
+     * `lat_ns` span is measured device data. */
+    virtual SIEVE_TAINT_SOURCE void
+    readBlocks(std::span<const StorageOp> ops,
+               std::span<uint32_t> lat_ns) = 0;
 
-    /** Write a batch of 4 KB units. */
-    virtual void writeBlocks(std::span<const StorageOp> ops,
-                             std::span<uint32_t> lat_ns) = 0;
+    /** Write a batch of 4 KB units. Taint source: the filled
+     * `lat_ns` span is measured device data. */
+    virtual SIEVE_TAINT_SOURCE void
+    writeBlocks(std::span<const StorageOp> ops,
+                std::span<uint32_t> lat_ns) = 0;
 
     /** Note evicted 4 KB units (default: count only). */
     virtual void trimBlocks(std::span<const StorageOp> ops);
@@ -118,7 +130,11 @@ class Backend
     /** Flush any device-side buffering (default: no-op). */
     virtual void flush();
 
-    const BackendStats &stats() const { return stats_; }
+    /** Taint source: measured counters and histograms. */
+    SIEVE_TAINT_SOURCE const BackendStats &stats() const
+    {
+        return stats_;
+    }
 
     /** Audit internal consistency; aborts on violation. */
     virtual void checkInvariants() const;

@@ -13,6 +13,7 @@
 #include <liburing.h>
 #endif
 
+#include "util/flow_annotations.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
 
@@ -28,7 +29,7 @@ namespace {
  * sieve/cache decision, so seeded replay reproducibility of every
  * model-side field is unaffected.
  */
-uint64_t
+SIEVE_TAINT_SOURCE uint64_t
 nowNs()
 {
     // Measured-latency observation column, never a policy input:

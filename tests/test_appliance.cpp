@@ -258,4 +258,65 @@ TEST(Appliance, LruEvictionUnderPressure)
     EXPECT_EQ(app.totals().hits, 0u);
 }
 
+TEST(DailyReport, AddSumsMeasuredStorageColumns)
+{
+    // The six measured storage_* columns accumulate exactly like the
+    // model columns — distinct primes so a swapped or dropped field
+    // cannot cancel out.
+    DailyReport a;
+    a.storage_read_ios = 2;
+    a.storage_write_ios = 3;
+    a.storage_read_errors = 5;
+    a.storage_write_errors = 7;
+    a.storage_read_ns = 11;
+    a.storage_write_ns = 13;
+    DailyReport b;
+    b.storage_read_ios = 17;
+    b.storage_write_ios = 19;
+    b.storage_read_errors = 23;
+    b.storage_write_errors = 29;
+    b.storage_read_ns = 31;
+    b.storage_write_ns = 37;
+    a.add(b);
+    EXPECT_EQ(a.storage_read_ios, 19u);
+    EXPECT_EQ(a.storage_write_ios, 22u);
+    EXPECT_EQ(a.storage_read_errors, 28u);
+    EXPECT_EQ(a.storage_write_errors, 36u);
+    EXPECT_EQ(a.storage_read_ns, 42u);
+    EXPECT_EQ(a.storage_write_ns, 50u);
+}
+
+TEST(Appliance, StorageColumnsSumAcrossDayBarriers)
+{
+    // A trace spanning two days: totals() (a DailyReport::add fold)
+    // must equal the field-wise sum of the per-day reports — every
+    // measured I/O attributed to exactly one day, none lost or
+    // double-counted at the barrier.
+    Appliance app(smallConfig(), std::make_unique<AodPolicy>());
+    app.processRequest(makeRequest(makeTime(0, 1), 0, 8, Op::Read));
+    app.processRequest(makeRequest(makeTime(0, 2), 64, 8, Op::Write));
+    app.processRequest(makeRequest(makeTime(1, 1), 0, 8, Op::Read));
+    app.processRequest(makeRequest(makeTime(1, 2), 128, 8, Op::Read));
+    app.finishTrace();
+    ASSERT_GE(app.daily().size(), 2u);
+    DailyReport sum;
+    size_t active_days = 0;
+    for (const auto &day : app.daily()) {
+        if (day.storage_read_ios + day.storage_write_ios > 0)
+            ++active_days;
+        sum.add(day);
+    }
+    EXPECT_GE(active_days, 2u);
+    const DailyReport t = app.totals();
+    EXPECT_EQ(sum.storage_read_ios, t.storage_read_ios);
+    EXPECT_EQ(sum.storage_write_ios, t.storage_write_ios);
+    EXPECT_EQ(sum.storage_read_errors, t.storage_read_errors);
+    EXPECT_EQ(sum.storage_write_errors, t.storage_write_errors);
+    EXPECT_EQ(sum.storage_read_ns, t.storage_read_ns);
+    EXPECT_EQ(sum.storage_write_ns, t.storage_write_ns);
+    // The default AnalyticBackend really drained the charged I/Os.
+    EXPECT_EQ(t.storage_read_ios, t.ssd_read_ios);
+    EXPECT_GT(t.storage_write_ios, 0u);
+}
+
 } // namespace

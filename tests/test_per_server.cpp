@@ -140,4 +140,46 @@ TEST(ElasticCapacities, TopPercentOfDailyUnique)
     EXPECT_EQ(caps[1], 1u); // ceil(0.01 * 80)
 }
 
+TEST(PerServer, CombinedSumsMeasuredStorageColumns)
+{
+    // Two servers, two days: combined[d] is DailyReport::add over the
+    // per-server day-d reports, and the measured storage columns must
+    // sum exactly — no loss or double-count across servers or days.
+    std::vector<Request> reqs = {
+        makeRequest(makeTime(0, 1), 0, 0, 8),
+        makeRequest(makeTime(0, 2), 1, 0, 8),
+        makeRequest(makeTime(1, 1), 0, 64, 8),
+        makeRequest(makeTime(1, 2), 1, 64, 8),
+    };
+    VectorTrace trace(std::move(reqs));
+    const auto result = runPerServer(trace, config({64, 64}));
+    ASSERT_EQ(result.per_server.size(), 2u);
+    ASSERT_GE(result.combined.size(), 2u);
+    uint64_t seen_ios = 0;
+    for (size_t d = 0; d < result.combined.size(); ++d) {
+        uint64_t read_ios = 0, write_ios = 0, read_errs = 0,
+                 write_errs = 0, read_ns = 0, write_ns = 0;
+        for (const auto &days : result.per_server) {
+            if (d >= days.size())
+                continue;
+            read_ios += days[d].storage_read_ios;
+            write_ios += days[d].storage_write_ios;
+            read_errs += days[d].storage_read_errors;
+            write_errs += days[d].storage_write_errors;
+            read_ns += days[d].storage_read_ns;
+            write_ns += days[d].storage_write_ns;
+        }
+        EXPECT_EQ(result.combined[d].storage_read_ios, read_ios);
+        EXPECT_EQ(result.combined[d].storage_write_ios, write_ios);
+        EXPECT_EQ(result.combined[d].storage_read_errors, read_errs);
+        EXPECT_EQ(result.combined[d].storage_write_errors,
+                  write_errs);
+        EXPECT_EQ(result.combined[d].storage_read_ns, read_ns);
+        EXPECT_EQ(result.combined[d].storage_write_ns, write_ns);
+        seen_ios += read_ios + write_ios;
+    }
+    // The default AnalyticBackend was live on every server.
+    EXPECT_GT(seen_ios, 0u);
+}
+
 } // namespace

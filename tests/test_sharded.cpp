@@ -11,6 +11,7 @@
 
 #include "sim/driver.hpp"
 #include "sim/sharded.hpp"
+#include "storage/analytic_backend.hpp"
 #include "trace/synthetic.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
@@ -216,6 +217,56 @@ TEST(Sharded, RejectsBadConfig)
     auto oracle = config(2);
     oracle.policy.kind = PolicyKind::Ideal;
     EXPECT_THROW(runSharded(trace, oracle), FatalError);
+}
+
+TEST(Sharded, MeasuredStorageColumnsSumExactly)
+{
+    // Two-day trace across 3 nodes: the ensemble totals() fold must
+    // equal the field-wise sum of per-node totals for every measured
+    // storage column, and under the default AnalyticBackend each
+    // node's measured latency is exactly ios * model service time.
+    std::vector<Request> reqs = {
+        makeRequest(makeTime(0, 1), 0, 64),
+        makeRequest(makeTime(0, 2), 64, 32, Op::Write),
+        makeRequest(makeTime(1, 1), 0, 64),
+        makeRequest(makeTime(1, 2), 128, 32),
+    };
+    VectorTrace trace(std::move(reqs));
+    const auto cfg = config(3);
+    const auto result = runSharded(trace, cfg);
+    const auto total = result.totals();
+    EXPECT_GT(total.storage_read_ios + total.storage_write_ios, 0u);
+    uint64_t read_ios = 0, write_ios = 0, read_errs = 0,
+             write_errs = 0, read_ns = 0, write_ns = 0;
+    const uint32_t model_read_ns =
+        storage::modelServiceNs(cfg.node.ssd.readService());
+    const uint32_t model_write_ns =
+        storage::modelServiceNs(cfg.node.ssd.writeService());
+    for (const auto &node : result.nodes) {
+        const auto t = node->totals();
+        read_ios += t.storage_read_ios;
+        write_ios += t.storage_write_ios;
+        read_errs += t.storage_read_errors;
+        write_errs += t.storage_write_errors;
+        read_ns += t.storage_read_ns;
+        write_ns += t.storage_write_ns;
+        EXPECT_EQ(t.storage_read_ns,
+                  t.storage_read_ios * model_read_ns);
+        EXPECT_EQ(t.storage_write_ns,
+                  t.storage_write_ios * model_write_ns);
+        // Per-node day barriers do not double-count either.
+        core::DailyReport sum;
+        for (const auto &day : node->daily())
+            sum.add(day);
+        EXPECT_EQ(sum.storage_read_ios, t.storage_read_ios);
+        EXPECT_EQ(sum.storage_write_ns, t.storage_write_ns);
+    }
+    EXPECT_EQ(total.storage_read_ios, read_ios);
+    EXPECT_EQ(total.storage_write_ios, write_ios);
+    EXPECT_EQ(total.storage_read_errors, read_errs);
+    EXPECT_EQ(total.storage_write_errors, write_errs);
+    EXPECT_EQ(total.storage_read_ns, read_ns);
+    EXPECT_EQ(total.storage_write_ns, write_ns);
 }
 
 } // namespace
