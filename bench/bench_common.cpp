@@ -45,6 +45,18 @@ BenchOptions::parse(int argc, char **argv)
             opts.batch = std::strtoull(value("--batch"), nullptr, 0);
             if (opts.batch == 0)
                 util::fatal("--batch must be >= 1");
+        } else if (arg == "--sieve" ||
+                   arg.rfind("--sieve=", 0) == 0) {
+            const std::string name =
+                arg == "--sieve" ? value("--sieve")
+                                 : arg.substr(std::strlen("--sieve="));
+            if (name == "sievestore-c")
+                opts.sieve_kind = sim::PolicyKind::SieveStoreC;
+            else if (name == "adaptive")
+                opts.sieve_kind = sim::PolicyKind::Adaptive;
+            else
+                util::fatal("--sieve must be 'sievestore-c' or "
+                            "'adaptive', got '%s'", name.c_str());
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options:\n"
@@ -55,7 +67,10 @@ BenchOptions::parse(int argc, char **argv)
                 "  --json                 JSON output (suppresses "
                 "banners)\n"
                 "  --batch N              requests per replay batch "
-                "(default 64; results are batch-invariant)\n");
+                "(default 64; results are batch-invariant)\n"
+                "  --sieve NAME           continuous sieve run where "
+                "rosters say SieveStore-C: 'sievestore-c' (default) "
+                "or 'adaptive' (online (t1,t2) tuning)\n");
             std::exit(0);
         } else {
             util::fatal("unknown option '%s' (try --help)", arg.c_str());
@@ -132,8 +147,13 @@ runPolicy(const PolicyRun &run, const BenchOptions &opts,
           trace::SyntheticEnsembleGenerator &gen)
 {
     sim::PolicyConfig pc;
-    pc.kind = run.kind;
+    pc.kind = run.kind == sim::PolicyKind::SieveStoreC ? opts.sieve_kind
+                                                       : run.kind;
     pc.sieve_c.imct_slots = opts.scaledImctSlots();
+    // Shadow candidates track capture gradients, not the full block
+    // population, so their IMCTs run an order smaller than production.
+    pc.adaptive.imct_slots =
+        std::max<size_t>(4096, opts.scaledImctSlots() / 8);
 
     core::ApplianceConfig ac;
     ac.cache_blocks = opts.scaledCacheBlocks(run.cache_bytes);

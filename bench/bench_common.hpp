@@ -40,9 +40,13 @@ struct BenchOptions
     /** Requests per replay batch (see sim/batch.hpp). A pure
      * performance knob: results are independent of it. */
     size_t batch = trace::kDefaultBatchRequests;
+    /** Continuous-sieve kind substituted wherever a roster entry
+     * selects SieveStore-C: `--sieve=adaptive` swaps in the online
+     * adaptive sieve across every bench without editing rosters. */
+    sim::PolicyKind sieve_kind = sim::PolicyKind::SieveStoreC;
 
-    /** Parse --scale-denominator/--seed/--csv/--json/--batch; exits
-     * on --help. */
+    /** Parse --scale-denominator/--seed/--csv/--json/--batch/--sieve;
+     * exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Synthetic generator configuration at this scale. */

@@ -19,6 +19,7 @@
 
 #include "analysis/access_log.hpp"
 #include "cache/block_cache.hpp"
+#include "cache/ghost_cache.hpp"
 #include "cache/replacement.hpp"
 #include "core/appliance.hpp"
 #include "core/imct.hpp"
@@ -99,7 +100,7 @@ makeEngineCache(uint64_t capacity, int64_t engine,
         return cache::BlockCache(capacity,
                                  cache::EvictionSpec{kind, 1});
     return cache::BlockCache(
-        capacity, cache::makeReferencePolicy({kind, 1}));
+        capacity, cache::makeReferencePolicy({kind, 1}, capacity));
 }
 
 void
@@ -128,7 +129,7 @@ BM_BlockCacheAccessHit(benchmark::State &state)
 }
 BENCHMARK(BM_BlockCacheAccessHit)
     ->ArgNames({"engine", "kind"})
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5, 6, 7}});
 
 void
 BM_BlockCacheInsertEvict(benchmark::State &state)
@@ -147,7 +148,7 @@ BM_BlockCacheInsertEvict(benchmark::State &state)
 }
 BENCHMARK(BM_BlockCacheInsertEvict)
     ->ArgNames({"engine", "kind"})
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5, 6, 7}});
 
 void
 BM_BlockCacheMixedHotCold(benchmark::State &state)
@@ -169,7 +170,42 @@ BM_BlockCacheMixedHotCold(benchmark::State &state)
 }
 BENCHMARK(BM_BlockCacheMixedHotCold)
     ->ArgNames({"engine", "kind"})
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5, 6, 7}});
+
+/**
+ * The policy fabric's shared history substrate: contains + insert on
+ * a ghost cache running at budget, where every new key evicts the
+ * oldest. ARC's B1/B2 directory probes and the adaptive sieve's
+ * shadow capture test are exactly this loop, so its cost bounds the
+ * fabric's per-access history overhead. Probes mix tracked keys
+ * (front-refresh path) with fresh ones (insert + evict-oldest path).
+ */
+void
+BM_GhostCacheLookup(benchmark::State &state)
+{
+    const auto budget = static_cast<uint64_t>(state.range(0));
+    cache::GhostCache ghost(budget);
+    for (uint64_t b = 0; b < budget; ++b)
+        ghost.insert(b);
+    util::Rng rng(7);
+    uint64_t tracked = 0;
+    for (auto _ : state) {
+        const trace::BlockId b = rng.nextBool(0.5)
+                                     ? rng.nextBelow(budget)
+                                     : rng.next();
+        tracked += ghost.contains(b) ? 1u : 0u;
+        ghost.insert(b);
+    }
+    benchmark::DoNotOptimize(tracked);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["bytes_per_key"] = benchmark::Counter(
+        static_cast<double>(ghost.memoryBytes()) /
+        static_cast<double>(std::max<uint64_t>(1, ghost.size())));
+}
+BENCHMARK(BM_GhostCacheLookup)
+    ->ArgName("budget")
+    ->Arg(1 << 12)
+    ->Arg(1 << 18);
 
 void
 BM_AccessLogAppendAndReduce(benchmark::State &state)

@@ -14,9 +14,11 @@
  *     captured accesses into the ensemble's mean-service-time speedup.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/auto_tune.hpp"
@@ -130,6 +132,91 @@ main(int argc, char **argv)
     note("[tight budgets drive t2 up (less churn, slightly "
                 "fewer hits); loose budgets relax toward the "
                 "hit-maximizing threshold — no hand tuning needed]\n\n");
+
+    // (2b) Online (t1, t2) adaptation: per-day shadow ghost
+    // candidates score neighboring settings and the appliance
+    // switches to the winner at day boundaries (the kind behind
+    // --sieve=adaptive). The fixed rows replay the same trace at
+    // pinned thresholds; the adaptive row starts from the
+    // deliberately over-tight setting and must walk away from it,
+    // so beating that fixed row is the bench's hard check.
+    note("(2b) online adaptive sieve vs fixed (t1, t2) "
+                "settings (16 GB):\n");
+    stats::Table t2b({"Setting", "Captured", "Alloc-writes",
+                      "Final (t1,t2)", "Switches"});
+    const auto runSieve = [&](sim::PolicyKind kind, uint32_t start_t1,
+                              uint32_t start_t2) {
+        sim::PolicyConfig pc;
+        pc.kind = kind;
+        pc.sieve_c.imct_slots = opts.scaledImctSlots();
+        pc.sieve_c.t1 = start_t1;
+        pc.sieve_c.t2 = start_t2;
+        pc.adaptive.imct_slots =
+            std::max<size_t>(4096, opts.scaledImctSlots() / 8);
+        core::ApplianceConfig ac;
+        ac.cache_blocks = opts.scaledCacheBlocks(16ULL << 30);
+        ac.ssd = opts.scaledSsd(16ULL << 30);
+        gen.reset();
+        auto app = sim::makeAppliance(pc, ac);
+        sim::runTrace(gen, *app);
+        return app;
+    };
+    struct FixedSetting
+    {
+        const char *label;
+        uint32_t t1, t2;
+    };
+    uint64_t tight_fixed_hits = 0;
+    for (const FixedSetting &f :
+         {FixedSetting{"fixed (9,4), paper", 9, 4},
+          FixedSetting{"fixed (16,8), over-tight", 16, 8}}) {
+        const auto app = runSieve(sim::PolicyKind::SieveStoreC, f.t1,
+                                  f.t2);
+        const auto totals = app->totals();
+        if (f.t1 == 16)
+            tight_fixed_hits = totals.hits;
+        t2b.row()
+            .cell(f.label)
+            .cellPercent(totals.hitRatio())
+            .cell(totals.allocation_write_blocks)
+            .cell("(" + std::to_string(f.t1) + "," +
+                  std::to_string(f.t2) + ")")
+            .cell(uint64_t(0));
+    }
+    {
+        const auto app = runSieve(sim::PolicyKind::Adaptive, 16, 8);
+        const auto totals = app->totals();
+        // Final setting = the last day whose tuning columns were
+        // filled (t1 >= 1 whenever the adaptive sieve reported).
+        uint32_t final_t1 = 16, final_t2 = 8;
+        for (auto it = app->daily().rbegin(); it != app->daily().rend();
+             ++it) {
+            if (it->tune_t1 != 0) {
+                final_t1 = static_cast<uint32_t>(it->tune_t1);
+                final_t2 = static_cast<uint32_t>(it->tune_t2);
+                break;
+            }
+        }
+        t2b.row()
+            .cell("adaptive, from (16,8)")
+            .cellPercent(totals.hitRatio())
+            .cell(totals.allocation_write_blocks)
+            .cell("(" + std::to_string(final_t1) + "," +
+                  std::to_string(final_t2) + ")")
+            .cell(totals.tune_switches);
+        SIEVE_CHECK(totals.hits > tight_fixed_hits,
+                    "adaptive sieve (%llu captured) failed to beat the "
+                    "over-tight fixed setting (%llu captured)",
+                    static_cast<unsigned long long>(totals.hits),
+                    static_cast<unsigned long long>(tight_fixed_hits));
+    }
+    gen.reset();
+    emit(t2b, opts);
+    note("[started over-tight, the ghost-scored shadow candidates "
+                "pull the thresholds loose within days: the adaptive "
+                "row captures more than its own starting setting held "
+                "fixed — the hand-tuned (t1, t2) knob is now a "
+                "starting point, not a commitment]\n\n");
 
     // (3) End-to-end service-time payoff.
     note("(3) mean service-time speedup for the ensemble "

@@ -1,0 +1,31 @@
+// Fixture: a class that embeds a ghost directory but never charges
+// it in its footprint audit. The policy fabric's metastate cost is
+// silently understated — exactly what ghost-charge exists to catch.
+// lint-expect: ghost-charge
+
+#ifndef SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_GHOST_UNCHARGED_HPP
+#define SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_GHOST_UNCHARGED_HPP
+
+#include <cstdint>
+
+#include "cache/ghost_cache.hpp"
+
+namespace fixture {
+
+class ShadowDirectory
+{
+  public:
+    uint64_t
+    memoryBytes() const
+    {
+        return sizeof(*this); // the ghost's arena is not in here
+    }
+
+  private:
+    uint64_t epoch_hits = 0;
+    cache::GhostCache ghost{1024}; // never charged above
+};
+
+} // namespace fixture
+
+#endif // SIEVESTORE_SCRIPTS_LINT_FIXTURES_BAD_GHOST_UNCHARGED_HPP

@@ -10,6 +10,15 @@ linter knows about; this tool makes them machine-checked:
                     `// sieve-lint: charged(<why>)` directive on the
                     member. Uncharged containers silently understate
                     the footprint numbers the paper tables report.
+  ghost-charge      A class embedding ghost state (cache::GhostCache
+                    or util::CountMinSketch) must charge it by name in
+                    a footprint audit (memoryBytes() or the policy
+                    convention's metastateBytes()) — even when the
+                    class audits nothing else. Ghost directories are
+                    whole data structures reserved to their budget at
+                    construction; an unaudited one silently understates
+                    the policy fabric's metastate cost, exactly the
+                    number the paper's DRAM-budget argument leans on.
   invariants        Audit-listed classes (the ones the contract layer
                     depends on) must declare checkInvariants().
   unordered-report  Iterating a std::unordered_* container must not
@@ -66,8 +75,9 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCAN_DIRS = ("src", "bench", "examples", "tests")
 FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 
-RULES = ("mem-charge", "invariants", "unordered-report", "wall-clock",
-         "batch-guard", "raw-prefetch", "raw-io")
+RULES = ("mem-charge", "ghost-charge", "invariants",
+         "unordered-report", "wall-clock", "batch-guard",
+         "raw-prefetch", "raw-io")
 
 # Classes the runtime contract layer audits; each must expose a
 # checkInvariants() hook (any signature).
@@ -75,9 +85,11 @@ AUDIT_CLASSES = (
     "AccessCounter",
     "Appliance",
     "BlockCache",
+    "CountMinSketch",
     "FileBackend",
     "FlatIndex",
     "FlatSieve",
+    "GhostCache",
     "Imct",
     "IndexList",
     "Mct",
@@ -415,6 +427,83 @@ def checkMemCharge(sources, findings, backend_note):
                 f"{info.name}::memoryBytes() never charges it; add "
                 f"it to the footprint or annotate with "
                 f"// sieve-lint: charged(<why>){backend_note}"))
+
+
+# Ghost-state types whose footprint must always be audited. Unlike
+# the generic containers of mem-charge, embedding one of these is an
+# unconditional obligation: the holding class must charge it even when
+# it audits nothing else (or say why not via charged()).
+GHOST_TYPE_RE = re.compile(
+    r"\b(?:cache\s*::\s*)?GhostCache\b"
+    r"|\b(?:util\s*::\s*)?CountMinSketch\b")
+
+# Out-of-line footprint audits: memoryBytes() everywhere, plus the
+# AllocationPolicy convention's metastateBytes() (the adaptive sieve
+# charges its shadow ghosts there).
+OUT_OF_LINE_AUDIT_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:<[^;{}]*>)?\s*::\s*"
+    r"(?:memoryBytes|metastateBytes)\s*"
+    r"\([^)]*\)\s*const\s*(?:override\s*)?\{")
+
+AUDIT_METHOD_RE = re.compile(r"\b(?:memoryBytes|metastateBytes)\b")
+
+
+def checkGhostCharge(sources, findings):
+    """Every GhostCache/CountMinSketch member must appear by name in
+    its class's memoryBytes()/metastateBytes() body (gathered inline
+    and out-of-line across the scanned files), or carry a charged()
+    directive naming the audit that sums it from outside."""
+    audit_bodies = {}
+    ghost_members = []  # (src, class, member, first_line, last_line)
+    for src in sources:
+        for m in CLASS_HEAD_RE.finditer(src.text):
+            open_pos = m.end() - 1
+            body_end = matchBrace(src.text, open_pos) - 1
+            cls = m.group(1)
+            for stmt, s_start, s_end in topLevelStatements(
+                    src.text, open_pos + 1, body_end):
+                if AUDIT_METHOD_RE.search(stmt) and "(" in stmt:
+                    if s_end < len(src.text) and \
+                            src.text[s_end] == "{":
+                        close = matchBrace(src.text, s_end)
+                        audit_bodies[cls] = (
+                            audit_bodies.get(cls, "") +
+                            src.text[s_end:close])
+                    continue
+                if MEMBER_SKIP_RE.search(stmt) or "(" in stmt:
+                    continue
+                decl = re.sub(r"(=|\{).*$", "", stmt, flags=re.S)
+                if not GHOST_TYPE_RE.search(decl):
+                    continue
+                names = re.findall(r"[A-Za-z_]\w*", decl)
+                if not names:
+                    continue
+                ghost_members.append((src, cls, names[-1],
+                                      src.lineOf(s_start),
+                                      src.lineOf(s_end)))
+        for m in OUT_OF_LINE_AUDIT_RE.finditer(src.text):
+            open_pos = m.end() - 1
+            close = matchBrace(src.text, open_pos)
+            audit_bodies[m.group(1)] = (
+                audit_bodies.get(m.group(1), "") +
+                src.text[open_pos:close])
+    for src, cls, name, first, last in ghost_members:
+        body = audit_bodies.get(cls)
+        if body and re.search(r"\b%s\b" % re.escape(name), body):
+            continue
+        if src.chargedNear(first, last):
+            continue
+        if body:
+            detail = (f"{cls}'s footprint audit never charges it by "
+                      f"name")
+        else:
+            detail = (f"{cls} defines no memoryBytes()/"
+                      f"metastateBytes() to charge it in")
+        findings.append(Finding(
+            src.relpath, first, "ghost-charge",
+            f"{cls}::{name} embeds ghost/sketch state but {detail}; "
+            f"add it to the footprint or annotate with "
+            f"// sieve-lint: charged(<which audit sums it>)"))
 
 
 def checkInvariantsRule(sources, findings, check_missing):
@@ -817,6 +906,7 @@ def runLint(root, relpaths, backend, check_missing):
             return None
     if not used_clang:
         checkMemCharge(sources, findings, "")
+    checkGhostCharge(sources, findings)
     checkInvariantsRule(sources, findings, check_missing)
     for src in sources:
         checkUnorderedReport(src, findings)

@@ -60,8 +60,8 @@ struct BatchReplaceResult
 
 /**
  * Per-resident-block policy state, stored inline in the block index
- * slot (16 bytes). Interpretation depends on the cache's
- * EvictionKind:
+ * slot (16 bytes). The policy fabric gives every EvictionKind the
+ * same two typed words; the kind fixes their interpretation:
  *
  *  kind     | primary                  | secondary
  *  ---------+--------------------------+---------------------------
@@ -69,8 +69,15 @@ struct BatchReplaceResult
  *  CLOCK    | IndexList node index     | reference bit (0/1)
  *  LFU      | access count (init 1)    | insertion sequence number
  *  Random   | position in victim pool  | unused
+ *  SIEVE    | IndexList node index     | visited bit (0/1)
+ *  ARC      | IndexList node index     | resident list (1=T1, 2=T2)
+ *  TinyLfu  | IndexList node index     | segment (0=window,
+ *           |                          |   1=probation, 2=protected)
  *
- * Unused in custom-policy mode (the policy keeps its own state).
+ * Node indices point into the arena that owns the block's segment
+ * (`order` for LRU/FIFO/CLOCK/SIEVE/ARC-T1/window, `order2` for
+ * ARC-T2/probation, `order3` for protected). Unused in custom-policy
+ * mode (the policy keeps its own state).
  */
 struct PolicyState
 {
@@ -141,8 +148,10 @@ class BlockCache
                                      std::span<PolicyState *> st);
 
     /** Apply the resident-hit policy transition to a gathered state
-     *  (the mutate phase of a probe-gathered hit). */
-    SIEVE_TAINT_SINK void touchProbed(PolicyState &st);
+     *  (the mutate phase of a probe-gathered hit). The block key is
+     *  needed by the sketch/segment kinds (TinyLfu, ARC). */
+    SIEVE_TAINT_SINK void touchProbed(trace::BlockId block,
+                                      PolicyState &st);
 
     /**
      * Make a block resident, evicting a victim if at capacity.
@@ -208,9 +217,17 @@ class BlockCache
 
     /** Flat-policy transition helpers (no-ops in custom mode). */
     void policyInsert(trace::BlockId block, PolicyState &st);
-    void policyAccess(PolicyState &st);
+    void policyAccess(trace::BlockId block, PolicyState &st);
     void policyErase(trace::BlockId block, const PolicyState &st);
-    trace::BlockId policyVictim();
+    trace::BlockId policyVictim(trace::BlockId incoming);
+
+    /** ARC ghost-hit adaptation + landing-side decision (the flat
+     * twin of ReferenceArcPolicy::adapt). */
+    void arcAdapt(trace::BlockId incoming);
+
+    /** Reserve the index and engage the active kind's fabric state
+     * (extra arenas, ghost directories, sketch). */
+    void initFlatEngine();
 
     /** Evict `block`: policy bookkeeping plus index removal. */
     void eraseResident(trace::BlockId block);
@@ -222,15 +239,45 @@ class BlockCache
 
     /** Residency + per-block policy state, one slot per block. */
     BlockIndex index;
-    /** LRU/FIFO recency order (front = hottest) or CLOCK ring. */
+    /** Primary order book: LRU/FIFO recency order (front = hottest),
+     * CLOCK ring, SIEVE queue (front = newest), ARC T1, or the
+     * TinyLfu admission window. */
     util::IndexList order;
-    /** CLOCK hand: node index into `order`, kNull = wrapped. */
-    uint32_t clock_hand = util::IndexList::kNull;
+    /** Secondary order book: ARC T2 or TinyLfu probation. */
+    util::IndexList order2;
+    /** Tertiary order book: TinyLfu protected segment. */
+    util::IndexList order3;
+    /** CLOCK/SIEVE hand: node index into `order`, kNull = wrapped. */
+    uint32_t hand = util::IndexList::kNull;
     /** Random: dense victim pool (swap-with-last on erase). */
     std::vector<trace::BlockId> pool;
     /** LFU insertion-sequence source. */
     uint64_t lfu_sequence = 0;
     util::Rng rng;
+
+    /** Recency-side ghost: ARC B1 (evicted from T1) or the TinyLfu
+     * rejected-candidate set. Engaged only for those kinds. */
+    std::optional<GhostCache> ghost_recent;
+    /** Frequency-side ghost: ARC B2 (evicted from T2). */
+    std::optional<GhostCache> ghost_frequent;
+    /** TinyLfu admission-frequency sketch. */
+    std::optional<util::CountMinSketch> sketch;
+
+    /** ARC adaptation target for |T1|, in [0, capacity]. */
+    uint64_t arc_p = 0;
+    /** ARC landing side decided by arcAdapt(): true -> T2. */
+    bool arc_to_t2 = false;
+    /** arcAdapt() already ran for the upcoming insert (set by
+     * policyVictim, consumed by policyInsert). */
+    bool arc_prepared = false;
+    /** Last arcAdapt() hit B2 (REPLACE tie-break). */
+    bool arc_last_in_b2 = false;
+    /** Next policyErase is a directory replacement that must not be
+     * ghost-recorded (ARC Case IV(a) with T1 full). */
+    bool arc_suppress_ghost = false;
+
+    /** TinyLfu region split (all zero for other kinds). */
+    TinyLfuShape tlfu{};
 };
 
 } // namespace cache

@@ -1,0 +1,126 @@
+#include "cache/ghost_cache.hpp"
+
+#include "util/alloc_guard.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace sievestore {
+namespace cache {
+
+using trace::BlockId;
+using util::IndexList;
+
+GhostCache::GhostCache(uint64_t budget) : budget_(budget)
+{
+    if (budget_ == 0)
+        util::fatal("ghost cache budget must be at least one key");
+    SIEVE_CHECK(budget_ < IndexList::kNull,
+                "ghost budget %llu exceeds the 2^32-1 node arena",
+                static_cast<unsigned long long>(budget_));
+    // Reserved once: evict-before-insert keeps the population at or
+    // below the budget, so neither structure ever grows again.
+    index_.reserve(budget_);
+    order_.reserve(budget_);
+}
+
+bool
+GhostCache::contains(BlockId block) const
+{
+    return index_.contains(block);
+}
+
+bool
+GhostCache::insert(BlockId block)
+{
+    // Reservation contract: the table never rehashes (population is
+    // capped at the reserved budget) and the arena vector never grows
+    // past its reserved capacity, so even warmup inserts are
+    // allocation-free.
+    SIEVE_ASSERT_NO_ALLOC;
+    uint32_t *node = index_.find(block);
+    if (node != nullptr) {
+        order_.moveToFront(*node);
+        return false;
+    }
+    if (index_.size() >= budget_) {
+        const BlockId victim = order_.value(order_.tail());
+        order_.erase(order_.tail());
+        const bool erased = index_.erase(victim);
+        SIEVE_CHECK(erased, "ghost key %llx in order but not indexed",
+                    static_cast<unsigned long long>(victim));
+    }
+    const auto [slot, inserted] = index_.findOrInsert(block);
+    SIEVE_DCHECK(inserted);
+    *slot = order_.pushFront(block);
+    return true;
+}
+
+bool
+GhostCache::erase(BlockId block)
+{
+    SIEVE_ASSERT_NO_ALLOC;
+    return index_.eraseWith(block, [&](const uint32_t &node) {
+        order_.erase(node);
+    });
+}
+
+std::optional<BlockId>
+GhostCache::popOldest()
+{
+    SIEVE_ASSERT_NO_ALLOC;
+    if (order_.empty())
+        return std::nullopt;
+    const BlockId victim = order_.value(order_.tail());
+    order_.erase(order_.tail());
+    const bool erased = index_.erase(victim);
+    SIEVE_CHECK(erased, "ghost key %llx in order but not indexed",
+                static_cast<unsigned long long>(victim));
+    return victim;
+}
+
+BlockId
+GhostCache::oldest() const
+{
+    SIEVE_CHECK(!order_.empty(), "oldest() on an empty ghost cache");
+    return order_.value(order_.tail());
+}
+
+void
+GhostCache::clear()
+{
+    index_.clear();
+    order_.clear();
+}
+
+uint64_t
+GhostCache::memoryBytes() const
+{
+    return index_.memoryBytes() + order_.memoryBytes();
+}
+
+void
+GhostCache::checkInvariants() const
+{
+    SIEVE_CHECK(index_.size() <= budget_,
+                "ghost tracks %zu keys, budget is %llu", index_.size(),
+                static_cast<unsigned long long>(budget_));
+    index_.checkInvariants();
+    order_.checkInvariants();
+    SIEVE_CHECK(order_.size() == index_.size(),
+                "ghost order tracks %zu keys, index holds %zu",
+                order_.size(), index_.size());
+    for (uint32_t n = order_.head(); n != IndexList::kNull;
+         n = order_.next(n)) {
+        const uint32_t *node = index_.find(order_.value(n));
+        SIEVE_CHECK(node != nullptr,
+                    "ghost order key %llx is not indexed",
+                    static_cast<unsigned long long>(order_.value(n)));
+        SIEVE_CHECK(*node == n,
+                    "ghost key %llx links node %u, found at node %u",
+                    static_cast<unsigned long long>(order_.value(n)),
+                    *node, n);
+    }
+}
+
+} // namespace cache
+} // namespace sievestore

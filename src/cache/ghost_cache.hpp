@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ghost cache: a fixed-budget set of recently-evicted (or
+ * recently-rejected) block keys, the shared substrate of the policy
+ * fabric's history-driven kinds.
+ *
+ * ARC's B1/B2 directories, W-TinyLFU's rejected-candidate boost, and
+ * the adaptive sieve's shadow residency sets are all "was this key
+ * here recently?" questions over a bounded key population. GhostCache
+ * answers them with the repo's flat-memory idiom: a robin-hood
+ * FlatIndex maps key -> recency node, an IndexList arena keeps the
+ * recency order (front = most recent), and both structures are
+ * reserved to the budget at construction, so steady-state insert /
+ * refresh / evict-oldest never allocates and never rehashes —
+ * ghost maintenance can run inside the appliance's batch-level
+ * no-alloc regions.
+ *
+ * Inserting at budget evicts the oldest entry first, so size() can
+ * never exceed budget() no matter how many evictions a batchReplace
+ * pours in. The footprint is charged through memoryBytes() like every
+ * other policy structure (the sieve-lint ghost-charge rule enforces
+ * that every embedding class audits it).
+ */
+
+#ifndef SIEVESTORE_CACHE_GHOST_CACHE_HPP
+#define SIEVESTORE_CACHE_GHOST_CACHE_HPP
+
+#include <optional>
+
+#include "trace/block.hpp"
+#include "util/flat_index.hpp"
+#include "util/flow_annotations.hpp"
+
+namespace sievestore {
+namespace cache {
+
+/** Bounded recency set of block keys (no payload blocks cached). */
+class GhostCache
+{
+  public:
+    /** @param budget maximum tracked keys (>= 1); both the index and
+     *  the recency arena are reserved for it up front. */
+    explicit GhostCache(uint64_t budget);
+
+    /** Membership test with no side effects. */
+    bool contains(trace::BlockId block) const;
+
+    /**
+     * Record `block` as the most recent key: a present key is
+     * refreshed to the front, a new key is inserted (evicting the
+     * oldest entry first when at budget).
+     * @retval true if the key was newly inserted
+     * Taint sink: ghost state steers eviction/adaptation decisions,
+     * so measured data must never reach it.
+     */
+    SIEVE_TAINT_SINK bool insert(trace::BlockId block);
+
+    /** Drop a key. @retval true if it was present. */
+    SIEVE_TAINT_SINK bool erase(trace::BlockId block);
+
+    /**
+     * Drop the oldest key (ARC's directory-trimming deletes).
+     * @retval the dropped key, or no value if empty
+     */
+    SIEVE_TAINT_SINK std::optional<trace::BlockId> popOldest();
+
+    /** Oldest tracked key. @pre not empty. */
+    trace::BlockId oldest() const;
+
+    uint64_t size() const { return index_.size(); }
+    uint64_t budget() const { return budget_; }
+    bool empty() const { return index_.empty(); }
+
+    /** Forget everything (budget and reservations are kept). */
+    void clear();
+
+    /** Index + recency-arena footprint (util/footprint.hpp
+     * convention); constant after construction by design. */
+    uint64_t memoryBytes() const;
+
+    /**
+     * Audit the ghost: size never exceeds budget, the index and the
+     * recency list track exactly the same keys, and every slot's node
+     * link points back at its key. O(size); aborts on violation.
+     */
+    void checkInvariants() const;
+
+  private:
+    /** key -> recency node index in order_. */
+    util::FlatIndex<uint32_t> index_;
+    /** Recency order, front = most recent. */
+    util::IndexList order_;
+    uint64_t budget_;
+};
+
+} // namespace cache
+} // namespace sievestore
+
+#endif // SIEVESTORE_CACHE_GHOST_CACHE_HPP

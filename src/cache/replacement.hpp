@@ -27,13 +27,16 @@
 #ifndef SIEVESTORE_CACHE_REPLACEMENT_HPP
 #define SIEVESTORE_CACHE_REPLACEMENT_HPP
 
+#include <algorithm>
 #include <list>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "cache/ghost_cache.hpp"
 #include "trace/block.hpp"
+#include "util/count_min.hpp"
 #include "util/flow_annotations.hpp"
 #include "util/random.hpp"
 
@@ -48,7 +51,34 @@ enum class EvictionKind
     Clock,
     Lfu,
     Random,
+    /** SIEVE (NSDI'24): FIFO queue, visited bit, lazy hand sweeping
+     * tail-to-head; hits never move blocks. */
+    Sieve,
+    /** ARC: T1/T2 resident lists with B1/B2 ghost directories driving
+     * online recency/frequency adaptation. */
+    Arc,
+    /** W-TinyLFU: small admission window in front of an SLRU main
+     * region, gated by a count-min frequency sketch. */
+    TinyLfu,
 };
+
+/**
+ * Number of built-in eviction kinds — the compile-time half of the
+ * policy fabric's exhaustiveness guard. Every dispatch switch over
+ * EvictionKind (BlockCache's policy transitions, the reference
+ * factory, the name table) carries no default case, so -Werror's
+ * -Wswitch turns an enumerator added without full wiring
+ * (batchReplace, footprint, invariants) into a build break; this
+ * count plus the assert below pin the enum's tail so the kind count
+ * and the switches cannot drift apart silently.
+ */
+inline constexpr size_t kEvictionKindCount = 8;
+static_assert(static_cast<size_t>(EvictionKind::TinyLfu) + 1 ==
+                  kEvictionKindCount,
+              "EvictionKind grew: bump kEvictionKindCount and wire the "
+              "new kind through every dispatch switch (policy "
+              "transitions, victim selection, batchReplace coverage, "
+              "memoryBytes, checkInvariants, name table)");
 
 /** Human-readable name ("LRU", "FIFO", ...). */
 const char *evictionKindName(EvictionKind kind);
@@ -57,7 +87,8 @@ const char *evictionKindName(EvictionKind kind);
 struct EvictionSpec
 {
     EvictionKind kind = EvictionKind::Lru;
-    /** Rng seed; consumed by Random only. */
+    /** Rng seed; consumed by Random (victim draws) and TinyLfu
+     * (sketch row seeds). */
     uint64_t seed = 1;
 };
 
@@ -81,6 +112,20 @@ class ReplacementPolicy
     virtual SIEVE_TAINT_SINK void onErase(trace::BlockId block) = 0;
     /** Choose the next victim. @pre at least one resident block. */
     virtual trace::BlockId victim() = 0;
+
+    /**
+     * Choose the victim that makes room for `incoming` (a key that is
+     * about to become resident). History-driven policies (ARC) adapt
+     * on the incoming key's ghost hits before picking a side; every
+     * other policy ignores the hint and falls back to victim().
+     */
+    virtual trace::BlockId
+    victimFor(trace::BlockId incoming)
+    {
+        (void)incoming;
+        return victim();
+    }
+
     /** Human-readable policy name. */
     virtual const char *name() const = 0;
 
@@ -225,6 +270,204 @@ class ReferenceClockPolicy : public ReplacementPolicy
 };
 
 /**
+ * SIEVE (NSDI'24), node-based reference implementation. A FIFO queue
+ * with one visited bit per block and a hand that sweeps from the tail
+ * (oldest) toward the head: a visited block gets its bit cleared and
+ * survives, the first unvisited block is the victim, and the hand
+ * parks just past it for the next eviction. Hits only set the bit —
+ * no list surgery — which is what makes the flat engine's batch path
+ * payload-only.
+ */
+class ReferenceSievePolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "SIEVE"; }
+    size_t size() const override { return where.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return where.count(block) != 0;
+    }
+    uint64_t memoryBytes() const override;
+
+  private:
+    struct Entry
+    {
+        std::list<trace::BlockId>::iterator it;
+        bool visited;
+    };
+    /** FIFO queue, newest at front. */
+    std::list<trace::BlockId> queue;
+    std::unordered_map<trace::BlockId, Entry> where;
+    /** Sweep position; end() means "unset / wrapped past the head",
+     * i.e. the next sweep starts from the tail. */
+    std::list<trace::BlockId>::iterator hand = queue.end();
+
+    /** One step toward the head; wraps to end() past the head. */
+    std::list<trace::BlockId>::iterator
+    stepTowardHead(std::list<trace::BlockId>::iterator it)
+    {
+        return it == queue.begin() ? queue.end() : std::prev(it);
+    }
+};
+
+/**
+ * ARC (FAST'03), node-based reference implementation. Residents split
+ * into T1 (seen once) and T2 (seen twice+); evicted keys fall into the
+ * B1/B2 ghost directories, and ghost hits move the adaptation target
+ * p that REPLACE uses to pick which side gives up its LRU block. Uses
+ * the same GhostCache class as the flat engine so directory trimming
+ * is bit-identical across builds. Since the surrounding BlockCache
+ * drives evictions (victimFor -> onErase) and insertions (onInsert)
+ * as separate calls, the protocol is split across them: victimFor
+ * adapts p and performs the Case IV ghost trims, onErase files the
+ * victim into its ghost list, and onInsert lands the incoming key in
+ * T1 or T2 according to the adaptation decision.
+ */
+class ReferenceArcPolicy : public ReplacementPolicy
+{
+  public:
+    explicit ReferenceArcPolicy(uint64_t capacity_blocks);
+
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    trace::BlockId victimFor(trace::BlockId incoming) override;
+    const char *name() const override { return "ARC"; }
+    size_t size() const override { return where.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return where.count(block) != 0;
+    }
+    uint64_t memoryBytes() const override;
+
+    /** Adaptation target (audit/test hook); always in [0, c]. */
+    uint64_t target() const { return p; }
+    /** Ghost directory sizes (audit/test hook). */
+    uint64_t ghostRecencySize() const { return b1.size(); }
+    uint64_t ghostFrequencySize() const { return b2.size(); }
+
+  private:
+    struct Entry
+    {
+        /** 1 = T1, 2 = T2. */
+        uint8_t list_id;
+        std::list<trace::BlockId>::iterator it;
+    };
+
+    /** Ghost-hit adaptation + landing-side decision for `incoming`. */
+    void adapt(trace::BlockId incoming);
+
+    uint64_t capacity;
+    /** Resident lists, MRU at front. */
+    std::list<trace::BlockId> t1;
+    std::list<trace::BlockId> t2;
+    std::unordered_map<trace::BlockId, Entry> where;
+    /** Ghost directories (recently evicted from T1 / from T2). */
+    GhostCache b1;
+    GhostCache b2;
+    /** Adaptation target for |T1|, in [0, capacity]. */
+    uint64_t p = 0;
+    /** Landing side decided by adapt(): true -> T2 (ghost hit). */
+    bool to_t2 = false;
+    /** adapt() already ran for the upcoming insert (set by
+     * victimFor, consumed by onInsert). */
+    bool prepared = false;
+    /** Last adapt() hit B2 (REPLACE tie-break). */
+    bool last_in_b2 = false;
+    /** Next onErase is a directory-replacement eviction that must not
+     * be recorded in a ghost list (Case IV with T1 full). */
+    bool suppress_ghost = false;
+};
+
+/**
+ * W-TinyLFU region split, computed once so the flat engine and the
+ * reference engine can never disagree on the geometry: the admission
+ * window is ~1 % of capacity (at least one block), and the protected
+ * segment gets 80 % of what remains.
+ */
+struct TinyLfuShape
+{
+    uint64_t window_cap;
+    uint64_t main_cap;
+    uint64_t protected_cap;
+};
+
+inline TinyLfuShape
+tinyLfuShape(uint64_t capacity_blocks)
+{
+    TinyLfuShape shape;
+    shape.window_cap = std::max<uint64_t>(1, capacity_blocks / 100);
+    shape.main_cap = capacity_blocks > shape.window_cap
+                         ? capacity_blocks - shape.window_cap
+                         : 0;
+    shape.protected_cap = shape.main_cap * 4 / 5;
+    return shape;
+}
+
+/**
+ * W-TinyLFU (Caffeine), node-based reference implementation. A small
+ * admission window (~1 % of capacity, plain LRU) absorbs new keys; to
+ * enter the main SLRU region (probation/protected, 20/80) the window
+ * victim must beat the main region's eviction candidate on count-min
+ * sketch frequency. Rejected candidates are remembered in a ghost so
+ * an immediate re-reference earns a second sketch vote (the
+ * "doorkeeper boost" mechanism). Shares util::CountMinSketch and
+ * cache::GhostCache with the flat engine for bit-identity.
+ */
+class ReferenceTinyLfuPolicy : public ReplacementPolicy
+{
+  public:
+    ReferenceTinyLfuPolicy(uint64_t capacity_blocks, uint64_t seed);
+
+    void onInsert(trace::BlockId block) override;
+    void onAccess(trace::BlockId block) override;
+    void onErase(trace::BlockId block) override;
+    trace::BlockId victim() override;
+    const char *name() const override { return "W-TinyLFU"; }
+    size_t size() const override { return where.size(); }
+    bool
+    contains(trace::BlockId block) const override
+    {
+        return where.count(block) != 0;
+    }
+    uint64_t memoryBytes() const override;
+
+  private:
+    /** Segment ids match the flat engine's PolicyState encoding. */
+    enum Segment : uint8_t
+    {
+        kWindow = 0,
+        kProbation = 1,
+        kProtected = 2,
+    };
+    struct Entry
+    {
+        Segment segment;
+        std::list<trace::BlockId>::iterator it;
+    };
+
+    std::list<trace::BlockId> &segmentList(Segment segment);
+
+    uint64_t window_cap;
+    uint64_t protected_cap;
+    /** Segment lists, MRU at front. */
+    std::list<trace::BlockId> window;
+    std::list<trace::BlockId> probation;
+    std::list<trace::BlockId> protected_seg;
+    std::unordered_map<trace::BlockId, Entry> where;
+    util::CountMinSketch sketch;
+    /** Recently rejected admission candidates (second-chance boost). */
+    GhostCache rejected;
+};
+
+/**
  * Oracle retain-set policy (Section 3.1): never evicts a block in the
  * protected set while an unprotected block exists; falls back to LRU
  * among unprotected blocks, then among protected ones. The protected
@@ -247,9 +490,13 @@ class OracleRetainPolicy : public ReferenceLruPolicy
 
 /**
  * Reference (seed) implementation of a built-in policy, for the
- * differential suite and the SIEVE_FLAT_CACHE=OFF build.
+ * differential suite and the SIEVE_FLAT_CACHE=OFF build. The capacity
+ * sizes the history-driven kinds (ARC's ghost directories, TinyLFU's
+ * window/protected split and sketch width); the classic kinds ignore
+ * it.
  */
-std::unique_ptr<ReplacementPolicy> makeReferencePolicy(EvictionSpec spec);
+std::unique_ptr<ReplacementPolicy> makeReferencePolicy(
+    EvictionSpec spec, uint64_t capacity_blocks);
 
 } // namespace cache
 } // namespace sievestore

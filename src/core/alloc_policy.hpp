@@ -14,10 +14,25 @@
 #ifndef SIEVESTORE_CORE_ALLOC_POLICY_HPP
 #define SIEVESTORE_CORE_ALLOC_POLICY_HPP
 
+#include <optional>
+
 #include "trace/request.hpp"
 
 namespace sievestore {
 namespace core {
+
+/**
+ * Observable state of a self-tuning sieve: the thresholds currently
+ * in force and how many times the tuner has switched them. Reported
+ * into DailyReport's tune_* columns at day boundaries.
+ */
+struct SieveTuning
+{
+    uint32_t t1 = 0;
+    uint32_t t2 = 0;
+    /** Cumulative threshold switches since construction. */
+    uint64_t switches = 0;
+};
 
 /** Outcome of a sieve consultation on a miss. */
 enum class AllocDecision : uint8_t {
@@ -45,6 +60,25 @@ class AllocationPolicy
 
     /** Observe a hit (default: ignore). */
     virtual void onHit(const trace::BlockAccess &access) { (void)access; }
+
+    /**
+     * Calendar day `day` just closed (Appliance::finishDay). The hook
+     * for epoch-scale adaptation: the adaptive sieve compares its
+     * shadow settings here and may switch thresholds for the next
+     * day. Off the request path, so implementations may allocate.
+     * Default: ignore.
+     */
+    virtual void onDayClose(int day) { (void)day; }
+
+    /**
+     * Self-tuning observability: the thresholds in force and the
+     * cumulative switch count, or nullopt for policies that do not
+     * tune themselves (the default).
+     */
+    virtual std::optional<SieveTuning> tuning() const
+    {
+        return std::nullopt;
+    }
 
     /** Policy name for reports. */
     virtual const char *name() const = 0;

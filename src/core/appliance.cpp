@@ -79,6 +79,9 @@ DailyReport::add(const DailyReport &other)
     ssd_read_ios += other.ssd_read_ios;
     ssd_write_ios += other.ssd_write_ios;
     ssd_alloc_ios += other.ssd_alloc_ios;
+    tune_t1 = std::max(tune_t1, other.tune_t1);
+    tune_t2 = std::max(tune_t2, other.tune_t2);
+    tune_switches += other.tune_switches;
     storage_read_ios += other.storage_read_ios;
     storage_write_ios += other.storage_write_ios;
     storage_read_errors += other.storage_read_errors;
@@ -523,7 +526,7 @@ Appliance::processRequestProbed(const trace::Request &req,
                 ++rep.read_accesses;
 
             if (st[i] != nullptr) {
-                cache_.touchProbed(*st[i]);
+                cache_.touchProbed(block, *st[i]);
                 ++rep.hits;
                 if (is_read)
                     ++rep.read_hits;
@@ -613,6 +616,32 @@ Appliance::finishDay(int day)
         (static_cast<util::TimeUs>(day) + 1) * util::kUsPerDay;
     drainAllocations(day_end - 1);
     flushStorage();
+
+    // Self-tuning epoch: after the day's allocations have drained,
+    // let the sieve close its shadow epoch (the adaptive sieve may
+    // switch thresholds here) and record the outcome in the day's
+    // tuning columns. Thresholds are model-side data, so the columns
+    // stay bit-identical across storage backends and shard layouts.
+    if (fsieve_ || policy_) {
+        const std::optional<SieveTuning> before =
+            fsieve_ ? fsieve_->tuning() : policy_->tuning();
+        if (fsieve_)
+            fsieve_->onDayClose(day);
+        else
+            policy_->onDayClose(day);
+        const std::optional<SieveTuning> after =
+            fsieve_ ? fsieve_->tuning() : policy_->tuning();
+        if (after && day >= 0) {
+            const size_t slot = static_cast<size_t>(day);
+            if (slot >= reports.size())
+                reports.resize(slot + 1);
+            DailyReport &rep = reports[slot];
+            rep.tune_t1 = after->t1;
+            rep.tune_t2 = after->t2;
+            rep.tune_switches =
+                after->switches - (before ? before->switches : 0);
+        }
+    }
 
     if (!selector_)
         return;

@@ -114,6 +114,20 @@ struct DailyReport
     SIEVE_TAINT_SINK uint64_t ssd_alloc_ios = 0;
 
     /**
+     * Online sieve-tuning telemetry (adaptive sieve): the thresholds
+     * in force after this day's close and the switches performed at
+     * it (0 or 1 per day). All zero when the active sieve does not
+     * tune itself. Model-side like the counters above: the tuner sees
+     * only oracle accounting, never measured data. add() merges the
+     * thresholds by max — they are day-level settings, not volumes —
+     * and sums the switches, so whole-trace totals and shard merges
+     * read "tightest setting reached / total switches".
+     */
+    SIEVE_TAINT_SINK uint64_t tune_t1 = 0;
+    SIEVE_TAINT_SINK uint64_t tune_t2 = 0;
+    SIEVE_TAINT_SINK uint64_t tune_switches = 0;
+
+    /**
      * Measured device observation (storage::Backend): 4 KB reads and
      * writes that completed, failures, and summed measured latency,
      * attributed to the day the model charged the matching I/O. All

@@ -17,8 +17,10 @@
 #define SIEVESTORE_CORE_AUTO_TUNE_HPP
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "cache/ghost_cache.hpp"
 #include "core/sievestore_c.hpp"
 #include "util/check.hpp"
 
@@ -86,6 +88,130 @@ class AutoTunedSievePolicy : public AllocationPolicy
     bool day_known = false;
     uint64_t allocs_today = 0;
     std::vector<uint32_t> history;
+};
+
+/**
+ * Parameters of the online adaptive sieve (AdaptiveSievePolicy).
+ * Shadow structures are deliberately small relative to the production
+ * sieve: they estimate a *ranking* between neighboring threshold
+ * settings, not exact hit counts.
+ */
+struct AdaptiveSieveConfig
+{
+    /** Starting setting of the production sieve; also the center of
+     * the first shadow neighborhood. */
+    SieveStoreCConfig base;
+    /** Per-candidate simulated residency budget in blocks (the shadow
+     * ghost cache's capacity). */
+    uint64_t ghost_budget = 1 << 15;
+    /** Shadow sieves' IMCT size (metastate cost per candidate). */
+    size_t imct_slots = 1 << 14;
+    /** Neighborhood radius: candidate settings are the current
+     * (t1, t2) plus (t1 +- t1_step, t2) and (t1, t2 +- t2_step),
+     * clamped to the bounds below. */
+    uint32_t t1_step = 2;
+    uint32_t t2_step = 1;
+    uint32_t min_t1 = 1;
+    uint32_t max_t1 = 64;
+    uint32_t min_t2 = 1;
+    uint32_t max_t2 = 16;
+};
+
+/**
+ * Online adaptive sieve: SieveStore-C whose (t1, t2) thresholds chase
+ * the setting that would capture the most accesses.
+ *
+ * Five candidate settings — the current one plus its four
+ * one-step neighbors — each run a small shadow sieve over the full
+ * access stream. When a candidate's shadow admits a block, the block
+ * enters the candidate's ghost cache (a fixed-budget LRU residency
+ * set standing in for the cache it would have filled); every access
+ * landing in a candidate's ghost counts as an access that setting
+ * would have captured. At each day close (Appliance::finishDay ->
+ * onDayClose) the candidate with the most captured accesses wins:
+ * the production sieve switches to its thresholds (keeping its
+ * accumulated IMCT/MCT state), the neighborhood re-centers, and the
+ * per-epoch counters reset. Ties favor the incumbent, so a flat
+ * neighborhood never flaps.
+ *
+ * Decisions still come only from the production sieve; shadows and
+ * ghosts observe the same model-side stream and steer nothing within
+ * a day, so replay stays deterministic and shard-mergeable.
+ */
+class AdaptiveSievePolicy : public AllocationPolicy
+{
+  public:
+    explicit AdaptiveSievePolicy(AdaptiveSieveConfig config = {});
+
+    AllocDecision onMiss(const trace::BlockAccess &access) override;
+    void onHit(const trace::BlockAccess &access) override;
+    /** Forwarded table prefetch (see SieveStoreCPolicy::prefetchMiss);
+     * shadows are not prefetched — they are off the latency path. */
+    void prefetchMiss(trace::BlockId block) const;
+    const char *name() const override { return "SieveStore-C/adaptive"; }
+    uint64_t metastateBytes() const override;
+    void onDayClose(int day) override;
+    std::optional<SieveTuning> tuning() const override;
+    void checkInvariants() const override;
+
+    /** Production-sieve thresholds currently in force. */
+    uint32_t currentT1() const { return t1_; }
+    uint32_t currentT2() const { return t2_; }
+    /** Threshold switches performed so far. */
+    uint64_t switches() const { return switches_; }
+    /** (t1, t2) adopted at each day close so far. */
+    const std::vector<std::pair<uint32_t, uint32_t>> &
+    history() const
+    {
+        return history_;
+    }
+    /** Number of candidate settings (the incumbent is index 0). */
+    size_t candidateCount() const { return candidates_.size(); }
+    /** Accesses candidate `i`'s ghost captured this epoch. */
+    uint64_t candidateCaptured(size_t i) const;
+    /** Candidate `i`'s thresholds. */
+    std::pair<uint32_t, uint32_t> candidateSetting(size_t i) const;
+    /** The wrapped production sieve. */
+    const SieveStoreCPolicy &production() const { return main_; }
+
+  private:
+    /** One shadow setting under evaluation. */
+    struct Candidate
+    {
+        uint32_t t1;
+        uint32_t t2;
+        SieveStoreCPolicy shadow;
+        // sieve-lint: charged(summed by AdaptiveSievePolicy::metastateBytes)
+        cache::GhostCache ghost;
+        /** Accesses the ghost captured this epoch. */
+        uint64_t captured = 0;
+
+        Candidate(const SieveStoreCConfig &shadow_cfg,
+                  uint64_t ghost_budget)
+            : t1(shadow_cfg.t1), t2(shadow_cfg.t2), shadow(shadow_cfg),
+              ghost(ghost_budget)
+        {
+        }
+    };
+
+    /** Feed one access to every candidate's mini-simulation. */
+    void observe(const trace::BlockAccess &access);
+    /** Re-derive the neighborhood around (t1_, t2_) and reset the
+     * per-epoch counters. Ghost contents survive re-centering: the
+     * simulated residency self-corrects within the next epoch. */
+    void recenter();
+    uint32_t clampT1(int64_t t1) const;
+    uint32_t clampT2(int64_t t2) const;
+
+    AdaptiveSieveConfig cfg_;
+    /** Production sieve: the only decision maker. */
+    SieveStoreCPolicy main_;
+    /** Index 0 is always the incumbent setting. */
+    std::vector<std::unique_ptr<Candidate>> candidates_;
+    uint32_t t1_;
+    uint32_t t2_;
+    uint64_t switches_ = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> history_;
 };
 
 } // namespace core

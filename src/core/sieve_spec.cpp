@@ -19,6 +19,21 @@ inactiveSieveC()
     return cfg;
 }
 
+/**
+ * Adaptive-sieve state for specs that do not select it: 1-slot
+ * production and shadow IMCTs and 1-entry ghosts, so the embedded
+ * value member costs nothing when inactive.
+ */
+AdaptiveSieveConfig
+inactiveAdaptive()
+{
+    AdaptiveSieveConfig cfg;
+    cfg.base = inactiveSieveC();
+    cfg.ghost_budget = 1;
+    cfg.imct_slots = 1;
+    return cfg;
+}
+
 } // namespace
 
 const char *
@@ -29,6 +44,7 @@ sieveKindName(SieveKind kind)
       case SieveKind::Wmna: return "WMNA";
       case SieveKind::SieveStoreC: return "SieveStore-C";
       case SieveKind::RandSieveC: return "RandSieve-C";
+      case SieveKind::Adaptive: return "SieveStore-C/adaptive";
     }
     util::fatal("sieveKindName: unknown sieve kind %d",
                 static_cast<int>(kind));
@@ -47,6 +63,8 @@ makeReferenceSievePolicy(const SievePolicySpec &spec)
       case SieveKind::RandSieveC:
         return std::make_unique<RandSieveCPolicy>(spec.rand_probability,
                                                   spec.rand_seed);
+      case SieveKind::Adaptive:
+        return std::make_unique<AdaptiveSievePolicy>(spec.adaptive);
     }
     util::fatal("makeReferenceSievePolicy: unknown sieve kind %d",
                 static_cast<int>(spec.kind));
@@ -56,7 +74,9 @@ FlatSieve::FlatSieve(const SievePolicySpec &spec)
     : kind_(spec.kind),
       sieve_c_(spec.kind == SieveKind::SieveStoreC ? spec.sieve_c
                                                    : inactiveSieveC()),
-      rand_(spec.rand_probability, spec.rand_seed)
+      rand_(spec.rand_probability, spec.rand_seed),
+      adaptive_(spec.kind == SieveKind::Adaptive ? spec.adaptive
+                                                 : inactiveAdaptive())
 {
 }
 
@@ -67,6 +87,8 @@ FlatSieve::name() const
     // ("/imct-only", "/mct-only") stay in one place.
     if (kind_ == SieveKind::SieveStoreC)
         return sieve_c_.SieveStoreCPolicy::name();
+    if (kind_ == SieveKind::Adaptive)
+        return adaptive_.AdaptiveSievePolicy::name();
     return sieveKindName(kind_);
 }
 
@@ -78,6 +100,8 @@ FlatSieve::metastateBytes() const
     // cost reports.
     if (kind_ == SieveKind::SieveStoreC)
         return sieve_c_.SieveStoreCPolicy::metastateBytes();
+    if (kind_ == SieveKind::Adaptive)
+        return adaptive_.AdaptiveSievePolicy::metastateBytes();
     return 0;
 }
 
@@ -86,6 +110,8 @@ FlatSieve::checkInvariants() const
 {
     if (kind_ == SieveKind::SieveStoreC)
         sieve_c_.SieveStoreCPolicy::checkInvariants();
+    else if (kind_ == SieveKind::Adaptive)
+        adaptive_.AdaptiveSievePolicy::checkInvariants();
 }
 
 } // namespace core

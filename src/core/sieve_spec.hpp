@@ -29,6 +29,7 @@
 #include <memory>
 
 #include "core/alloc_policy.hpp"
+#include "core/auto_tune.hpp"
 #include "core/rand_sieve.hpp"
 #include "core/sievestore_c.hpp"
 #include "util/flow_annotations.hpp"
@@ -47,7 +48,27 @@ enum class SieveKind : uint8_t {
     SieveStoreC,
     /** Allocate a random fraction of misses (Section 5.1). */
     RandSieveC,
+    /** SieveStore-C with online (t1, t2) adaptation: shadow ghost
+     * caches score neighboring settings each day and the sieve
+     * switches to the winner at day close (Section 7's tuning
+     * direction, taken online). */
+    Adaptive,
 };
+
+/**
+ * Exhaustiveness anchor for the flat sieve engine: every dispatch
+ * switch over SieveKind is written without a default case, so
+ * -Wswitch (an error in this tree) flags each switch a new kind has
+ * not reached — and this count pins the enum itself.
+ */
+inline constexpr size_t kSieveKindCount = 5;
+static_assert(static_cast<size_t>(SieveKind::Adaptive) + 1 ==
+                  kSieveKindCount,
+              "SieveKind grew: bump kSieveKindCount and wire the new "
+              "kind through every dispatch switch (FlatSieve onMiss / "
+              "onHit / prefetchMiss / onDayClose / name / "
+              "metastateBytes / checkInvariants, "
+              "makeReferenceSievePolicy, sieveKindName)");
 
 /** Policy name as used in reports ("AOD", "SieveStore-C", ...). */
 const char *sieveKindName(SieveKind kind);
@@ -66,6 +87,8 @@ struct SievePolicySpec
     uint64_t rand_seed = 7;
     /** SieveStore-C tunables (used only when kind == SieveStoreC). */
     SieveStoreCConfig sieve_c;
+    /** Adaptive-sieve tunables (used only when kind == Adaptive). */
+    AdaptiveSieveConfig adaptive;
 };
 
 /**
@@ -106,6 +129,8 @@ class FlatSieve
             return sieve_c_.SieveStoreCPolicy::onMiss(access);
           case SieveKind::RandSieveC:
             return rand_.RandSieveCPolicy::onMiss(access);
+          case SieveKind::Adaptive:
+            return adaptive_.AdaptiveSievePolicy::onMiss(access);
         }
         util::fatal("FlatSieve: unknown sieve kind %d",
                     static_cast<int>(kind_));
@@ -123,17 +148,42 @@ class FlatSieve
     {
         if (kind_ == SieveKind::SieveStoreC)
             sieve_c_.SieveStoreCPolicy::prefetchMiss(block);
+        else if (kind_ == SieveKind::Adaptive)
+            adaptive_.AdaptiveSievePolicy::prefetchMiss(block);
     }
 
     /**
-     * Observe a hit. None of the built-in continuous policies keep
-     * hit-side state (SieveStore-C's windows advance on misses only),
-     * so this is a no-op kept for interface symmetry with
+     * Observe a hit. The adaptive sieve feeds hits to its shadow
+     * candidates (ghost refreshes and captured-access counts); the
+     * other built-in continuous policies keep no hit-side state
+     * (SieveStore-C's windows advance on misses only), so for them
+     * this is a no-op kept for interface symmetry with
      * AllocationPolicy.
      */
     SIEVE_TAINT_SINK void onHit(const trace::BlockAccess &access)
     {
-        (void)access;
+        if (kind_ == SieveKind::Adaptive)
+            adaptive_.AdaptiveSievePolicy::onHit(access);
+    }
+
+    /**
+     * Calendar-day close (Appliance::finishDay): the adaptive sieve's
+     * epoch boundary, where shadow scores are compared and the
+     * production thresholds may switch. No-op for the fixed kinds.
+     */
+    void onDayClose(int day)
+    {
+        if (kind_ == SieveKind::Adaptive)
+            adaptive_.AdaptiveSievePolicy::onDayClose(day);
+    }
+
+    /** Self-tuning observability (see AllocationPolicy::tuning). */
+    std::optional<SieveTuning>
+    tuning() const
+    {
+        if (kind_ == SieveKind::Adaptive)
+            return adaptive_.AdaptiveSievePolicy::tuning();
+        return std::nullopt;
     }
 
     /** Matches the reference policy's name() for every kind. */
@@ -155,11 +205,17 @@ class FlatSieve
     /** Embedded SieveStore-C state (valid when kind()==SieveStoreC). */
     const SieveStoreCPolicy &sieveC() const { return sieve_c_; }
 
+    /** Embedded adaptive state (valid when kind()==Adaptive). */
+    const AdaptiveSievePolicy &adaptive() const { return adaptive_; }
+
   private:
     SieveKind kind_;
     /** SieveStore-C state; 1-slot IMCT when another kind is active. */
     SieveStoreCPolicy sieve_c_;
     RandSieveCPolicy rand_;
+    /** Adaptive-sieve state; 1-slot shadows when another kind is
+     * active. */
+    AdaptiveSievePolicy adaptive_;
 };
 
 } // namespace core

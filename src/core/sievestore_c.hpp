@@ -100,6 +100,20 @@ class SieveStoreCPolicy : public AllocationPolicy
      */
     void setT2(uint32_t t2) { cfg.t2 = t2; }
 
+    /** Adjust the IMCT threshold online (adaptive sieve). Takes effect
+     * on the next miss; accumulated slot counts are kept, so a lowered
+     * t1 admits already-warm blocks immediately. */
+    void setT1(uint32_t t1) { cfg.t1 = t1; }
+
+    /** Adjust both tier thresholds at once (adaptive-sieve epoch
+     * switch). */
+    void
+    setThresholds(uint32_t t1, uint32_t t2)
+    {
+        cfg.t1 = t1;
+        cfg.t2 = t2;
+    }
+
   private:
     SieveStoreCConfig cfg;
     Imct imct_;

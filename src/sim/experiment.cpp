@@ -27,6 +27,8 @@ policyKindName(PolicyKind kind)
         return "AOD";
       case PolicyKind::WMNA:
         return "WMNA";
+      case PolicyKind::Adaptive:
+        return "SieveStore-C/adaptive";
     }
     util::panic("unknown policy kind");
 }
@@ -85,6 +87,13 @@ makeAppliance(const PolicyConfig &policy,
       case PolicyKind::WMNA: {
         core::ApplianceConfig cfg = appliance;
         cfg.sieve.kind = core::SieveKind::Wmna;
+        return std::make_unique<Appliance>(std::move(cfg));
+      }
+      case PolicyKind::Adaptive: {
+        core::ApplianceConfig cfg = appliance;
+        cfg.sieve.kind = core::SieveKind::Adaptive;
+        cfg.sieve.adaptive = policy.adaptive;
+        cfg.sieve.adaptive.base = policy.sieve_c;
         return std::make_unique<Appliance>(std::move(cfg));
       }
     }

@@ -34,6 +34,8 @@ enum class PolicyKind {
     AOD,
     /** Write-miss no-allocate (continuous, unsieved). */
     WMNA,
+    /** SieveStore-C with online (t1, t2) adaptation (continuous). */
+    Adaptive,
 };
 
 /** Display name matching the paper's figures. */
@@ -53,8 +55,13 @@ struct PolicyConfig
     double rand_fraction = 0.01;
     /** Ideal selector's top fraction (paper: 1 %). */
     double ideal_fraction = 0.01;
-    /** SieveStore-C tunables (thresholds, window, IMCT size). */
+    /** SieveStore-C tunables (thresholds, window, IMCT size). Also
+     * seeds the adaptive sieve's production setting. */
     core::SieveStoreCConfig sieve_c;
+    /** Adaptive-sieve tunables (PolicyKind::Adaptive); its `base` is
+     * overridden by `sieve_c` above so the two kinds share one
+     * starting configuration. */
+    core::AdaptiveSieveConfig adaptive;
     /** Seed for randomized policies. */
     uint64_t seed = 17;
     /**

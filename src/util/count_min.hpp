@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Count-min sketch with periodic aging, the frequency estimator
+ * behind the W-TinyLFU eviction kind's sketch admission filter.
+ *
+ * A fixed grid of depth x width saturating counters; each key maps to
+ * one counter per row through an independently seeded hash
+ * (util/hashing.hpp seededHash), and the frequency estimate is the
+ * minimum over the rows. Counters saturate at kMaxCount, and every
+ * `agePeriod()` increments the whole grid is halved ("reset" aging
+ * from the TinyLFU paper) so stale popularity decays instead of
+ * pinning admission decisions forever.
+ *
+ * Everything is deterministic — no wall clock, no entropy — and the
+ * steady-state paths (add / estimate) never allocate: the grid is one
+ * flat vector sized at construction, so the sketch can be consulted
+ * inside the appliance's batch-level no-alloc regions.
+ */
+
+#ifndef SIEVESTORE_UTIL_COUNT_MIN_HPP
+#define SIEVESTORE_UTIL_COUNT_MIN_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/flow_annotations.hpp"
+#include "util/hashing.hpp"
+
+namespace sievestore {
+namespace util {
+
+/** Fixed-size frequency sketch: add() increments, estimate() reads. */
+class CountMinSketch
+{
+  public:
+    /** Counter saturation value (4-bit counters in spirit; one byte
+     * in storage so row updates stay single-store). */
+    static constexpr uint8_t kMaxCount = 15;
+    /** Independent hash rows. */
+    static constexpr size_t kDepth = 4;
+
+    /**
+     * @param entries sketch capacity hint: the width becomes the
+     *                next power of two >= max(entries, 16), so
+     *                per-row collisions stay rare up to ~entries
+     *                distinct hot keys
+     * @param seed    decorrelates the rows (and separate sketches)
+     */
+    explicit CountMinSketch(uint64_t entries, uint64_t seed = 0)
+        : seed_(seed)
+    {
+        uint64_t width = 16;
+        while (width < entries)
+            width <<= 1;
+        width_mask_ = width - 1;
+        grid_.assign(static_cast<size_t>(width) * kDepth, 0);
+        // Aging cadence from the TinyLFU paper: a sample of ~10x the
+        // tracked population keeps estimates fresh across phase
+        // changes without thrashing the counters.
+        age_period_ = width * 10;
+    }
+
+    /**
+     * Record one occurrence of `key`: saturating increment in every
+     * row, then halve the whole grid once per agePeriod() adds.
+     * Taint sink: sketch state steers eviction/admission decisions,
+     * so measured data must never reach it.
+     */
+    SIEVE_TAINT_SINK void
+    add(uint64_t key)
+    {
+        for (size_t r = 0; r < kDepth; ++r) {
+            uint8_t &c = grid_[slot(key, r)];
+            if (c < kMaxCount)
+                ++c;
+        }
+        if (++adds_since_age_ >= age_period_) {
+            halve();
+            adds_since_age_ = 0;
+        }
+    }
+
+    /** Frequency estimate: the minimum counter across rows (an upper
+     * bound on the aged true count; never an underestimate). */
+    uint32_t
+    estimate(uint64_t key) const
+    {
+        uint8_t best = kMaxCount;
+        for (size_t r = 0; r < kDepth; ++r)
+            best = std::min(best, grid_[slot(key, r)]);
+        return best;
+    }
+
+    /** Halve every counter (aging; add() calls this automatically). */
+    void
+    halve()
+    {
+        for (uint8_t &c : grid_)
+            c = static_cast<uint8_t>(c >> 1);
+    }
+
+    /** Row width (a power of two). */
+    uint64_t width() const { return width_mask_ + 1; }
+    /** Adds between automatic halvings. */
+    uint64_t agePeriod() const { return age_period_; }
+
+    /** Grid footprint per the util/footprint.hpp convention. */
+    uint64_t
+    memoryBytes() const
+    {
+        return static_cast<uint64_t>(grid_.capacity()) *
+               sizeof(uint8_t);
+    }
+
+    /**
+     * Audit the grid: geometry matches the constructor's promise,
+     * every counter is within saturation, and the aging countdown has
+     * not been missed. Aborts on violation.
+     */
+    void
+    checkInvariants() const
+    {
+        SIEVE_CHECK((width_mask_ & (width_mask_ + 1)) == 0,
+                    "sketch width is not a power of two");
+        SIEVE_CHECK(grid_.size() == (width_mask_ + 1) * kDepth,
+                    "sketch grid size %zu does not match %llu x %zu",
+                    grid_.size(),
+                    static_cast<unsigned long long>(width_mask_ + 1),
+                    kDepth);
+        SIEVE_CHECK(adds_since_age_ < age_period_,
+                    "sketch aging overdue: %llu adds since last halve",
+                    static_cast<unsigned long long>(adds_since_age_));
+        for (const uint8_t c : grid_)
+            SIEVE_CHECK(c <= kMaxCount,
+                        "sketch counter %u exceeds saturation", c);
+    }
+
+  private:
+    size_t
+    slot(uint64_t key, size_t row) const
+    {
+        const uint64_t h =
+            seededHash(key, seed_ * kDepth + row + 1);
+        return static_cast<size_t>((h & width_mask_) +
+                                   row * (width_mask_ + 1));
+    }
+
+    uint64_t seed_;
+    uint64_t width_mask_;
+    uint64_t age_period_;
+    uint64_t adds_since_age_ = 0;
+    /** depth rows of width counters, row-major. */
+    std::vector<uint8_t> grid_;
+};
+
+} // namespace util
+} // namespace sievestore
+
+#endif // SIEVESTORE_UTIL_COUNT_MIN_HPP

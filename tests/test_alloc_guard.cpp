@@ -153,7 +153,7 @@ TEST(AllocGuard, ReferencePolicyCacheOpsPassThrough)
     // BlockCache's internal regions are conditioned on the flat
     // engine, so custom-policy caches must run unguarded.
     BlockCache cache(
-        32, sievestore::cache::makeReferencePolicy(EvictionSpec{}));
+        32, sievestore::cache::makeReferencePolicy(EvictionSpec{}, 32));
     for (uint64_t b = 0; b < 200; ++b)
         cache.insert(b);
     EXPECT_EQ(cache.size(), 32u);

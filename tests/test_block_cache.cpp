@@ -146,8 +146,8 @@ everyEngine(uint64_t capacity, EvictionKind kind)
 {
     std::vector<BlockCache> caches;
     caches.emplace_back(capacity, EvictionSpec{kind, 3});
-    caches.emplace_back(capacity,
-                        makeReferencePolicy(EvictionSpec{kind, 3}));
+    caches.emplace_back(
+        capacity, makeReferencePolicy(EvictionSpec{kind, 3}, capacity));
     return caches;
 }
 

@@ -54,7 +54,7 @@ differentialOpStream(EvictionKind kind, uint64_t capacity,
 {
     const EvictionSpec spec{kind, 11};
     BlockCache flat(capacity, spec);
-    BlockCache reference(capacity, makeReferencePolicy(spec));
+    BlockCache reference(capacity, makeReferencePolicy(spec, capacity));
     Rng rng(seed);
     const std::string label = evictionKindName(kind);
 
@@ -120,7 +120,7 @@ differentialBatch(EvictionKind kind, uint64_t seed)
     const EvictionSpec spec{kind, 5};
     const uint64_t capacity = 128;
     BlockCache flat(capacity, spec);
-    BlockCache reference(capacity, makeReferencePolicy(spec));
+    BlockCache reference(capacity, makeReferencePolicy(spec, capacity));
     Rng rng(seed);
     const std::string label = evictionKindName(kind);
 
@@ -237,7 +237,7 @@ TEST(FlatCacheDifferential, ApplianceReportsMatchAcrossPolicyMatrix)
             flat_cfg.eviction = spec;
             core::ApplianceConfig ref_cfg = flat_cfg;
             ref_cfg.replacement = [spec] {
-                return makeReferencePolicy(spec);
+                return makeReferencePolicy(spec, 512);
             };
 
             auto flat_app = sim::makeAppliance(policy, flat_cfg);

@@ -87,7 +87,8 @@ TEST(Footprint, CacheMemoryCoversResidencyAndReplacementState)
     // replacement policy's bookkeeping in BOTH engines, so the two
     // are comparable. A custom-policy cache must therefore report
     // more than its residency index alone.
-    BlockCache custom(256, makeReferencePolicy({EvictionKind::Lru, 1}));
+    BlockCache custom(256,
+                      makeReferencePolicy({EvictionKind::Lru, 1}, 256));
     for (BlockId b = 0; b < 256; ++b)
         custom.insert(b);
     const uint64_t set_only = util::flatIndexFootprintBytes(
@@ -107,7 +108,7 @@ TEST(Footprint, FlatEngineAtOrBelowReferencePerResidentBlock)
         const uint64_t capacity = 1 << 14;
         BlockCache flat(capacity, EvictionSpec{kind, 1});
         BlockCache reference(capacity,
-                             makeReferencePolicy({kind, 1}));
+                             makeReferencePolicy({kind, 1}, capacity));
         for (BlockId b = 0; b < capacity; ++b) {
             flat.insert(b);
             reference.insert(b);

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * GhostCache property tests: the budget is a hard ceiling under any
+ * insert pressure, refresh keeps recency order exact, and the
+ * FlatIndex substrate's backward-shift deletion survives the ghost's
+ * interleaved insert/erase/popOldest churn (audited against a naive
+ * model and by checkInvariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/ghost_cache.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using sievestore::cache::GhostCache;
+using sievestore::trace::BlockId;
+using sievestore::util::Rng;
+
+TEST(GhostCache, InsertEvictsOldestAtBudget)
+{
+    GhostCache ghost(3);
+    EXPECT_TRUE(ghost.insert(1));
+    EXPECT_TRUE(ghost.insert(2));
+    EXPECT_TRUE(ghost.insert(3));
+    EXPECT_EQ(ghost.size(), 3u);
+    EXPECT_EQ(ghost.oldest(), 1u);
+
+    EXPECT_TRUE(ghost.insert(4)); // evicts 1
+    EXPECT_EQ(ghost.size(), 3u);
+    EXPECT_FALSE(ghost.contains(1));
+    EXPECT_EQ(ghost.oldest(), 2u);
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, RefreshMovesToFrontWithoutGrowth)
+{
+    GhostCache ghost(3);
+    ghost.insert(1);
+    ghost.insert(2);
+    ghost.insert(3);
+    EXPECT_FALSE(ghost.insert(1)); // refresh, not a new key
+    EXPECT_EQ(ghost.size(), 3u);
+    EXPECT_EQ(ghost.oldest(), 2u);
+    ghost.insert(4); // now 2 is the oldest and goes
+    EXPECT_FALSE(ghost.contains(2));
+    EXPECT_TRUE(ghost.contains(1));
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, PopOldestDrainsInRecencyOrder)
+{
+    GhostCache ghost(4);
+    for (BlockId b = 10; b < 14; ++b)
+        ghost.insert(b);
+    for (BlockId b = 10; b < 14; ++b) {
+        const auto popped = ghost.popOldest();
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(*popped, b);
+    }
+    EXPECT_TRUE(ghost.empty());
+    EXPECT_FALSE(ghost.popOldest().has_value());
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, BudgetNeverExceededUnderPressure)
+{
+    // The ARC/batchReplace abuse case: far more inserts than budget,
+    // interleaved with erases and pops. Size must never pass the
+    // budget and the structures must stay mirror images throughout.
+    GhostCache ghost(17);
+    Rng rng(77);
+    for (int op = 0; op < 100000; ++op) {
+        const BlockId b = rng.nextBelow(64);
+        switch (rng.nextBelow(8)) {
+          case 0:
+            ghost.erase(b);
+            break;
+          case 1:
+            ghost.popOldest();
+            break;
+          default:
+            ghost.insert(b);
+            break;
+        }
+        ASSERT_LE(ghost.size(), ghost.budget()) << "op " << op;
+        if (op % 1024 == 0)
+            ghost.checkInvariants();
+    }
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, MatchesNaiveModelExactly)
+{
+    // Differential against a deque+set model: contains/oldest/size
+    // must agree after every operation, proving the FlatIndex
+    // backward-shift deletion preserves exactly the tracked set.
+    const uint64_t budget = 9;
+    GhostCache ghost(budget);
+    std::deque<BlockId> model; // front = most recent
+    Rng rng(4242);
+
+    const auto modelFind = [&](BlockId b) {
+        return std::find(model.begin(), model.end(), b);
+    };
+    for (int op = 0; op < 50000; ++op) {
+        const BlockId b = rng.nextBelow(32);
+        switch (rng.nextBelow(8)) {
+          case 0: {
+            const bool erased = ghost.erase(b);
+            const auto it = modelFind(b);
+            ASSERT_EQ(erased, it != model.end()) << "op " << op;
+            if (it != model.end())
+                model.erase(it);
+            break;
+          }
+          case 1: {
+            const auto popped = ghost.popOldest();
+            ASSERT_EQ(popped.has_value(), !model.empty());
+            if (popped.has_value()) {
+                ASSERT_EQ(*popped, model.back()) << "op " << op;
+                model.pop_back();
+            }
+            break;
+          }
+          default: {
+            const auto it = modelFind(b);
+            const bool inserted = ghost.insert(b);
+            ASSERT_EQ(inserted, it == model.end()) << "op " << op;
+            if (it != model.end())
+                model.erase(modelFind(b));
+            else if (model.size() >= budget)
+                model.pop_back();
+            model.push_front(b);
+            break;
+          }
+        }
+        ASSERT_EQ(ghost.size(), model.size()) << "op " << op;
+        if (!model.empty()) {
+            ASSERT_EQ(ghost.oldest(), model.back()) << "op " << op;
+        }
+    }
+    for (const BlockId b : model)
+        EXPECT_TRUE(ghost.contains(b));
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, ClearKeepsBudgetAndReservation)
+{
+    GhostCache ghost(5);
+    for (BlockId b = 0; b < 5; ++b)
+        ghost.insert(b);
+    const uint64_t bytes = ghost.memoryBytes();
+    ghost.clear();
+    EXPECT_TRUE(ghost.empty());
+    EXPECT_EQ(ghost.budget(), 5u);
+    EXPECT_EQ(ghost.memoryBytes(), bytes)
+        << "clear must not release the reservation";
+    ghost.insert(42);
+    EXPECT_TRUE(ghost.contains(42));
+    ghost.checkInvariants();
+}
+
+TEST(GhostCache, FootprintIsConstantAfterConstruction)
+{
+    GhostCache ghost(100);
+    const uint64_t at_birth = ghost.memoryBytes();
+    EXPECT_GT(at_birth, 0u);
+    Rng rng(5);
+    for (int op = 0; op < 20000; ++op)
+        ghost.insert(rng.nextBelow(1000));
+    EXPECT_EQ(ghost.memoryBytes(), at_birth)
+        << "steady-state ghost churn must never grow the footprint";
+}
+
+} // namespace

@@ -23,8 +23,8 @@ bothEngines(uint64_t capacity, EvictionKind kind, uint64_t seed = 1)
 {
     std::vector<BlockCache> caches;
     caches.emplace_back(capacity, EvictionSpec{kind, seed});
-    caches.emplace_back(capacity,
-                        makeReferencePolicy(EvictionSpec{kind, seed}));
+    caches.emplace_back(
+        capacity, makeReferencePolicy(EvictionSpec{kind, seed}, capacity));
     return caches;
 }
 
@@ -167,7 +167,7 @@ TEST(Policies, NamesAreStable)
         BlockCache(2, EvictionSpec{EvictionKind::Clock}).policyName(),
         "CLOCK");
     EXPECT_STREQ(
-        BlockCache(2, makeReferencePolicy({EvictionKind::Lfu}))
+        BlockCache(2, makeReferencePolicy({EvictionKind::Lfu}, 2))
             .policyName(),
         "LFU");
 }
@@ -177,7 +177,7 @@ TEST(Policies, ReferenceNamesMatchKindNames)
     for (const EvictionKind kind :
          {EvictionKind::Lru, EvictionKind::Fifo, EvictionKind::Clock,
           EvictionKind::Lfu, EvictionKind::Random}) {
-        EXPECT_STREQ(makeReferencePolicy({kind, 1})->name(),
+        EXPECT_STREQ(makeReferencePolicy({kind, 1}, 8)->name(),
                      evictionKindName(kind));
     }
 }
@@ -223,7 +223,8 @@ bothClocks(uint64_t capacity)
     std::vector<BlockCache> caches;
     caches.emplace_back(capacity, EvictionSpec{EvictionKind::Clock});
     caches.emplace_back(
-        capacity, makeReferencePolicy(EvictionSpec{EvictionKind::Clock}));
+        capacity,
+        makeReferencePolicy(EvictionSpec{EvictionKind::Clock}, capacity));
     return caches;
 }
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 
 #include "core/sieve_spec.hpp"
@@ -27,7 +28,12 @@ using util::Rng;
 
 const SieveKind kAllSieveKinds[] = {SieveKind::Aod, SieveKind::Wmna,
                                     SieveKind::SieveStoreC,
-                                    SieveKind::RandSieveC};
+                                    SieveKind::RandSieveC,
+                                    SieveKind::Adaptive};
+// The matrix below must widen whenever the enum does — the same
+// tripwire as the dispatch-switch guard in core/sieve_spec.hpp.
+static_assert(std::size(kAllSieveKinds) == core::kSieveKindCount,
+              "add the new SieveKind to kAllSieveKinds");
 
 SievePolicySpec
 specFor(SieveKind kind)
@@ -37,6 +43,9 @@ specFor(SieveKind kind)
     spec.rand_probability = 0.03;
     spec.rand_seed = 11;
     spec.sieve_c.imct_slots = 1 << 12;
+    spec.adaptive.base = spec.sieve_c;
+    spec.adaptive.imct_slots = 1 << 10;
+    spec.adaptive.ghost_budget = 512;
     return spec;
 }
 
@@ -133,6 +142,8 @@ TEST(SieveSpec, KindNamesAreStable)
                  "SieveStore-C");
     EXPECT_STREQ(core::sieveKindName(SieveKind::RandSieveC),
                  "RandSieve-C");
+    EXPECT_STREQ(core::sieveKindName(SieveKind::Adaptive),
+                 "SieveStore-C/adaptive");
 }
 
 // ---- stateless-kind semantics -------------------------------------
